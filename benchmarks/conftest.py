@@ -1,0 +1,27 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured report (run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables).  Shape assertions — who wins,
+by roughly what factor, where crossovers fall — are enforced; absolute
+numbers are reported, not asserted, since the substrate is a simulator
+rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple], header: tuple = ()) -> None:
+    """Print a small fixed-width comparison table."""
+    print(f"\n=== {title} ===")
+    if header:
+        print("  ".join(f"{column:>16s}" for column in header))
+    for row in rows:
+        print("  ".join(f"{str(cell):>16s}" for cell in row))
+
+
+@pytest.fixture
+def table_report():
+    return report

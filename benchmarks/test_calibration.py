@@ -1,0 +1,28 @@
+"""Workload calibration sweep: all published characteristics at once.
+
+Not a paper table per se, but the foundation every experiment rests on:
+each synthetic benchmark must simultaneously exhibit its Table 4 MAPKI,
+its Figure 9 stride class, and (on average) Figure 10's cold-segment
+fractions.
+"""
+
+from repro.workloads.cloudsuite import TRACED_BENCHMARKS
+from repro.workloads.validation import validate_workloads
+
+from conftest import report
+
+
+def test_calibration_full_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: validate_workloads(TRACED_BENCHMARKS),
+        rounds=1, iterations=1)
+    rows = [(check.name, f"{check.mapki:.2f}/{check.mapki_target:.1f}",
+             f"{check.large_stride_share:.0%}",
+             f"{check.cold_2mb:.0%}", f"{check.cold_4mb:.0%}")
+            for check in result.checks]
+    rows.append(("mean cold", "", "",
+                 f"{result.mean_cold_2mb:.1%} (61.5%)",
+                 f"{result.mean_cold_4mb:.1%} (33.2%)"))
+    report("Workload calibration (MAPKI / strides / coldness)", rows,
+           header=("workload", "MAPKI m/t", ">=4MB", "cold@2M", "cold@4M"))
+    assert result.problems(mapki_tolerance=0.10, cold_band=0.10) == []

@@ -1,0 +1,53 @@
+"""Figure 6: DRAM physical address bit mapping of the 1 TB device.
+
+Structural reproduction: rank bits as most-significant bits (no rank
+interleaving), channel bits interleaved at segment granularity, and the
+full DPA covering the 1 TB device.
+"""
+
+from repro.core.addressing import DeviceAddressLayout, SegmentLocation
+from repro.dram.geometry import PAPER_1TB_GEOMETRY
+
+from conftest import report
+
+
+def build_layout():
+    return DeviceAddressLayout(PAPER_1TB_GEOMETRY)
+
+
+def test_fig06_bit_layout(benchmark):
+    layout = benchmark.pedantic(build_layout, rounds=1, iterations=1)
+    geo = layout.geometry
+    report("Figure 6: 1 TB device DPA bit layout", [
+        ("segment offset", f"bits 0..{geo.segment_offset_bits - 1}",
+         "21 bits (2 MB)"),
+        ("channel", f"bits {geo.segment_offset_bits}.."
+         f"{geo.segment_offset_bits + geo.channel_bits - 1}",
+         "2 bits (4 ch)"),
+        ("segment index", f"{geo.segment_index_bits} bits", ""),
+        ("rank", f"top {geo.rank_bits} bits", "3 bits (8 ranks)"),
+    ], header=("field", "measured", "paper"))
+    assert geo.segment_offset_bits == 21
+    assert geo.channel_bits == 2
+    assert geo.rank_bits == 3
+    assert geo.dpa_bits == 40
+
+
+def test_fig06_channel_interleaving_at_segment_granularity():
+    layout = build_layout()
+    channels = [layout.channel_of_dsn(dsn) for dsn in range(8)]
+    assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_fig06_rank_bits_most_significant():
+    """A rank's segments occupy one contiguous top-level DSN block, so a
+    whole rank can idle without fragmenting the address space."""
+    layout = build_layout()
+    geo = layout.geometry
+    block = geo.total_segments // geo.ranks_per_channel
+    for rank in range(geo.ranks_per_channel):
+        first = layout.pack_dsn(SegmentLocation(0, rank, 0))
+        last = layout.pack_dsn(SegmentLocation(
+            geo.channels - 1, rank, geo.segments_per_rank - 1))
+        assert first // block == rank
+        assert last // block == rank

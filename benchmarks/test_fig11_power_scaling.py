@@ -1,0 +1,59 @@
+"""Figure 11: DRAM power vs active ranks and bandwidth.
+
+Paper: (a) background power (including refresh) falls steeply as ranks
+per channel drop from eight to two; (b) active power scales near-linearly
+with bandwidth utilisation.
+"""
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.power import DramPowerModel, PowerState
+from repro.units import GIB
+
+from conftest import report
+
+
+def build_model():
+    return DramPowerModel(geometry=DramGeometry(rank_bytes=16 * GIB))
+
+
+def test_fig11a_background_power_vs_ranks(benchmark):
+    model = benchmark.pedantic(build_model, rounds=1, iterations=1)
+    full = model.background_power_active_ranks(8)
+    rows = []
+    values = {}
+    for active in (8, 6, 4, 2):
+        power = model.background_power_active_ranks(active)
+        values[active] = power / full
+        rows.append((f"{active} ranks/ch", f"{power / full:.2f}x"))
+    report("Figure 11(a): normalised background power", rows,
+           header=("config", "vs 8-rank"))
+    # Shape: monotone decline; 2-rank config sits well below half-ish of
+    # the 8-rank background (the paper measures a steep drop).
+    assert values[8] == 1.0
+    assert values[6] < 1.0
+    assert values[2] < values[4] < values[6]
+    assert values[2] < 0.6
+
+
+def test_fig11a_mpsm_vs_self_refresh_gap():
+    """MPSM parks ranks far deeper than self-refresh (Table 2)."""
+    model = build_model()
+    mpsm = model.background_power_active_ranks(2, PowerState.MPSM)
+    sr = model.background_power_active_ranks(2, PowerState.SELF_REFRESH)
+    assert mpsm < sr
+
+
+def test_fig11b_active_power_linear_in_bandwidth(benchmark):
+    model = build_model()
+
+    def measure():
+        return [model.active_power(gbs) for gbs in (0, 10, 20, 30, 40)]
+
+    powers = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [(f"{10 * i} GB/s", f"{p:.2f} RSU")
+            for i, p in enumerate(powers)]
+    report("Figure 11(b): active power vs bandwidth", rows,
+           header=("bandwidth", "active power"))
+    # Near-linear scaling: equal increments.
+    increments = [b - a for a, b in zip(powers, powers[1:])]
+    assert max(increments) - min(increments) < 1e-9

@@ -1,0 +1,57 @@
+"""Figure 15: total savings with both mechanisms applied.
+
+Paper: one powered-down rank-group alone saves 20.2 %; adding
+hotness-aware self-refresh where unallocated memory suffices lifts total
+savings to 25.6-32.3 %; the 8-rank configuration (no power-down possible)
+still saves 14.9 % from self-refresh alone.
+"""
+
+import pytest
+
+from repro.sim.combined import figure15_summary
+
+from conftest import report
+
+PAPER_COMBINED_LOW = 0.256
+PAPER_COMBINED_HIGH = 0.323
+PAPER_8RANK = 0.149
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return figure15_summary(duration_s=45.0)
+
+
+def test_fig15_total_savings(benchmark, summary):
+    rows_data = benchmark.pedantic(lambda: summary, rounds=1, iterations=1)
+    rows = [(entry.point, f"{entry.active_ranks_per_channel}/ch",
+             f"{entry.powerdown_savings:.1%}",
+             f"{entry.selfrefresh_additional:.1%}",
+             f"{entry.total_savings:.1%}") for entry in rows_data]
+    rows.append(("paper 208gb", "6/ch", "20.2%", "+", "25.6-32.3%"))
+    rows.append(("paper 304gb", "8/ch", "0%", "14.9%", "14.9%"))
+    report("Figure 15: combined savings", rows,
+           header=("point", "active", "power-down", "+self-refresh",
+                   "total"))
+    by_point = {entry.point: entry for entry in rows_data}
+
+    # Shape 1: the 6-rank configurations with working self-refresh land in
+    # (or near) the paper's combined band.
+    best = by_point["208gb"].total_savings
+    assert PAPER_COMBINED_LOW * 0.8 < best < PAPER_COMBINED_HIGH * 1.15
+    # Shape 2: power-down alone bounds the 240 GB point (SR fails there).
+    assert by_point["240gb"].selfrefresh_additional < 0.03
+    assert by_point["240gb"].total_savings == pytest.approx(
+        by_point["240gb"].powerdown_savings, abs=0.03)
+    # Shape 3: 8-rank has no power-down but real self-refresh savings.
+    assert by_point["304gb"].powerdown_savings == pytest.approx(0.0)
+    assert 0.5 * PAPER_8RANK < by_point["304gb"].total_savings \
+        < 1.5 * PAPER_8RANK
+
+
+def test_fig15_ordering(summary):
+    """Combined savings decrease with allocated capacity at 6 ranks."""
+    by_point = {entry.point: entry for entry in summary}
+    assert by_point["208gb"].total_savings >= \
+        by_point["224gb"].total_savings >= \
+        by_point["240gb"].total_savings - 0.01

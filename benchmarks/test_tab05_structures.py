@@ -1,0 +1,64 @@
+"""Table 5: size of the DTL data structures for 16 hosts.
+
+Paper: 384 GB and 4 TB columns; on-chip SRAM grows from ~0.5 MB to
+~5.3 MB and reserved DRAM from ~1.9 MB to ~22.6 MB (0.0005 % of 4 TB).
+"""
+
+import pytest
+
+from repro.analysis.structures import (MODEL_384GB, MODEL_4TB, PAPER_TABLE5,
+                                       StructureSizingModel)
+from repro.units import GIB, format_bytes
+
+from conftest import report
+
+
+def compute():
+    return MODEL_384GB.report(), MODEL_4TB.report()
+
+
+def test_tab05_structure_sizes(benchmark):
+    small, large = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for name in small:
+        rows.append((name,
+                     f"{format_bytes(small[name])}"
+                     f" ({format_bytes(PAPER_TABLE5['384GB'][name])})",
+                     f"{format_bytes(large[name])}"
+                     f" ({format_bytes(PAPER_TABLE5['4TB'][name])})"))
+    report("Table 5: structure sizes, measured (paper)", rows,
+           header=("structure", "384GB", "4TB"))
+    for column, values in (("384GB", small), ("4TB", large)):
+        for name, expected in PAPER_TABLE5[column].items():
+            assert values[name] == pytest.approx(expected, rel=0.15), \
+                f"{column}/{name}"
+
+
+def test_tab05_totals(benchmark):
+    def totals():
+        return (MODEL_384GB.sram_total_bytes(), MODEL_4TB.sram_total_bytes(),
+                MODEL_384GB.dram_total_bytes(), MODEL_4TB.dram_total_bytes())
+
+    sram_s, sram_l, dram_s, dram_l = benchmark.pedantic(totals, rounds=1,
+                                                        iterations=1)
+    report("Table 5 / Section 6.6: totals", [
+        ("SRAM", format_bytes(sram_s), format_bytes(sram_l),
+         "0.5MB -> 5.3MB"),
+        ("DRAM", format_bytes(dram_s), format_bytes(dram_l),
+         "1.9MB -> 22.6MB"),
+    ], header=("pool", "384GB", "4TB", "paper"))
+    assert sram_s == pytest.approx(0.5 * 2 ** 20, rel=0.25)
+    assert sram_l == pytest.approx(5.3 * 2 ** 20, rel=0.25)
+    assert dram_s == pytest.approx(1.9 * 2 ** 20, rel=0.25)
+    assert dram_l == pytest.approx(22.6 * 2 ** 20, rel=0.25)
+    assert MODEL_4TB.dram_overhead_fraction() < 1e-5
+
+
+def test_tab05_scaling_is_linearish():
+    """Section 6.6: structures 'scale mostly linearly with capacity'."""
+    sizes = [StructureSizingModel(capacity_bytes=c * GIB).sram_total_bytes()
+             for c in (256, 512, 1024)]
+    ratio_a = sizes[1] / sizes[0]
+    ratio_b = sizes[2] / sizes[1]
+    assert 1.6 < ratio_a < 2.4
+    assert 1.6 < ratio_b < 2.4

@@ -1,0 +1,61 @@
+"""Table 6: CXL controller power and area at 7 nm.
+
+Paper: 25.7 mW / 0.165 mm^2 for the 384 GB device and 36.2 mW / 1.1 mm^2
+for 4 TB, normalised from a 40 nm synthesis (0.8 W, 5.4 mm^2) with
+(technology)^2 scaling.
+"""
+
+import pytest
+
+from repro.analysis.area_power import (CONTROLLER_384GB, CONTROLLER_4TB,
+                                       PAPER_TABLE6_384GB, PAPER_TABLE6_4TB,
+                                       sanity_check_40nm_scaling)
+
+from conftest import report
+
+
+def compute():
+    return CONTROLLER_384GB.report(), CONTROLLER_4TB.report()
+
+
+def test_tab06_breakdown(benchmark):
+    small, large = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        ("SMC power", f"{small['smc_mw']:.1f} (1.7)",
+         f"{large['smc_mw']:.1f} (2.1)"),
+        ("SRAM power", f"{small['sram_mw']:.1f} (2.9)",
+         f"{large['sram_mw']:.1f} (13.0)"),
+        ("CPU power", f"{small['cpu_mw']:.1f} (21.2)",
+         f"{large['cpu_mw']:.1f} (21.2)"),
+        ("total mW", f"{small['total_mw']:.1f} (25.7)",
+         f"{large['total_mw']:.1f} (36.2)"),
+        ("total mm2", f"{small['total_mm2']:.3f} (0.165)",
+         f"{large['total_mm2']:.3f} (1.1)"),
+    ]
+    report("Table 6: controller power/area @7nm, measured (paper)", rows,
+           header=("row", "384GB", "4TB"))
+    for key in ("smc_mw", "sram_mw", "cpu_mw", "total_mw"):
+        assert small[key] == pytest.approx(PAPER_TABLE6_384GB[key], rel=0.15)
+        assert large[key] == pytest.approx(PAPER_TABLE6_4TB[key], rel=0.15)
+    assert small["total_mm2"] == pytest.approx(
+        PAPER_TABLE6_384GB["total_mm2"], rel=0.2)
+    assert large["total_mm2"] == pytest.approx(
+        PAPER_TABLE6_4TB["total_mm2"], rel=0.2)
+
+
+def test_tab06_40nm_crosscheck(benchmark):
+    power_mw, area_mm2 = benchmark.pedantic(sanity_check_40nm_scaling,
+                                            rounds=1, iterations=1)
+    report("Section 6.5: 40nm synthesis scaled to 7nm", [
+        ("power", f"{power_mw:.1f} mW", "(~25.7 mW)"),
+        ("area", f"{area_mm2:.3f} mm2", "(0.165 mm2)"),
+    ], header=("metric", "measured", "paper"))
+    assert power_mw == pytest.approx(25.7, rel=0.1)
+    assert area_mm2 == pytest.approx(0.165, rel=0.05)
+
+
+def test_tab06_deployability_claim():
+    """Section 6.6: tens of mW and ~1 mm^2 make terabyte-scale DTL
+    practical — the controller stays below 50 mW and 2 mm^2."""
+    assert CONTROLLER_4TB.total_power_mw() < 50.0
+    assert CONTROLLER_4TB.total_area_mm2() < 2.0

@@ -1,0 +1,65 @@
+"""Capacity planning: DTL overheads for a custom CXL device.
+
+Uses the analytical models (paper Sections 6.1, 6.5, 6.6) to answer the
+deployment questions a device architect would ask: how much SRAM/DRAM do
+the DTL structures need, what do they cost in controller power and area,
+and what latency does the translation layer add?
+
+Run:  python examples/capacity_planning.py [capacity_gib]
+"""
+
+import sys
+
+from repro.analysis import (AmatModel, ControllerModel, StructureSizingModel,
+                            sanity_check_40nm_scaling)
+from repro.units import GIB, format_bytes
+
+def main() -> None:
+    capacity_gib = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    capacity = capacity_gib * GIB
+
+    print(f"=== DTL deployment study for a {capacity_gib} GiB CXL device ===")
+
+    sizing = StructureSizingModel(capacity_bytes=capacity, channels=8,
+                                  ranks_per_channel=8)
+    print(f"\nAddress widths: HSN {sizing.hsn_bits} bits "
+          f"(host {sizing.host_id_bits} + AU {sizing.au_id_bits} + "
+          f"offset {sizing.au_offset_bits}), DSN {sizing.dsn_bits} bits")
+    print(f"\n{'structure':<28s} {'size':>10s}  location")
+    location = {
+        "l1_smc": "SRAM", "l2_smc": "SRAM", "host_base_table": "SRAM",
+        "au_base_table": "SRAM", "migration_table": "SRAM",
+        "segment_mapping_table": "DRAM", "reverse_mapping_table": "DRAM",
+        "free_segment_queues": "DRAM", "allocated_segment_queues": "DRAM",
+        "free_au_queue": "DRAM",
+    }
+    for name, size in sizing.report().items():
+        print(f"{name:<28s} {format_bytes(size):>10s}  {location[name]}")
+    print(f"{'-- total on-chip SRAM':<28s} "
+          f"{format_bytes(sizing.sram_total_bytes()):>10s}")
+    print(f"{'-- total reserved DRAM':<28s} "
+          f"{format_bytes(sizing.dram_total_bytes()):>10s} "
+          f"({100 * sizing.dram_overhead_fraction():.4f}% of capacity)")
+
+    controller = ControllerModel(sram_bytes=sizing.sram_total_bytes(),
+                                 smc_bytes=sizing.l1_smc_bytes()
+                                 + sizing.l2_smc_bytes())
+    report = controller.report()
+    print(f"\nController @7nm: {report['total_mw']:.1f} mW, "
+          f"{report['total_mm2']:.3f} mm^2 "
+          f"(CPU {report['cpu_mw']:.1f} mW, SRAM {report['sram_mw']:.1f} mW, "
+          f"SMC {report['smc_mw']:.1f} mW)")
+    power_40nm, area_40nm = sanity_check_40nm_scaling()
+    print(f"Cross-check vs scaled 40nm synthesis: {power_40nm:.1f} mW, "
+          f"{area_40nm:.3f} mm^2")
+
+    amat = AmatModel()
+    print(f"\nLatency: vanilla CXL {amat.cxl_latency_ns:.0f} ns; with DTL "
+          f"{amat.amat_ns():.1f} ns "
+          f"(+{amat.translation_overhead_ns():.1f} ns mean, "
+          f"+{amat.max_overhead_ns():.1f} ns worst case)")
+    print(f"Estimated execution-time overhead: "
+          f"{100 * amat.execution_time_overhead():.2f}% (paper: 0.18%)")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: a DTL-equipped CXL memory device in twenty lines.
+
+Creates a pooled memory device, reserves memory for two VMs, issues some
+loads/stores through the translation layer, then deallocates one VM and
+watches the rank-level power-down policy park idle rank-groups in MPSM.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CxlMemoryDevice, DtlConfig
+from repro.dram import DramGeometry, PowerState
+from repro.units import GIB, MIB
+
+def main() -> None:
+    # A small device: 4 channels x 8 ranks x 1 GiB = 32 GiB.
+    geometry = DramGeometry(rank_bytes=1 * GIB)
+    device = CxlMemoryDevice(config=DtlConfig(geometry=geometry,
+                                              au_bytes=512 * MIB))
+    controller = device.controller
+
+    print(f"Device: {geometry.describe()}")
+    print(f"Initial rank states: {device.power_summary()}")
+
+    # Two tenants reserve memory (rounded up to allocation units).
+    vm_a = device.allocate_vm(host_id=0, reserved_bytes=4 * GIB)
+    vm_b = device.allocate_vm(host_id=1, reserved_bytes=2 * GIB)
+    print(f"\nAllocated {vm_a.reserved_bytes // GIB} GiB for VM-A "
+          f"(AUs {vm_a.au_ids}) and {vm_b.reserved_bytes // GIB} GiB "
+          f"for VM-B")
+
+    # Host loads/stores go through HPA -> DPA translation transparently.
+    hpa = controller.hpa_of(vm_a.au_ids[0], au_offset=5, byte_offset=256)
+    load = device.load(host_id=0, hpa=hpa)
+    print(f"\nLoad  HPA {hpa:#014x} -> DPA {load.dpa:#014x} "
+          f"(channel {load.channel}, rank {load.rank}) "
+          f"in {load.latency_ns:.1f} ns (SMC miss walks the tables)")
+    load2 = device.load(host_id=0, hpa=hpa)
+    print(f"Load  again                         -> "
+          f"{load2.latency_ns:.1f} ns (L1 SMC hit)")
+    store = device.store(host_id=0, hpa=hpa + 64)
+    print(f"Store HPA {store.hpa:#014x} -> rank {store.rank} "
+          f"in {store.latency_ns:.1f} ns")
+
+    # Deallocate VM-A: the policy consolidates and powers down rank-groups.
+    transitions = device.deallocate_vm(vm_a, now_s=60.0)
+    print(f"\nVM-A deallocated -> {len(transitions)} power transitions:")
+    for transition in transitions:
+        ranks = ", ".join(f"ch{c}r{r}" for c, r in transition.rank_ids)
+        print(f"  t={transition.time_s:.0f}s  [{ranks}] -> "
+              f"{transition.new_state.value} "
+              f"(migrated {transition.migrated_bytes // MIB} MiB)")
+
+    counts = controller.device.state_counts()
+    print(f"\nFinal rank census: "
+          f"{counts[PowerState.STANDBY]} standby, "
+          f"{counts[PowerState.SELF_REFRESH]} self-refresh, "
+          f"{counts[PowerState.MPSM]} MPSM")
+    print(f"Background power: {controller.device.background_power():.2f} RSU "
+          f"(vs {controller.device.power_model.baseline_background_power():.2f}"
+          f" with every rank in standby)")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Reproduction of "DRAM Translation Layer: Software-Transparent DRAM Power
+Savings for Disaggregated Memory" (Jin et al., ISCA 2023).
+
+Public entry points:
+
+* :class:`repro.core.DtlController` / :class:`repro.cxl.CxlMemoryDevice` --
+  the DTL-equipped CXL memory device.
+* :mod:`repro.workloads` -- Azure-like VM schedules and CloudSuite-like
+  synthetic memory traces.
+* :mod:`repro.sim` -- the power-down and self-refresh experiment simulators.
+* :mod:`repro.analysis` -- AMAT, structure-sizing, and controller area/power
+  models (paper Sections 6.1, 6.5, 6.6).
+"""
+
+from repro.core import DtlConfig, DtlController
+from repro.cxl import CxlLinkConfig, CxlMemoryDevice
+from repro.dram import DramGeometry, PowerState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DtlConfig",
+    "DtlController",
+    "CxlLinkConfig",
+    "CxlMemoryDevice",
+    "DramGeometry",
+    "PowerState",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analytical models: AMAT (6.1), structure sizing (Table 5), controller
+power/area (Table 6)."""
+
+from repro.analysis.amat import (AmatModel, PAPER_L1_SMC_MISS_RATIO,
+                                 PAPER_L2_SMC_MISS_RATIO)
+from repro.analysis.area_power import (CONTROLLER_384GB, CONTROLLER_4TB,
+                                       ControllerModel, PAPER_TABLE6_384GB,
+                                       PAPER_TABLE6_4TB,
+                                       sanity_check_40nm_scaling,
+                                       technology_scale)
+from repro.analysis.sensitivity import (SensitivityPoint, recompute_savings,
+                                        savings_range, sensitivity_grid)
+from repro.analysis.tco import PAPER_DRAM_POWER_SHARE, TcoModel
+from repro.analysis.structures import (MODEL_384GB, MODEL_4TB, PAPER_TABLE5,
+                                       StructureSizingModel)
+
+__all__ = [
+    "SensitivityPoint",
+    "recompute_savings",
+    "savings_range",
+    "sensitivity_grid",
+    "PAPER_DRAM_POWER_SHARE",
+    "TcoModel",
+    "AmatModel",
+    "PAPER_L1_SMC_MISS_RATIO",
+    "PAPER_L2_SMC_MISS_RATIO",
+    "ControllerModel",
+    "CONTROLLER_384GB",
+    "CONTROLLER_4TB",
+    "PAPER_TABLE6_384GB",
+    "PAPER_TABLE6_4TB",
+    "technology_scale",
+    "sanity_check_40nm_scaling",
+    "StructureSizingModel",
+    "MODEL_384GB",
+    "MODEL_4TB",
+    "PAPER_TABLE5",
+]

@@ -1,0 +1,158 @@
+"""CXL controller power and area estimation (Sections 6.5-6.6, Table 6).
+
+The paper synthesises a quad-core ARM Cortex-R5 + SRAM controller at TSMC
+40 nm (0.8 W, 5.4 mm^2 at 1.5 GHz) and normalises to 7 nm assuming both
+power and area scale with ``(technology)^2`` (Biswas & Chandrakasan),
+yielding 25.7 mW / 0.165 mm^2 for the 384 GB device and 36.2 mW /
+1.1 mm^2 for the 4 TB device (larger SRAM structures).
+
+SRAM power and area scale sub-linearly with capacity (CACTI-style); the
+model uses a configurable exponent calibrated to the paper's two points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KIB, MIB
+
+#: 40 nm synthesis results (Section 6.5).
+BASE_TECH_NM = 40.0
+TARGET_TECH_NM = 7.0
+BASE_TOTAL_POWER_W = 0.8
+BASE_TOTAL_AREA_MM2 = 5.4
+
+#: Table 6 reference (7 nm, 384 GB device).
+PAPER_TABLE6_384GB = {"smc_mw": 1.7, "sram_mw": 2.9, "cpu_mw": 21.2,
+                      "total_mw": 25.7, "total_mm2": 0.165}
+PAPER_TABLE6_4TB = {"smc_mw": 2.1, "sram_mw": 13.0, "cpu_mw": 21.2,
+                    "total_mw": 36.2, "total_mm2": 1.1}
+
+
+def technology_scale(base_nm: float = BASE_TECH_NM,
+                     target_nm: float = TARGET_TECH_NM) -> float:
+    """Power/area scaling factor between process nodes, ``(t/b)^2``."""
+    return (target_nm / base_nm) ** 2
+
+
+@dataclass(frozen=True)
+class ControllerModel:
+    """Component-level power/area model of the DTL CXL controller.
+
+    The 384 GB device is the calibration point; other capacities scale the
+    SRAM component by ``(sram_bytes / base_sram_bytes) ** sram_exponent``.
+
+    Attributes:
+        sram_bytes: On-chip SRAM for the DTL structures (Table 5 total).
+        smc_bytes: Segment mapping cache capacity.
+        technology_nm: Target process node.
+        sram_exponent: Sub-linear SRAM scaling exponent (calibrated to
+            Table 6's 0.5 MB -> 5.3 MB giving 2.9 mW -> 13.0 mW).
+    """
+
+    sram_bytes: int = 500 * KIB
+    smc_bytes: int = 5 * KIB + 328
+    technology_nm: float = TARGET_TECH_NM
+    sram_exponent: float = 0.635
+    base_sram_bytes: int = 500 * KIB
+    base_smc_bytes: int = 5 * KIB + 328
+    cpu_power_mw_7nm: float = 21.2
+    cpu_area_mm2_7nm: float = 0.0515
+    base_sram_power_mw_7nm: float = 2.9
+    base_sram_area_mm2_7nm: float = 0.1
+    base_smc_power_mw_7nm: float = 1.7
+    base_smc_area_mm2_7nm: float = 0.0035
+
+    def _tech_factor(self) -> float:
+        return technology_scale(TARGET_TECH_NM, self.technology_nm)
+
+    def _sram_scale(self) -> float:
+        return (self.sram_bytes / self.base_sram_bytes) ** self.sram_exponent
+
+    def _smc_scale(self) -> float:
+        return (self.smc_bytes / self.base_smc_bytes) ** self.sram_exponent
+
+    # -- power ----------------------------------------------------------------
+
+    def smc_power_mw(self) -> float:
+        """Segment mapping cache power."""
+        return self.base_smc_power_mw_7nm * self._smc_scale() \
+            * self._tech_factor()
+
+    def sram_power_mw(self) -> float:
+        """DTL SRAM structure power."""
+        return self.base_sram_power_mw_7nm * self._sram_scale() \
+            * self._tech_factor()
+
+    def cpu_power_mw(self) -> float:
+        """Quad Cortex-R5 power (capacity independent)."""
+        return self.cpu_power_mw_7nm * self._tech_factor()
+
+    def total_power_mw(self) -> float:
+        """Table 6's total power row."""
+        return self.smc_power_mw() + self.sram_power_mw() + self.cpu_power_mw()
+
+    # -- area ------------------------------------------------------------------
+
+    def smc_area_mm2(self) -> float:
+        """Segment mapping cache area."""
+        return self.base_smc_area_mm2_7nm * self._smc_scale() \
+            * self._tech_factor()
+
+    def sram_area_mm2(self) -> float:
+        """DTL SRAM structure area (scales ~linearly with capacity)."""
+        return self.base_sram_area_mm2_7nm \
+            * (self.sram_bytes / self.base_sram_bytes) * self._tech_factor()
+
+    def cpu_area_mm2(self) -> float:
+        """Microprocessor area."""
+        return self.cpu_area_mm2_7nm * self._tech_factor()
+
+    def total_area_mm2(self) -> float:
+        """Table 6's total area row."""
+        return self.smc_area_mm2() + self.sram_area_mm2() + self.cpu_area_mm2()
+
+    def report(self) -> dict[str, float]:
+        """All Table 6 cells."""
+        return {
+            "smc_mw": self.smc_power_mw(),
+            "sram_mw": self.sram_power_mw(),
+            "cpu_mw": self.cpu_power_mw(),
+            "total_mw": self.total_power_mw(),
+            "smc_mm2": self.smc_area_mm2(),
+            "sram_mm2": self.sram_area_mm2(),
+            "cpu_mm2": self.cpu_area_mm2(),
+            "total_mm2": self.total_area_mm2(),
+        }
+
+
+#: Table 6's two configurations.
+CONTROLLER_384GB = ControllerModel()
+CONTROLLER_4TB = ControllerModel(sram_bytes=int(5.3 * MIB),
+                                 smc_bytes=int(5.9 * KIB) + 752)
+
+
+def sanity_check_40nm_scaling() -> tuple[float, float]:
+    """Scale the full 40 nm synthesis to 7 nm (Section 6.5 cross-check).
+
+    Returns:
+        ``(power_mw, area_mm2)`` — should approximate Table 6's 384 GB
+        totals (25.7 mW, 0.165 mm^2).
+    """
+    factor = technology_scale()
+    return BASE_TOTAL_POWER_W * 1000.0 * factor, BASE_TOTAL_AREA_MM2 * factor
+
+
+__all__ = [
+    "BASE_TECH_NM",
+    "TARGET_TECH_NM",
+    "BASE_TOTAL_POWER_W",
+    "BASE_TOTAL_AREA_MM2",
+    "PAPER_TABLE6_384GB",
+    "PAPER_TABLE6_4TB",
+    "technology_scale",
+    "ControllerModel",
+    "CONTROLLER_384GB",
+    "CONTROLLER_4TB",
+    "sanity_check_40nm_scaling",
+]

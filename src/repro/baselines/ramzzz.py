@@ -1,0 +1,222 @@
+"""RAMZzz-style baseline: epoch-based rank-aware power management.
+
+RAMZzz (Wu et al., SC'12 — the paper's Related Work, Section 8) separates
+hot and cold *ranks* by periodically migrating pages and demotes cold
+ranks into self-refresh.  Two structural differences from the DTL matter:
+
+1. **No allocation knowledge.** RAMZzz sits at the MC/OS level and sees
+   only access counts; it cannot tell a *free* segment from a cold one,
+   so it cannot deliberately collect the unallocated space that the DTL's
+   planner converges on.
+2. **Epoch demotion instead of a quiet-timer.** At each epoch end the
+   coldest rank is demoted if its epoch access count is below a
+   threshold — there is no "hypothetical victim" being watched for
+   quiet, so residually-warm data causes wakeup ping-pong instead of
+   being planned out before demotion.
+
+The implementation reuses the same device/allocator/tables substrate so
+the comparison with :class:`~repro.core.self_refresh.
+HotnessSelfRefreshPolicy` is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.addressing import DeviceAddressLayout, SegmentLocation
+from repro.core.allocator import SegmentAllocator
+from repro.core.tables import TranslationTables
+from repro.core.translation import TranslationEngine
+from repro.dram.device import DramDevice
+from repro.dram.power import PowerState
+from repro.units import NS_PER_MS
+
+
+@dataclass(frozen=True)
+class RamzzzConfig:
+    """RAMZzz policy knobs.
+
+    Attributes:
+        epoch_ns: Reorganisation epoch (RAMZzz uses tens of ms).
+        migrations_per_epoch: Hot-segment evictions per rank per epoch
+            (RAMZzz bounds migration overhead per epoch).
+        demote_threshold: Demote the coldest rank when its epoch access
+            count is at or below this.
+        victim_granularity: Ranks demoted together (CKE pair = 2).
+    """
+
+    epoch_ns: float = 100 * NS_PER_MS
+    migrations_per_epoch: int = 16
+    demote_threshold: int = 1000
+    victim_granularity: int = 2
+
+
+class RamzzzPolicy:
+    """Epoch-based hot/cold rank separation with demotion."""
+
+    def __init__(self, device: DramDevice, allocator: SegmentAllocator,
+                 tables: TranslationTables, translation: TranslationEngine,
+                 config: RamzzzConfig | None = None):
+        self.device = device
+        self.geometry = device.geometry
+        self.layout = DeviceAddressLayout(self.geometry)
+        self.allocator = allocator
+        self.tables = tables
+        self.translation = translation
+        self.config = config or RamzzzConfig()
+        total = self.geometry.total_segments
+        self.segment_counts = np.zeros(total, dtype=np.int64)
+        self._rank_shift = (self.geometry.channel_bits
+                            + self.geometry.segment_index_bits)
+        self._channel_mask = self.geometry.channels - 1
+        self.epoch_index = 0
+        self.demotions = 0
+        self.wakeups = 0
+        self.migrated_bytes_total = 0
+        self.exit_penalty_total_ns = 0.0
+
+    # -- access path -----------------------------------------------------------
+
+    def on_batch(self, dsns: np.ndarray, now_ns: float) -> float:
+        """Record one window's distinct touched segments; wake SR ranks."""
+        if not len(dsns):
+            return 0.0
+        dsns = np.asarray(dsns, dtype=np.int64)
+        np.add.at(self.segment_counts, dsns, 1)
+        penalty = 0.0
+        ranks = np.unique(np.stack([dsns & self._channel_mask,
+                                    dsns >> self._rank_shift], axis=1),
+                          axis=0)
+        for channel, rank in ranks:
+            rank_obj = self.device.rank(int(channel), int(rank))
+            if rank_obj.state is PowerState.SELF_REFRESH:
+                block = (int(rank) // self.config.victim_granularity
+                         * self.config.victim_granularity)
+                for member in range(block,
+                                    block + self.config.victim_granularity):
+                    member_obj = self.device.rank(int(channel), member)
+                    if member_obj.state is PowerState.SELF_REFRESH:
+                        penalty = max(penalty, self.device.set_rank_state(
+                            (int(channel), member), PowerState.STANDBY,
+                            now_ns / 1e9))
+                self.wakeups += 1
+            rank_obj.record_access()
+        self.exit_penalty_total_ns += penalty
+        return penalty
+
+    # -- epoch reorganisation -----------------------------------------------------
+
+    def _rank_dsns(self, channel: int, rank: int) -> np.ndarray:
+        base = self.layout.pack_dsn(SegmentLocation(channel, rank, 0))
+        return base + np.arange(self.geometry.segments_per_rank) \
+            * self.geometry.channels
+
+    def _rank_count(self, channel: int, rank: int) -> int:
+        return int(self.segment_counts[self._rank_dsns(channel, rank)].sum())
+
+    def end_epoch(self, now_ns: float) -> int:
+        """Reorganise and demote; returns ranks demoted this epoch."""
+        self.epoch_index += 1
+        demoted = 0
+        granularity = self.config.victim_granularity
+        for channel in range(self.geometry.channels):
+            standby = [rank for rank
+                       in range(self.geometry.ranks_per_channel)
+                       if self.device.rank(channel, rank).state
+                       is PowerState.STANDBY]
+            blocks = [tuple(range(start, start + granularity))
+                      for start in range(0, self.geometry.ranks_per_channel,
+                                         granularity)
+                      if all(rank in standby for rank
+                             in range(start, start + granularity))]
+            if len(blocks) < 2:
+                continue
+            block_counts = {block: sum(self._rank_count(channel, rank)
+                                       for rank in block)
+                            for block in blocks}
+            coldest = min(blocks, key=lambda block: block_counts[block])
+            self._evict_hot_segments(channel, coldest, now_ns)
+            if block_counts[coldest] <= self.config.demote_threshold:
+                for rank in coldest:
+                    self.device.set_rank_state((channel, rank),
+                                               PowerState.SELF_REFRESH,
+                                               now_ns / 1e9)
+                self.demotions += 1
+                demoted += len(coldest)
+        self.segment_counts[:] = 0
+        return demoted
+
+    def _evict_hot_segments(self, channel: int, block: tuple[int, ...],
+                            now_ns: float) -> None:
+        """Swap the block's hottest segments with cold ones elsewhere.
+
+        Without allocation knowledge, candidates are chosen purely by
+        epoch access count — a free segment and a cold live segment are
+        indistinguishable.
+        """
+        budget = self.config.migrations_per_epoch
+        victim_dsns = np.concatenate([self._rank_dsns(channel, rank)
+                                      for rank in block])
+        counts = self.segment_counts[victim_dsns]
+        hot_order = np.argsort(counts)[::-1]
+        hot = victim_dsns[hot_order][:budget]
+        hot = hot[self.segment_counts[hot] > 0]
+        if not len(hot):
+            return
+        # Cold destinations: least-touched segments in the other standby
+        # ranks of the channel.
+        others = [rank for rank in range(self.geometry.ranks_per_channel)
+                  if rank not in block
+                  and self.device.rank(channel, rank).state
+                  is PowerState.STANDBY]
+        if not others:
+            return
+        other_dsns = np.concatenate([self._rank_dsns(channel, rank)
+                                     for rank in others])
+        cold_order = np.argsort(self.segment_counts[other_dsns])
+        cold = other_dsns[cold_order][:len(hot)]
+        for hot_dsn, cold_dsn in zip(hot.tolist(), cold.tolist()):
+            self._exchange(int(hot_dsn), int(cold_dsn))
+
+    def _exchange(self, dsn_a: int, dsn_b: int) -> None:
+        """Swap/move two segments' contents and mappings."""
+        live_a = self.tables.is_dsn_live(dsn_a)
+        live_b = self.tables.is_dsn_live(dsn_b)
+        moved = 0
+        if live_a and live_b:
+            hsn_a = self.tables.hsn_of_dsn(dsn_a)
+            hsn_b = self.tables.hsn_of_dsn(dsn_b)
+            self.tables.swap_segments(hsn_a, hsn_b)
+            self.translation.invalidate(hsn_a)
+            self.translation.invalidate(hsn_b)
+            moved = 2
+        elif live_a:
+            self.allocator.reserve_specific(dsn_b)
+            hsn = self.tables.hsn_of_dsn(dsn_a)
+            self.tables.remap_segment(hsn, dsn_b)
+            self.translation.invalidate(hsn)
+            self.allocator.free([dsn_a])
+            moved = 1
+        elif live_b:
+            self.allocator.reserve_specific(dsn_a)
+            hsn = self.tables.hsn_of_dsn(dsn_b)
+            self.tables.remap_segment(hsn, dsn_a)
+            self.translation.invalidate(hsn)
+            self.allocator.free([dsn_b])
+            moved = 1
+        # Keep the hotness bookkeeping consistent with the move.
+        self.segment_counts[dsn_a], self.segment_counts[dsn_b] = (
+            self.segment_counts[dsn_b], self.segment_counts[dsn_a])
+        self.migrated_bytes_total += moved * self.geometry.segment_bytes
+
+    # -- introspection ---------------------------------------------------------------
+
+    def sr_rank_count(self) -> int:
+        """Ranks currently in self-refresh."""
+        return sum(1 for rank in self.device.ranks.values()
+                   if rank.state is PowerState.SELF_REFRESH)
+
+
+__all__ = ["RamzzzConfig", "RamzzzPolicy"]

@@ -1,0 +1,61 @@
+"""Vanilla (no-DTL) CXL memory device baseline.
+
+A plain CXL expander translates HPA to DPA with a fixed linear mapping:
+no segment indirection, no migration, no power policies — every rank must
+stay in standby because any of it may be addressed at any time.  Used as
+the energy/latency baseline in experiments and as a behavioural contrast
+in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.interleaving import InterleavedMapping
+from repro.core.addressing import SegmentLocation
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import CXL_MEMORY_LATENCY_NS
+from repro.errors import AllocationError
+
+
+@dataclass
+class StaticCxlDevice:
+    """A conventional CXL memory expander (the paper's baseline system)."""
+
+    geometry: DramGeometry
+    cxl_latency_ns: float = CXL_MEMORY_LATENCY_NS
+    mapping: InterleavedMapping = None  # type: ignore[assignment]
+    device: DramDevice = None  # type: ignore[assignment]
+    _allocated_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mapping is None:
+            self.mapping = InterleavedMapping(self.geometry)
+        if self.device is None:
+            self.device = DramDevice(geometry=self.geometry)
+
+    def allocate(self, num_bytes: int) -> int:
+        """Linear bump allocation; returns the region's base HPA."""
+        if self._allocated_bytes + num_bytes > self.geometry.total_bytes:
+            raise AllocationError("device is full")
+        base = self._allocated_bytes
+        self._allocated_bytes += num_bytes
+        return base
+
+    def free_bytes(self) -> int:
+        """Unallocated capacity."""
+        return self.geometry.total_bytes - self._allocated_bytes
+
+    def access(self, hpa: int) -> tuple[SegmentLocation, float]:
+        """Fixed-mapping access: no translation overhead, no power hooks."""
+        location = self.mapping.locate(hpa)
+        self.device.rank(location.channel, location.rank).record_access()
+        return location, self.cxl_latency_ns
+
+    def background_power(self) -> float:
+        """All ranks in standby, always (RSU)."""
+        return self.device.background_power()
+
+
+__all__ = ["StaticCxlDevice"]

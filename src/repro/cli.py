@@ -1,0 +1,309 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro fig1                # Azure schedule memory usage
+    python -m repro fig2                # rank-count sensitivity
+    python -m repro fig5                # rank-interleaving cost
+    python -m repro fig12 [--quick]     # power-down schedule experiment
+    python -m repro fig14 [--point 208gb] [--duration 60]
+    python -m repro fig15 [--duration 45]
+    python -m repro fleet [--quick]     # multi-node fleet + TCO roll-up
+    python -m repro tables              # Tables 5 and 6 + Section 6.1
+    python -m repro all [--quick]       # everything, JSON to --output
+
+Each subcommand prints a paper-vs-measured table; ``--output results.json``
+additionally writes machine-readable records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis import (AmatModel, CONTROLLER_384GB, CONTROLLER_4TB,
+                            MODEL_384GB, MODEL_4TB)
+from repro.host.scheduler import SchedulerConfig, VmScheduler
+from repro.sim.combined import figure15_summary
+from repro.sim.fleet import quick_fleet
+from repro.sim.figures import (ascii_chart, figure1_series,
+                               figure12a_series, figure14_series)
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.powerdown_sim import (PowerDownSimConfig,
+                                     background_power_savings, energy_savings,
+                                     power_savings, run_comparison)
+from repro.sim.results import (ExperimentRecord, flatten_powerdown,
+                               flatten_selfrefresh, render_table,
+                               save_records)
+from repro.sim.selfrefresh_sim import (PAPER_CAPACITY_POINTS,
+                                       SelfRefreshSimulator, config_for_point)
+from repro.units import GIB, format_bytes
+from repro.workloads.azure import AzureTraceConfig, generate_vm_trace
+from repro.workloads.validation import validate_workloads
+
+
+def _print(title: str, rows: list[tuple], header: tuple = ()) -> None:
+    print(f"\n=== {title} ===")
+    print(render_table(rows, header))
+
+
+# -- subcommands -----------------------------------------------------------------
+
+
+def cmd_fig1(args: argparse.Namespace) -> list[ExperimentRecord]:
+    result = VmScheduler().run(generate_vm_trace(seed=args.seed))
+    fractions = [sample.memory_fraction(result.config.memory_bytes)
+                 for sample in result.samples]
+    mean = float(np.mean(fractions))
+    _print("Figure 1: Azure schedule memory usage",
+           [("mean usage", f"{mean:.1%}", "paper: <50%"),
+            ("peak usage", f"{max(fractions):.1%}", ""),
+            ("VMs admitted", str(result.admitted), "400 offered")],
+           header=("metric", "measured", "paper"))
+    if args.plot:
+        print()
+        print(ascii_chart(figure1_series(seed=args.seed)))
+    return [ExperimentRecord("fig1", {"mean_usage": mean,
+                                      "peak_usage": max(fractions)},
+                             {"mean_usage": "<0.5"})]
+
+
+def cmd_fig2(args: argparse.Namespace) -> list[ExperimentRecord]:
+    model = PerformanceModel()
+    rows = [(f"{ranks} ranks/ch",
+             f"{model.mean_rank_sweep_slowdown(ranks):+.2%}")
+            for ranks in (8, 6, 4, 2)]
+    rows.append(("paper @2", "+0.7%"))
+    _print("Figure 2: slowdown vs active ranks", rows,
+           header=("config", "slowdown"))
+    return [ExperimentRecord(
+        "fig2",
+        {f"slowdown_{r}ranks": model.mean_rank_sweep_slowdown(r)
+         for r in (8, 6, 4, 2)},
+        {"slowdown_2ranks": 0.007})]
+
+
+def cmd_fig5(args: argparse.Namespace) -> list[ExperimentRecord]:
+    model = PerformanceModel()
+    local = model.mean_interleaving_slowdown(cxl=False)
+    cxl = model.mean_interleaving_slowdown(cxl=True)
+    _print("Figure 5: rank-interleaving off",
+           [("local DRAM", f"{local:+.2%}", "+1.7%"),
+            ("CXL memory", f"{cxl:+.2%}", "+1.4%")],
+           header=("latency", "measured", "paper"))
+    return [ExperimentRecord("fig5", {"local": local, "cxl": cxl},
+                             {"local": 0.017, "cxl": 0.014})]
+
+
+def cmd_fig12(args: argparse.Namespace) -> list[ExperimentRecord]:
+    if args.quick:
+        config = PowerDownSimConfig(
+            azure=AzureTraceConfig(num_vms=80, duration_s=3600.0),
+            scheduler=SchedulerConfig(duration_s=3600.0), seed=args.seed)
+    else:
+        config = PowerDownSimConfig(seed=args.seed)
+    print("Running the VM-schedule power-down simulation "
+          f"({'1h quick' if args.quick else 'full 6h'})...")
+    baseline, dtl = run_comparison(config)
+    _print("Figures 12-13: rank-level power-down",
+           [("energy savings", f"{energy_savings(baseline, dtl):.1%}",
+             "31.6%"),
+            ("power savings", f"{power_savings(baseline, dtl):.1%}",
+             "32.7%"),
+            ("background savings",
+             f"{background_power_savings(baseline, dtl):.1%}", "35.3%"),
+            ("exec-time cost", f"{dtl.execution_time_factor - 1:.2%}",
+             "1.6%"),
+            ("migrated", format_bytes(dtl.migrated_bytes), "")],
+           header=("metric", "measured", "paper"))
+    record = ExperimentRecord(
+        "fig12", {"energy_savings": energy_savings(baseline, dtl),
+                  "power_savings": power_savings(baseline, dtl),
+                  "background_savings":
+                      background_power_savings(baseline, dtl),
+                  **{f"dtl_{k}": v
+                     for k, v in flatten_powerdown(dtl).items()}},
+        {"energy_savings": 0.316, "power_savings": 0.327,
+         "background_savings": 0.353})
+    if args.plot:
+        print()
+        print(ascii_chart(figure12a_series(dtl), label="total"))
+    return [record]
+
+
+def cmd_fig14(args: argparse.Namespace) -> list[ExperimentRecord]:
+    points = ([args.point] if args.point
+              else sorted(PAPER_CAPACITY_POINTS))
+    records = []
+    rows = []
+    paper = {"208gb": "20.3%", "224gb": "mixed", "240gb": "fails",
+             "304gb": "14.9%"}
+    for point in points:
+        print(f"Simulating {point} ({args.duration:.0f}s replay)...")
+        config = config_for_point(point, seed=args.seed,
+                                  duration_s=args.duration)
+        result = SelfRefreshSimulator(config).run()
+        warmup = (f"{result.warmup_s:.1f}s" if result.ever_stable
+                  else "never")
+        rows.append((point, f"{result.stable_savings:.1%}", warmup,
+                     paper[point]))
+        records.append(ExperimentRecord(
+            f"fig14_{point}", flatten_selfrefresh(result),
+            {"paper": paper[point]}))
+        if args.plot:
+            print()
+            print(ascii_chart(figure14_series(result), label="savings"))
+    _print("Figure 14: hotness-aware self-refresh", rows,
+           header=("point", "stable savings", "warmup", "paper"))
+    return records
+
+
+def cmd_fig15(args: argparse.Namespace) -> list[ExperimentRecord]:
+    print("Computing the combined Figure 15 summary...")
+    summary = figure15_summary(seed=args.seed, duration_s=args.duration)
+    rows = [(entry.point, f"{entry.powerdown_savings:.1%}",
+             f"{entry.selfrefresh_additional:.1%}",
+             f"{entry.total_savings:.1%}") for entry in summary]
+    rows.append(("paper", "20.2%", "-", "25.6-32.3% (6-rank)"))
+    _print("Figure 15: combined savings", rows,
+           header=("point", "power-down", "+self-refresh", "total"))
+    return [ExperimentRecord(
+        f"fig15_{entry.point}",
+        {"powerdown": entry.powerdown_savings,
+         "selfrefresh_additional": entry.selfrefresh_additional,
+         "total": entry.total_savings}) for entry in summary]
+
+
+def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
+    nodes = 2 if args.quick else 6
+    print(f"Simulating a {nodes}-node fleet (1-hour schedules each)...")
+    fleet = quick_fleet(num_nodes=nodes, base_seed=args.seed)
+    rows = fleet.summary_rows()
+    _print("Fleet-level DRAM savings", rows,
+           header=("node", "savings", "mean ranks/ch"))
+    tco = fleet.tco_report()
+    _print("Datacenter TCO roll-up", [
+        ("server power saved", f"{tco['server_power_saved_w']:.1f} W",
+         f"({tco['server_share_saved']:.1%} of server)"),
+        ("facility power", f"{tco['fleet_power_saved_kw']:.0f} kW", ""),
+        ("annual cost", f"${tco['annual_cost_saved_usd']:,.0f}", ""),
+    ], header=("metric", "value", "note"))
+    return [ExperimentRecord("fleet", {
+        "fleet_savings": fleet.fleet_savings,
+        "per_node": fleet.per_node_savings.tolist(),
+        **{f"tco_{key}": value for key, value in tco.items()}})]
+
+
+def cmd_tables(args: argparse.Namespace) -> list[ExperimentRecord]:
+    rows = [(name, format_bytes(size))
+            for name, size in MODEL_384GB.report().items()]
+    _print("Table 5 (384 GB column)", rows, header=("structure", "size"))
+    rows = [(name, format_bytes(size))
+            for name, size in MODEL_4TB.report().items()]
+    _print("Table 5 (4 TB column)", rows, header=("structure", "size"))
+    small, large = CONTROLLER_384GB.report(), CONTROLLER_4TB.report()
+    _print("Table 6: controller @7nm",
+           [("power", f"{small['total_mw']:.1f} mW",
+             f"{large['total_mw']:.1f} mW"),
+            ("area", f"{small['total_mm2']:.3f} mm2",
+             f"{large['total_mm2']:.3f} mm2")],
+           header=("metric", "384GB", "4TB"))
+    amat = AmatModel()
+    _print("Section 6.1: AMAT",
+           [("overhead", f"{amat.translation_overhead_ns():.2f} ns",
+             "4.2 ns"),
+            ("AMAT", f"{amat.amat_ns():.1f} ns", "214.2 ns")],
+           header=("metric", "measured", "paper"))
+    return [ExperimentRecord("tables", {
+        "table5_384gb": MODEL_384GB.report(),
+        "table5_4tb": MODEL_4TB.report(),
+        "table6_384gb": small, "table6_4tb": large,
+        "amat_ns": amat.amat_ns()})]
+
+
+def cmd_validate(args: argparse.Namespace) -> list[ExperimentRecord]:
+    print("Validating workload calibration against Table 4 / Fig. 9 / "
+          "Fig. 10...")
+    result = validate_workloads()
+    rows = [(check.name, f"{check.mapki:.2f}/{check.mapki_target:.1f}",
+             f"{check.large_stride_share:.0%}", f"{check.cold_2mb:.0%}",
+             f"{check.cold_4mb:.0%}") for check in result.checks]
+    rows.append(("mean cold", "", "", f"{result.mean_cold_2mb:.1%} (61.5%)",
+                 f"{result.mean_cold_4mb:.1%} (33.2%)"))
+    _print("Workload calibration", rows,
+           header=("workload", "MAPKI m/t", ">=4MB", "cold@2M", "cold@4M"))
+    problems = result.problems()
+    if problems:
+        print("\nCALIBRATION PROBLEMS:")
+        for problem in problems:
+            print(f"  - {problem}")
+    else:
+        print("\nAll workloads within calibration tolerances.")
+    return [ExperimentRecord("validate", {
+        "max_mapki_error": result.max_mapki_error,
+        "mean_cold_2mb": result.mean_cold_2mb,
+        "mean_cold_4mb": result.mean_cold_4mb,
+        "problems": problems})]
+
+
+def cmd_all(args: argparse.Namespace) -> list[ExperimentRecord]:
+    records = []
+    for command in (cmd_fig1, cmd_fig2, cmd_fig5, cmd_fig12, cmd_fig14,
+                    cmd_fig15, cmd_tables):
+        records.extend(command(args))
+    return records
+
+
+COMMANDS: dict[str, Callable[[argparse.Namespace],
+                             list[ExperimentRecord]]] = {
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "fig5": cmd_fig5,
+    "fig12": cmd_fig12,
+    "fig14": cmd_fig14,
+    "fig15": cmd_fig15,
+    "fleet": cmd_fleet,
+    "validate": cmd_validate,
+    "tables": cmd_tables,
+    "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DTL paper's experiments (ISCA 2023).")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="experiment to run")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed (default 0)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the fig12 schedule to one hour")
+    parser.add_argument("--point", choices=sorted(PAPER_CAPACITY_POINTS),
+                        default=None,
+                        help="single fig14 capacity point")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="fig14/fig15 simulated seconds (default 60)")
+    parser.add_argument("--plot", action="store_true",
+                        help="render ASCII charts for timeseries figures")
+    parser.add_argument("--output", default=None,
+                        help="write JSON records to this path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    records = COMMANDS[args.command](args)
+    if args.output:
+        path = save_records(records, args.output)
+        print(f"\nWrote {len(records)} records to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

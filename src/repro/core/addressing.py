@@ -1,0 +1,218 @@
+"""Address formats and codecs for the DTL.
+
+Two address spaces are involved (Figures 4 and 6 of the paper):
+
+* **HPA** (host physical address).  The high bits above the segment offset
+  form the *host segment number* (HSN), which decomposes into
+  ``host ID | AU ID | AU offset``.  An *allocation unit* (AU) is the minimum
+  per-VM memory allocation (2 GiB by default — the smallest vMemory size of
+  the top-three cloud vendors).
+* **DPA** (DRAM device physical address).  From least- to most-significant:
+  ``segment offset | channel | segment index | rank``.  Channel bits sit
+  directly above the offset so consecutive segments interleave across
+  channels, while rank bits are the most significant so that entire ranks
+  can idle (Section 3.3).
+
+The *DRAM segment number* (DSN) is the DPA stripped of its segment offset;
+it uniquely names one 2 MiB segment in the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import AddressError, ConfigurationError
+from repro.units import GIB, is_power_of_two, log2_int
+
+DEFAULT_AU_BYTES = 2 * GIB
+DEFAULT_MAX_HOSTS = 16  # Table 5 sizes structures "to support 16 hosts".
+
+
+@dataclass(frozen=True)
+class HostAddressLayout:
+    """Bit layout of the host physical address (Figure 4).
+
+    Attributes:
+        geometry: Device geometry (supplies the segment size).
+        au_bytes: Allocation-unit size (2 GiB by default).
+        max_hosts: Number of hosts sharing the device (host-ID width).
+    """
+
+    geometry: DramGeometry
+    au_bytes: int = DEFAULT_AU_BYTES
+    max_hosts: int = DEFAULT_MAX_HOSTS
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.au_bytes):
+            raise ConfigurationError("au_bytes must be a power of two")
+        if not is_power_of_two(self.max_hosts):
+            raise ConfigurationError("max_hosts must be a power of two")
+        if self.au_bytes % self.geometry.segment_bytes:
+            raise ConfigurationError(
+                "AU size must be a multiple of the segment size")
+
+    # -- widths ---------------------------------------------------------------
+
+    @property
+    def segment_offset_bits(self) -> int:
+        """Bits addressing a byte within a segment."""
+        return self.geometry.segment_offset_bits
+
+    @property
+    def au_offset_bits(self) -> int:
+        """Bits selecting a segment within an AU."""
+        return log2_int(self.au_bytes // self.geometry.segment_bytes)
+
+    @property
+    def segments_per_au(self) -> int:
+        """Number of segments per allocation unit."""
+        return self.au_bytes // self.geometry.segment_bytes
+
+    @property
+    def max_aus_per_host(self) -> int:
+        """AUs addressable per host if the device were owned by one host."""
+        return max(1, self.geometry.total_bytes // self.au_bytes)
+
+    @property
+    def au_id_bits(self) -> int:
+        """Bits selecting an AU within a host's address space."""
+        return log2_int(self.max_aus_per_host)
+
+    @property
+    def host_id_bits(self) -> int:
+        """Bits selecting the host."""
+        return log2_int(self.max_hosts)
+
+    @property
+    def hsn_bits(self) -> int:
+        """Total width of a host segment number."""
+        return self.host_id_bits + self.au_id_bits + self.au_offset_bits
+
+    # -- codecs ---------------------------------------------------------------
+
+    def hsn_of_hpa(self, hpa: int) -> int:
+        """Host segment number containing ``hpa``."""
+        if hpa < 0:
+            raise AddressError(f"negative HPA {hpa:#x}")
+        return hpa >> self.segment_offset_bits
+
+    def offset_of_hpa(self, hpa: int) -> int:
+        """Byte offset of ``hpa`` within its segment."""
+        if hpa < 0:
+            raise AddressError(f"negative HPA {hpa:#x}")
+        return hpa & (self.geometry.segment_bytes - 1)
+
+    def pack_hsn(self, host_id: int, au_id: int, au_offset: int) -> int:
+        """Assemble an HSN from its fields."""
+        if not 0 <= host_id < self.max_hosts:
+            raise AddressError(f"host_id {host_id} out of range")
+        if not 0 <= au_id < self.max_aus_per_host:
+            raise AddressError(f"au_id {au_id} out of range")
+        if not 0 <= au_offset < self.segments_per_au:
+            raise AddressError(f"au_offset {au_offset} out of range")
+        return ((host_id << (self.au_id_bits + self.au_offset_bits))
+                | (au_id << self.au_offset_bits)
+                | au_offset)
+
+    def unpack_hsn(self, hsn: int) -> tuple[int, int, int]:
+        """Split an HSN into ``(host_id, au_id, au_offset)``."""
+        if not 0 <= hsn < (1 << self.hsn_bits):
+            raise AddressError(f"HSN {hsn:#x} out of range")
+        au_offset = hsn & (self.segments_per_au - 1)
+        au_id = (hsn >> self.au_offset_bits) & (self.max_aus_per_host - 1)
+        host_id = hsn >> (self.au_offset_bits + self.au_id_bits)
+        return host_id, au_id, au_offset
+
+    def hpa_of(self, hsn: int, offset: int = 0) -> int:
+        """Reconstruct an HPA from HSN and intra-segment offset."""
+        if not 0 <= offset < self.geometry.segment_bytes:
+            raise AddressError(f"offset {offset} out of range")
+        return (hsn << self.segment_offset_bits) | offset
+
+
+@dataclass(frozen=True)
+class SegmentLocation:
+    """Physical placement of one segment: ``(channel, rank, index)``."""
+
+    channel: int
+    rank: int
+    index: int
+
+    @property
+    def rank_id(self) -> tuple[int, int]:
+        """The ``(channel, rank)`` pair owning the segment."""
+        return (self.channel, self.rank)
+
+
+@dataclass(frozen=True)
+class DeviceAddressLayout:
+    """Bit layout of the DRAM device physical address (Figure 6)."""
+
+    geometry: DramGeometry
+
+    @property
+    def dsn_bits(self) -> int:
+        """Total width of a DRAM segment number."""
+        return (self.geometry.rank_bits + self.geometry.segment_index_bits
+                + self.geometry.channel_bits)
+
+    def pack_dsn(self, location: SegmentLocation) -> int:
+        """Assemble a DSN from a segment location."""
+        geo = self.geometry
+        if not 0 <= location.channel < geo.channels:
+            raise AddressError(f"channel {location.channel} out of range")
+        if not 0 <= location.rank < geo.ranks_per_channel:
+            raise AddressError(f"rank {location.rank} out of range")
+        if not 0 <= location.index < geo.segments_per_rank:
+            raise AddressError(f"segment index {location.index} out of range")
+        return ((location.rank << (geo.segment_index_bits + geo.channel_bits))
+                | (location.index << geo.channel_bits)
+                | location.channel)
+
+    def unpack_dsn(self, dsn: int) -> SegmentLocation:
+        """Split a DSN into its :class:`SegmentLocation`."""
+        geo = self.geometry
+        if not 0 <= dsn < geo.total_segments:
+            raise AddressError(f"DSN {dsn:#x} out of range")
+        channel = dsn & (geo.channels - 1)
+        index = (dsn >> geo.channel_bits) & (geo.segments_per_rank - 1)
+        rank = dsn >> (geo.channel_bits + geo.segment_index_bits)
+        return SegmentLocation(channel=channel, rank=rank, index=index)
+
+    def dpa_of(self, dsn: int, offset: int = 0) -> int:
+        """DPA of byte ``offset`` within segment ``dsn``."""
+        if not 0 <= offset < self.geometry.segment_bytes:
+            raise AddressError(f"offset {offset} out of range")
+        return (dsn << self.geometry.segment_offset_bits) | offset
+
+    def dsn_of_dpa(self, dpa: int) -> int:
+        """DSN containing device physical address ``dpa``."""
+        if not 0 <= dpa < self.geometry.total_bytes:
+            raise AddressError(f"DPA {dpa:#x} out of range")
+        return dpa >> self.geometry.segment_offset_bits
+
+    def channel_of_dsn(self, dsn: int) -> int:
+        """Channel owning segment ``dsn``."""
+        return dsn & (self.geometry.channels - 1)
+
+    def rank_of_dsn(self, dsn: int) -> int:
+        """Rank index (within its channel) owning segment ``dsn``."""
+        return dsn >> (self.geometry.channel_bits
+                       + self.geometry.segment_index_bits)
+
+    def dsns_in_rank(self, channel: int, rank: int) -> range:
+        """Iterate all DSNs of a rank — note they are *not* contiguous.
+
+        Returns a range over segment indices; combine with :meth:`pack_dsn`.
+        """
+        return range(self.geometry.segments_per_rank)
+
+
+__all__ = [
+    "DEFAULT_AU_BYTES",
+    "DEFAULT_MAX_HOSTS",
+    "HostAddressLayout",
+    "DeviceAddressLayout",
+    "SegmentLocation",
+]

@@ -1,0 +1,216 @@
+"""Segment allocator: per-rank free/allocated segment queues.
+
+Implements the paper's balancing policy (Section 4.3):
+
+* Every channel contributes an **equal number of free segments** to each
+  allocation so per-VM channel bandwidth stays balanced.
+* Within a channel, the free queue of the rank with the **highest capacity
+  utilisation** (among ranks allowed to serve allocations) has priority —
+  this packs data into few ranks and minimises later migration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.addressing import DeviceAddressLayout, SegmentLocation
+from repro.dram.geometry import DramGeometry
+from repro.errors import AllocationError
+
+RankId = tuple[int, int]
+
+
+@dataclass
+class RankUsage:
+    """Allocation snapshot of one rank."""
+
+    rank_id: RankId
+    allocated: int
+    free: int
+
+    @property
+    def capacity(self) -> int:
+        """Total segments in the rank."""
+        return self.allocated + self.free
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of segments allocated."""
+        return self.allocated / self.capacity if self.capacity else 0.0
+
+
+class SegmentAllocator:
+    """Tracks free and allocated segments for every rank in the device."""
+
+    def __init__(self, geometry: DramGeometry):
+        self.geometry = geometry
+        self.layout = DeviceAddressLayout(geometry)
+        self._free: dict[RankId, deque[int]] = {}
+        self._allocated: dict[RankId, set[int]] = {}
+        for channel in range(geometry.channels):
+            for rank in range(geometry.ranks_per_channel):
+                dsns = deque(
+                    self.layout.pack_dsn(SegmentLocation(channel, rank, index))
+                    for index in range(geometry.segments_per_rank))
+                self._free[(channel, rank)] = dsns
+                self._allocated[(channel, rank)] = set()
+
+    # -- queries --------------------------------------------------------------
+
+    def rank_of_dsn(self, dsn: int) -> RankId:
+        """``(channel, rank)`` owning segment ``dsn``."""
+        location = self.layout.unpack_dsn(dsn)
+        return location.rank_id
+
+    def usage(self, rank_id: RankId) -> RankUsage:
+        """Allocation snapshot of one rank."""
+        return RankUsage(rank_id=rank_id,
+                         allocated=len(self._allocated[rank_id]),
+                         free=len(self._free[rank_id]))
+
+    def allocated_in_rank(self, rank_id: RankId) -> list[int]:
+        """DSNs currently allocated in ``rank_id`` (sorted)."""
+        return sorted(self._allocated[rank_id])
+
+    def free_dsns_in_rank(self, rank_id: RankId) -> list[int]:
+        """Free DSNs of ``rank_id`` in queue order."""
+        return list(self._free[rank_id])
+
+    def free_in_rank(self, rank_id: RankId) -> int:
+        """Number of free segments in ``rank_id``."""
+        return len(self._free[rank_id])
+
+    def allocated_count(self) -> int:
+        """Total allocated segments in the device."""
+        return sum(len(dsns) for dsns in self._allocated.values())
+
+    def free_count(self, allowed_ranks: set[RankId] | None = None) -> int:
+        """Total free segments (optionally restricted to ``allowed_ranks``)."""
+        items = self._free.items()
+        return sum(len(queue) for rank_id, queue in items
+                   if allowed_ranks is None or rank_id in allowed_ranks)
+
+    def channel_allocated(self, channel: int) -> int:
+        """Allocated segments on one channel."""
+        return sum(len(self._allocated[(channel, rank)])
+                   for rank in range(self.geometry.ranks_per_channel))
+
+    def is_allocated(self, dsn: int) -> bool:
+        """True if segment ``dsn`` is currently allocated."""
+        return dsn in self._allocated[self.rank_of_dsn(dsn)]
+
+    # -- allocation -------------------------------------------------------------
+
+    def _pick_rank(self, channel: int,
+                   allowed_ranks: set[RankId]) -> RankId | None:
+        """Most-utilised allowed rank on ``channel`` that still has space."""
+        best: RankId | None = None
+        best_util = -1.0
+        for rank in range(self.geometry.ranks_per_channel):
+            rank_id = (channel, rank)
+            if rank_id not in allowed_ranks or not self._free[rank_id]:
+                continue
+            util = self.usage(rank_id).utilization
+            if util > best_util:
+                best, best_util = rank_id, util
+        return best
+
+    def allocate(self, num_segments: int,
+                 allowed_ranks: set[RankId] | None = None) -> list[int]:
+        """Allocate ``num_segments`` segments, spread evenly over channels.
+
+        Args:
+            num_segments: Must be a multiple of the channel count so each
+                channel contributes equally (AUs always satisfy this).
+            allowed_ranks: Ranks permitted to serve the allocation (e.g. the
+                currently active ranks).  Defaults to all ranks.
+
+        Returns:
+            The allocated DSNs.
+
+        Raises:
+            AllocationError: when the request cannot be satisfied; the
+                allocator state is left unchanged in that case.
+        """
+        channels = self.geometry.channels
+        if num_segments % channels:
+            raise AllocationError(
+                f"allocation of {num_segments} segments does not divide "
+                f"evenly over {channels} channels")
+        if allowed_ranks is None:
+            allowed_ranks = set(self._free)
+        per_channel = num_segments // channels
+        for channel in range(channels):
+            available = sum(
+                len(self._free[(channel, rank)])
+                for rank in range(self.geometry.ranks_per_channel)
+                if (channel, rank) in allowed_ranks)
+            if available < per_channel:
+                raise AllocationError(
+                    f"channel {channel} has only {available} free segments "
+                    f"in allowed ranks, need {per_channel}")
+        per_channel_dsns: list[list[int]] = []
+        for channel in range(channels):
+            dsns: list[int] = []
+            remaining = per_channel
+            while remaining:
+                rank_id = self._pick_rank(channel, allowed_ranks)
+                if rank_id is None:  # pragma: no cover - guarded above
+                    raise AllocationError("allocator invariant violated")
+                take = min(remaining, len(self._free[rank_id]))
+                for _ in range(take):
+                    dsn = self._free[rank_id].popleft()
+                    self._allocated[rank_id].add(dsn)
+                    dsns.append(dsn)
+                remaining -= take
+            per_channel_dsns.append(dsns)
+        # Interleave round-robin so consecutive host segments land on
+        # consecutive channels (Figure 6's segment-granular channel
+        # interleaving).
+        return [per_channel_dsns[index % channels][index // channels]
+                for index in range(num_segments)]
+
+    def allocate_in_rank(self, rank_id: RankId, num_segments: int) -> list[int]:
+        """Allocate segments from a single specific rank (migration target)."""
+        queue = self._free[rank_id]
+        if len(queue) < num_segments:
+            raise AllocationError(
+                f"rank {rank_id} has {len(queue)} free segments, "
+                f"need {num_segments}")
+        dsns = [queue.popleft() for _ in range(num_segments)]
+        self._allocated[rank_id].update(dsns)
+        return dsns
+
+    def reserve_specific(self, dsn: int) -> None:
+        """Allocate one specific free segment (migration destinations)."""
+        rank_id = self.rank_of_dsn(dsn)
+        try:
+            self._free[rank_id].remove(dsn)
+        except ValueError:
+            raise AllocationError(f"DSN {dsn:#x} is not free") from None
+        self._allocated[rank_id].add(dsn)
+
+    def free(self, dsns: list[int]) -> None:
+        """Return segments to their ranks' free queues."""
+        for dsn in dsns:
+            rank_id = self.rank_of_dsn(dsn)
+            allocated = self._allocated[rank_id]
+            if dsn not in allocated:
+                raise AllocationError(f"DSN {dsn:#x} is not allocated")
+            allocated.remove(dsn)
+            self._free[rank_id].append(dsn)
+
+    def move_allocation(self, old_dsn: int, new_dsn: int) -> None:
+        """Transfer an allocation between segments after a migration copy.
+
+        ``new_dsn`` must already be allocated (reserved by the migration
+        engine); ``old_dsn`` is released.
+        """
+        new_rank = self.rank_of_dsn(new_dsn)
+        if new_dsn not in self._allocated[new_rank]:
+            raise AllocationError(f"target DSN {new_dsn:#x} is not reserved")
+        self.free([old_dsn])
+
+
+__all__ = ["RankId", "RankUsage", "SegmentAllocator"]

@@ -1,0 +1,168 @@
+"""Cross-structure invariant checker.
+
+The DTL keeps the same facts in several places — the segment mapping
+table, the reverse mapping table, the allocator's free/allocated queues,
+the SMC, and the rank power states.  :class:`ConsistencyChecker` audits
+that they agree:
+
+1. forward/reverse mapping tables are exact inverses;
+2. every mapped DSN is allocated and every allocated DSN is mapped;
+3. allocated + free segments partition the device;
+4. MPSM ranks hold no data (MPSM does not retain!);
+5. every SMC entry agrees with the tables;
+6. channel occupancy is balanced across channels (modulo retirement).
+
+Tests call :func:`check` after every mutation sequence; long-running
+simulations can enable periodic audits.  Violations raise
+:class:`ConsistencyError` with a description of every failed invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import DtlController
+from repro.dram.power import PowerState
+from repro.errors import ReproError
+
+
+class ConsistencyError(ReproError):
+    """One or more DTL invariants are violated."""
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one consistency audit."""
+
+    violations: list[str] = field(default_factory=list)
+    checked_mappings: int = 0
+    checked_smc_entries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant failed."""
+        return not self.violations
+
+
+class ConsistencyChecker:
+    """Audits a :class:`~repro.core.controller.DtlController`."""
+
+    def __init__(self, controller: DtlController):
+        self.controller = controller
+
+    # -- individual invariants ---------------------------------------------------
+
+    def check_mapping_inverse(self, report: AuditReport) -> None:
+        """Forward and reverse tables must be exact inverses."""
+        tables = self.controller.tables
+        for dsn in tables.live_dsns():
+            hsn = tables.hsn_of_dsn(dsn)
+            forward = tables.try_walk(hsn)
+            report.checked_mappings += 1
+            if forward != dsn:
+                report.violations.append(
+                    f"reverse map says DSN {dsn:#x} -> HSN {hsn:#x}, but "
+                    f"forward walk gives {forward}")
+
+    def check_allocation_agreement(self, report: AuditReport) -> None:
+        """Mapped segments and allocated segments are the same set."""
+        tables = self.controller.tables
+        allocator = self.controller.allocator
+        mapped = set(tables.live_dsns())
+        allocated = set()
+        geometry = self.controller.geometry
+        for channel in range(geometry.channels):
+            for rank in range(geometry.ranks_per_channel):
+                allocated.update(
+                    allocator.allocated_in_rank((channel, rank)))
+        for dsn in mapped - allocated:
+            report.violations.append(
+                f"DSN {dsn:#x} is mapped but not allocated")
+        for dsn in allocated - mapped:
+            report.violations.append(
+                f"DSN {dsn:#x} is allocated but not mapped")
+
+    def check_segment_conservation(self, report: AuditReport) -> None:
+        """allocated + free == capacity, per rank."""
+        allocator = self.controller.allocator
+        geometry = self.controller.geometry
+        for channel in range(geometry.channels):
+            for rank in range(geometry.ranks_per_channel):
+                usage = allocator.usage((channel, rank))
+                if usage.capacity != geometry.segments_per_rank:
+                    report.violations.append(
+                        f"rank ({channel},{rank}): allocated {usage.allocated}"
+                        f" + free {usage.free} != "
+                        f"{geometry.segments_per_rank}")
+
+    def check_mpsm_ranks_empty(self, report: AuditReport) -> None:
+        """MPSM loses data, so MPSM ranks must hold no live segments."""
+        allocator = self.controller.allocator
+        for rank_id, rank in self.controller.device.ranks.items():
+            if rank.state is PowerState.MPSM:
+                held = allocator.usage(rank_id).allocated
+                if held:
+                    report.violations.append(
+                        f"rank {rank_id} is in MPSM but holds {held} "
+                        "live segments")
+
+    def check_smc_coherence(self, report: AuditReport) -> None:
+        """Every cached translation must match the tables."""
+        tables = self.controller.tables
+        smc = self.controller.translation.smc
+        entries = []
+        for hsn, dsn in smc.l1._data.items():
+            entries.append(("L1", hsn, dsn))
+        for cache_set in smc.l2._sets:
+            for hsn, dsn in cache_set.items():
+                entries.append(("L2", hsn, dsn))
+        for level, hsn, dsn in entries:
+            report.checked_smc_entries += 1
+            actual = tables.try_walk(hsn)
+            if actual != dsn:
+                report.violations.append(
+                    f"{level} SMC caches HSN {hsn:#x} -> DSN {dsn:#x}, "
+                    f"tables say {actual}")
+
+    def check_channel_balance(self, report: AuditReport,
+                              tolerance: int = 0) -> None:
+        """Per-channel occupancy stays balanced (Section 4.3)."""
+        allocator = self.controller.allocator
+        geometry = self.controller.geometry
+        counts = [allocator.channel_allocated(channel)
+                  for channel in range(geometry.channels)]
+        if max(counts) - min(counts) > tolerance:
+            report.violations.append(
+                f"channel occupancy unbalanced: {counts}")
+
+    # -- entry points ----------------------------------------------------------------
+
+    def audit(self, balance_tolerance: int = 0) -> AuditReport:
+        """Run every invariant; returns the report."""
+        report = AuditReport()
+        self.check_mapping_inverse(report)
+        self.check_allocation_agreement(report)
+        self.check_segment_conservation(report)
+        self.check_mpsm_ranks_empty(report)
+        self.check_smc_coherence(report)
+        self.check_channel_balance(report, balance_tolerance)
+        return report
+
+    def assert_consistent(self, balance_tolerance: int = 0) -> AuditReport:
+        """Audit and raise :class:`ConsistencyError` on any violation."""
+        report = self.audit(balance_tolerance)
+        if not report.ok:
+            summary = "\n  ".join(report.violations[:10])
+            raise ConsistencyError(
+                f"{len(report.violations)} invariant violation(s):\n"
+                f"  {summary}")
+        return report
+
+
+def check(controller: DtlController, balance_tolerance: int = 0) -> AuditReport:
+    """Convenience one-shot audit."""
+    return ConsistencyChecker(controller).assert_consistent(
+        balance_tolerance)
+
+
+__all__ = ["ConsistencyError", "AuditReport", "ConsistencyChecker", "check"]

@@ -1,0 +1,65 @@
+"""Top-level DTL configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.addressing import DEFAULT_AU_BYTES, DEFAULT_MAX_HOSTS
+from repro.core.segment_cache import SegmentCacheConfig
+from repro.core.self_refresh import (DEFAULT_PROFILING_THRESHOLD_NS,
+                                     DEFAULT_TSP_SCAN_LIMIT, DEFAULT_WINDOW_NS)
+from repro.dram.geometry import DramGeometry, PAPER_1TB_GEOMETRY
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DtlConfig:
+    """Everything needed to instantiate a :class:`~repro.core.controller.DtlController`.
+
+    Attributes:
+        geometry: DRAM geometry behind the CXL controller.
+        au_bytes: Allocation-unit size (2 GiB default).
+        max_hosts: Hosts sharing the device (16, Table 5).
+        cache: Segment mapping cache sizing.
+        enable_power_down: Run the rank-level power-down policy.
+        enable_self_refresh: Run the hotness-aware self-refresh policy.
+        group_granularity: Rank-groups transitioned together (2 models the
+            paper's CKE-pair constraint, Section 5.1).
+        min_active_groups: Rank-groups that must always stay in standby.
+        window_ns: Self-refresh access-count window (0.5 ms).
+        profiling_threshold_ns: Quiet time required before migrating (50 ms).
+        tsp_scan_limit: CLOCK-scan bound per TSP search.
+        sr_victim_granularity: Ranks per self-refresh victim unit (2 models
+            the CKE-pair constraint of the paper's testbed).
+    """
+
+    geometry: DramGeometry = PAPER_1TB_GEOMETRY
+    au_bytes: int = DEFAULT_AU_BYTES
+    max_hosts: int = DEFAULT_MAX_HOSTS
+    cache: SegmentCacheConfig = field(default_factory=SegmentCacheConfig)
+    enable_power_down: bool = True
+    enable_self_refresh: bool = True
+    group_granularity: int = 1
+    min_active_groups: int = 1
+    window_ns: float = DEFAULT_WINDOW_NS
+    profiling_threshold_ns: float = DEFAULT_PROFILING_THRESHOLD_NS
+    tsp_scan_limit: int = DEFAULT_TSP_SCAN_LIMIT
+    sr_victim_granularity: int = 1
+    #: When True, consolidation copies use idle bandwidth granted through
+    #: DtlController.pump_migrations(); MPSM entry waits for completion.
+    background_migration: bool = False
+    #: Ablation switch: False disables the CLOCK migration-table planner,
+    #: so self-refresh relies on naturally quiet ranks only.
+    sr_planning: bool = True
+
+    def __post_init__(self) -> None:
+        if self.au_bytes % self.geometry.segment_bytes:
+            raise ConfigurationError(
+                "AU size must be a multiple of the segment size")
+        segments_per_au = self.au_bytes // self.geometry.segment_bytes
+        if segments_per_au % self.geometry.channels:
+            raise ConfigurationError(
+                "an AU must split evenly across channels")
+
+
+__all__ = ["DtlConfig"]

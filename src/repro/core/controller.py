@@ -1,0 +1,305 @@
+"""The DTL controller: the library's primary public entry point.
+
+:class:`DtlController` wires together every DTL subsystem — address
+translation, segment allocation, migration, rank-level power-down, and
+hotness-aware self-refresh — behind a small API:
+
+* :meth:`allocate_vm` / :meth:`deallocate_vm` — the host-facing memory
+  allocation interface (in AU multiples, as cloud control planes do).
+* :meth:`access` — the CXL load/store path: HPA in, latency and routing out.
+* :meth:`tick` / :meth:`end_window` — time hooks the simulators call.
+
+Everything below this interface is invisible to the "host": no OS, MC, or
+application changes are modelled, which is the paper's deployment story.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.addressing import (DeviceAddressLayout, HostAddressLayout,
+                                   SegmentLocation)
+from repro.core.allocator import SegmentAllocator
+from repro.core.config import DtlConfig
+from repro.core.migration import MigrationEngine, WriteRouting
+from repro.core.power_down import PowerTransition, RankPowerDownPolicy
+from repro.core.retirement import RankRetirementManager, RetirementRecord
+from repro.core.self_refresh import HotnessSelfRefreshPolicy
+from repro.core.tables import TranslationTables
+from repro.core.translation import TranslationEngine
+from repro.dram.device import DramDevice
+from repro.dram.power import PowerState
+from repro.dram.timing import CXL_MEMORY_LATENCY_NS
+from repro.errors import AllocationError
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class VmHandle:
+    """A live VM's reservation on the device."""
+
+    vm_id: int
+    host_id: int
+    au_ids: tuple[int, ...]
+    reserved_bytes: int
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one host memory access through the DTL."""
+
+    hpa: int
+    dsn: int
+    dpa: int
+    channel: int
+    rank: int
+    latency_ns: float
+    smc_l1_hit: bool
+    smc_l2_hit: bool
+    wake_penalty_ns: float
+    routed_to_new_dsn: bool
+
+
+class DtlController:
+    """Software-transparent DRAM translation layer in a CXL controller."""
+
+    def __init__(self, config: DtlConfig | None = None,
+                 cxl_latency_ns: float = CXL_MEMORY_LATENCY_NS):
+        self.config = config or DtlConfig()
+        geometry = self.config.geometry
+        self.geometry = geometry
+        self.cxl_latency_ns = cxl_latency_ns
+        self.host_layout = HostAddressLayout(
+            geometry, au_bytes=self.config.au_bytes,
+            max_hosts=self.config.max_hosts)
+        self.device_layout = DeviceAddressLayout(geometry)
+        self.device = DramDevice(geometry=geometry)
+        self.tables = TranslationTables(self.host_layout)
+        self.translation = TranslationEngine(
+            self.host_layout, self.tables, cache_config=self.config.cache)
+        self.allocator = SegmentAllocator(geometry)
+        self.migration = MigrationEngine(
+            geometry, on_complete=self._on_migration_complete)
+        self.power_down: RankPowerDownPolicy | None = None
+        if self.config.enable_power_down:
+            self.power_down = RankPowerDownPolicy(
+                self.device, self.allocator, self.tables, self.migration,
+                group_granularity=self.config.group_granularity,
+                min_active_groups=self.config.min_active_groups,
+                background_migration=self.config.background_migration)
+        self.self_refresh: HotnessSelfRefreshPolicy | None = None
+        if self.config.enable_self_refresh:
+            self.self_refresh = HotnessSelfRefreshPolicy(
+                self.device, self.allocator, self.tables, self.translation,
+                self.migration, window_ns=self.config.window_ns,
+                profiling_threshold_ns=self.config.profiling_threshold_ns,
+                tsp_scan_limit=self.config.tsp_scan_limit,
+                victim_granularity=self.config.sr_victim_granularity,
+                enable_planning=self.config.sr_planning)
+        self.retirement: RankRetirementManager | None = None
+        if self.power_down is not None:
+            self.retirement = RankRetirementManager(
+                self.device, self.allocator, self.tables, self.migration,
+                self.power_down)
+        self._vm_ids = itertools.count(1)
+        self._vms: dict[int, VmHandle] = {}
+        # Per-host free-AU queues (Table 5 lists a "free AU queue").
+        self._free_au_ids: dict[int, deque[int]] = {}
+        self.access_count = 0
+
+    # -- VM lifecycle -----------------------------------------------------------
+
+    def _free_aus(self, host_id: int) -> deque[int]:
+        if host_id not in self._free_au_ids:
+            self.tables.register_host(host_id)
+            self._free_au_ids[host_id] = deque(
+                range(self.host_layout.max_aus_per_host))
+        return self._free_au_ids[host_id]
+
+    def aus_for_bytes(self, num_bytes: int) -> int:
+        """Number of AUs needed to reserve ``num_bytes``."""
+        au = self.config.au_bytes
+        return max(1, -(-num_bytes // au))
+
+    def allocate_vm(self, host_id: int, reserved_bytes: int,
+                    now_s: float = 0.0) -> VmHandle:
+        """Reserve memory for a new VM (rounded up to whole AUs).
+
+        If the active ranks lack capacity, powered-down rank-groups exit
+        MPSM first (Section 3.3 step 5-6).
+        """
+        num_aus = self.aus_for_bytes(reserved_bytes)
+        segments_needed = num_aus * self.host_layout.segments_per_au
+        if self.power_down is not None:
+            self.power_down.ensure_capacity(segments_needed, now_s)
+            allowed = self.power_down.active_rank_ids()
+        else:
+            allowed = None
+        free_aus = self._free_aus(host_id)
+        if len(free_aus) < num_aus:
+            raise AllocationError(
+                f"host {host_id} has no free AU IDs for {num_aus} AUs")
+        au_ids = tuple(free_aus.popleft() for _ in range(num_aus))
+        try:
+            for au_id in au_ids:
+                self.tables.allocate_au(host_id, au_id)
+                dsns = self.allocator.allocate(
+                    self.host_layout.segments_per_au, allowed)
+                self._wake_ranks_holding(dsns, now_s)
+                for au_offset, dsn in enumerate(dsns):
+                    hsn = self.host_layout.pack_hsn(host_id, au_id, au_offset)
+                    self.tables.map_segment(hsn, dsn)
+        except AllocationError:
+            for au_id in au_ids:
+                free_aus.appendleft(au_id)
+            raise
+        vm = VmHandle(vm_id=next(self._vm_ids), host_id=host_id,
+                      au_ids=au_ids,
+                      reserved_bytes=num_aus * self.config.au_bytes)
+        self._vms[vm.vm_id] = vm
+        return vm
+
+    def deallocate_vm(self, vm: VmHandle,
+                      now_s: float = 0.0) -> list[PowerTransition]:
+        """Release a VM's memory and run the power-down policy.
+
+        Returns the power transitions (if any) the deallocation enabled.
+        """
+        if vm.vm_id not in self._vms:
+            raise AllocationError(f"VM {vm.vm_id} is not live")
+        for au_id in vm.au_ids:
+            for au_offset in range(self.host_layout.segments_per_au):
+                hsn = self.host_layout.pack_hsn(vm.host_id, au_id, au_offset)
+                self.translation.invalidate(hsn)
+            dsns = self.tables.free_au(vm.host_id, au_id)
+            self.allocator.free(dsns)
+            self._free_aus(vm.host_id).append(au_id)
+        del self._vms[vm.vm_id]
+        if self.power_down is not None:
+            return self.power_down.maybe_power_down(now_s)
+        return []
+
+    @property
+    def live_vms(self) -> list[VmHandle]:
+        """Currently allocated VMs."""
+        return list(self._vms.values())
+
+    def reserved_bytes(self) -> int:
+        """Total memory reserved by live VMs."""
+        return self.allocator.allocated_count() * self.geometry.segment_bytes
+
+    # -- access path -------------------------------------------------------------
+
+    def access(self, host_id: int, hpa: int, is_write: bool = False,
+               now_ns: float = 0.0) -> AccessResult:
+        """One host load/store through the CXL + DTL datapath."""
+        hsn_local = self.host_layout.hsn_of_hpa(hpa)
+        # HPAs arriving from a host are host-local; fold in the host ID.
+        _, au_id, au_offset = self._split_local_hsn(hsn_local)
+        hsn = self.host_layout.pack_hsn(host_id, au_id, au_offset)
+        dsn, xlat_ns, l1_hit, l2_hit = self.translation.translate_hsn(hsn)
+        routed_new = False
+        if is_write:
+            offset = self.host_layout.offset_of_hpa(hpa)
+            line_index = offset // CACHELINE_BYTES
+            routing = self.migration.on_foreground_write(dsn, line_index)
+            if routing is WriteRouting.NEW_DSN:
+                request = self.migration.request_for(dsn)
+                if request is not None:
+                    dsn = request.new_dsn
+                    routed_new = True
+        wake_ns = 0.0
+        if self.self_refresh is not None:
+            wake_ns = self.self_refresh.on_access(dsn, now_ns)
+        else:
+            location = self.device_layout.unpack_dsn(dsn)
+            self.device.rank(location.channel, location.rank).record_access()
+        location = self.device_layout.unpack_dsn(dsn)
+        dpa = self.device_layout.dpa_of(
+            dsn, self.host_layout.offset_of_hpa(hpa))
+        self.access_count += 1
+        return AccessResult(
+            hpa=hpa, dsn=dsn, dpa=dpa, channel=location.channel,
+            rank=location.rank,
+            latency_ns=self.cxl_latency_ns + xlat_ns + wake_ns,
+            smc_l1_hit=l1_hit, smc_l2_hit=l2_hit, wake_penalty_ns=wake_ns,
+            routed_to_new_dsn=routed_new)
+
+    def _wake_ranks_holding(self, dsns: list[int], now_s: float) -> None:
+        """Exit self-refresh on any rank receiving fresh allocations.
+
+        The VM's initialisation writes follow immediately, and a rank in
+        self-refresh cannot accept commands.
+        """
+        ranks = {self.allocator.rank_of_dsn(dsn) for dsn in dsns}
+        for rank_id in ranks:
+            if self.device.ranks[rank_id].state is PowerState.SELF_REFRESH:
+                self.device.set_rank_state(rank_id, PowerState.STANDBY,
+                                           now_s)
+
+    def _split_local_hsn(self, hsn_local: int) -> tuple[int, int, int]:
+        """Split a host-local HSN (no host-ID bits) into table indices."""
+        segments_per_au = self.host_layout.segments_per_au
+        au_offset = hsn_local % segments_per_au
+        au_id = hsn_local // segments_per_au
+        return 0, au_id, au_offset
+
+    def hpa_of(self, au_index: int, au_offset: int, byte_offset: int = 0) -> int:
+        """Build a host-local HPA for AU ``au_index``, segment ``au_offset``."""
+        hsn_local = au_index * self.host_layout.segments_per_au + au_offset
+        return self.host_layout.hpa_of(hsn_local, byte_offset)
+
+    def pump_migrations(self, now_s: float, lines: int = 1,
+                        busy_channels: set[int] | None = None) -> int:
+        """Grant idle DRAM bandwidth to background consolidation copies.
+
+        Only meaningful with ``background_migration=True``; returns the
+        cachelines copied.
+        """
+        if self.power_down is None:
+            return self.migration.step_all(busy_channels, lines)
+        return self.power_down.pump(now_s, lines, busy_channels)
+
+    # -- reliability -----------------------------------------------------------------
+
+    def retire_rank(self, channel: int, rank: int,
+                    now_s: float = 0.0) -> RetirementRecord:
+        """Transparently retire a failing rank (reliability extension).
+
+        Live segments are migrated off, the rank is fenced from all future
+        allocation, and the device capacity shrinks by one rank — all
+        invisible to the host.
+
+        Raises:
+            AllocationError: if the device has no retirement support
+                (power-down disabled) or cannot absorb the evacuation.
+        """
+        if self.retirement is None:
+            raise AllocationError(
+                "rank retirement requires the power-down policy")
+        return self.retirement.retire((channel, rank), now_s)
+
+    # -- time hooks ----------------------------------------------------------------
+
+    def end_window(self) -> None:
+        """Close the self-refresh access-count window (call every 0.5 ms)."""
+        if self.self_refresh is not None:
+            self.self_refresh.end_window()
+
+    def tick(self, now_ns: float) -> None:
+        """Advance self-refresh timers; may trigger migrations + SR entry."""
+        if self.self_refresh is not None:
+            self.self_refresh.tick(now_ns)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _on_migration_complete(self, request) -> None:
+        """Mapping update after a migration copy finishes (Section 4.2)."""
+        self.tables.remap_segment(request.hsn, request.new_dsn)
+        self.translation.invalidate(request.hsn)
+        self.allocator.move_allocation(request.old_dsn, request.new_dsn)
+
+
+__all__ = ["VmHandle", "AccessResult", "DtlController"]

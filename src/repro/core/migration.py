@@ -1,0 +1,278 @@
+"""Atomic segment-migration engine (Section 4.2).
+
+A segment migration is internally broken into cacheline-sized copies.  Each
+channel has a *foreground request queue* and a *migration queue*; migration
+lines are issued only when the channel's foreground queue is empty, so
+foreground traffic always has priority.
+
+Write-conflict protocol (verbatim from the paper):
+
+* Foreground write to a segment **not** being migrated — proceeds normally.
+* Write to a migrating segment whose **completion bit is set** — routed to
+  the new DSN (the copy is finished, only the mapping update is pending).
+* Write to a line **not yet copied** — proceeds with the original DSN.
+* Write to a line **already copied** — the whole in-progress request is
+  aborted, its counter reset, and the copy retried.  After
+  ``max_retries`` aborts the request is moved to the tail of the
+  migration queue for re-execution.
+
+Correctness holds because foreground requests always outrank migration
+requests.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.addressing import DeviceAddressLayout
+from repro.dram.geometry import DramGeometry
+from repro.errors import MigrationError
+from repro.units import CACHELINE_BYTES
+
+DEFAULT_MAX_RETRIES = 3
+
+
+class WriteRouting(enum.Enum):
+    """Where a foreground write to a migrating segment must go."""
+
+    OLD_DSN = "old"
+    NEW_DSN = "new"
+
+
+@dataclass
+class MigrationRequest:
+    """One in-flight segment copy.
+
+    Attributes:
+        hsn: Host segment whose mapping will move.
+        old_dsn: Source segment.
+        new_dsn: Destination segment (already reserved in the allocator).
+        lines_total: Cachelines in one segment.
+        lines_done: Progress counter.
+        completion: Set once all lines are copied; the mapping update is
+            still pending at that point.
+        retries: Abort count for the current execution attempt.
+    """
+
+    hsn: int
+    old_dsn: int
+    new_dsn: int
+    lines_total: int
+    lines_done: int = 0
+    completion: bool = False
+    retries: int = 0
+    requeues: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        """Segment size in bytes."""
+        return self.lines_total * CACHELINE_BYTES
+
+    def reset_progress(self) -> None:
+        """Restart the copy from the first line (after an abort)."""
+        self.lines_done = 0
+        self.completion = False
+
+
+@dataclass
+class MigrationStats:
+    """Aggregate counters for the engine."""
+
+    segments_migrated: int = 0
+    lines_copied: int = 0
+    aborts: int = 0
+    requeues: int = 0
+    foreground_redirects: int = 0
+
+    @property
+    def bytes_copied(self) -> int:
+        """Total bytes moved (including aborted partial copies)."""
+        return self.lines_copied * CACHELINE_BYTES
+
+
+#: Callback invoked when a request's copy and mapping update complete:
+#: ``on_complete(request)``.
+CompletionCallback = Callable[[MigrationRequest], None]
+
+
+class MigrationEngine:
+    """Per-channel migration queues with the atomic write-conflict protocol."""
+
+    def __init__(self, geometry: DramGeometry,
+                 on_complete: CompletionCallback | None = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES):
+        self.geometry = geometry
+        self.layout = DeviceAddressLayout(geometry)
+        self.max_retries = max_retries
+        self.on_complete = on_complete
+        self.lines_per_segment = geometry.segment_bytes // CACHELINE_BYTES
+        self._queues: dict[int, deque[MigrationRequest]] = {
+            channel: deque() for channel in range(geometry.channels)}
+        # The "outstanding migration registers" of Section 4.2: at most one
+        # in-flight request per channel.
+        self._inflight: dict[int, MigrationRequest | None] = {
+            channel: None for channel in range(geometry.channels)}
+        # old_dsn -> request, for O(1) foreground conflict checks.
+        self._by_old_dsn: dict[int, MigrationRequest] = {}
+        self.stats = MigrationStats()
+
+    # -- submission --------------------------------------------------------------
+
+    def channel_of(self, dsn: int) -> int:
+        """Channel owning segment ``dsn``."""
+        return self.layout.channel_of_dsn(dsn)
+
+    def submit(self, hsn: int, old_dsn: int, new_dsn: int) -> MigrationRequest:
+        """Queue a copy of segment ``old_dsn`` to ``new_dsn``.
+
+        Both DSNs must live on the same channel — migration never crosses
+        channels because channel capacity is balanced by construction.
+        """
+        src_channel = self.channel_of(old_dsn)
+        if src_channel != self.channel_of(new_dsn):
+            raise MigrationError(
+                f"cross-channel migration {old_dsn:#x} -> {new_dsn:#x}")
+        if old_dsn in self._by_old_dsn:
+            raise MigrationError(f"DSN {old_dsn:#x} is already migrating")
+        request = MigrationRequest(hsn=hsn, old_dsn=old_dsn, new_dsn=new_dsn,
+                                   lines_total=self.lines_per_segment)
+        self._queues[src_channel].append(request)
+        self._by_old_dsn[old_dsn] = request
+        return request
+
+    def pending_count(self) -> int:
+        """Requests queued or in flight."""
+        inflight = sum(1 for request in self._inflight.values() if request)
+        return inflight + sum(len(queue) for queue in self._queues.values())
+
+    def request_for(self, dsn: int) -> MigrationRequest | None:
+        """The migration request whose source is ``dsn``, if any."""
+        return self._by_old_dsn.get(dsn)
+
+    # -- foreground interface -------------------------------------------------------
+
+    def on_foreground_write(self, dsn: int, line_index: int) -> WriteRouting:
+        """Apply the write-conflict protocol for a foreground write.
+
+        Args:
+            dsn: Segment the write targets (pre-migration mapping).
+            line_index: Cacheline index within the segment.
+
+        Returns:
+            Which copy of the segment the write must be issued to.
+        """
+        request = self._by_old_dsn.get(dsn)
+        if request is None:
+            return WriteRouting.OLD_DSN
+        if not 0 <= line_index < request.lines_total:
+            raise MigrationError(f"line index {line_index} out of range")
+        if request.completion:
+            self.stats.foreground_redirects += 1
+            return WriteRouting.NEW_DSN
+        if line_index >= request.lines_done:
+            # Not migrated yet; the copy will pick up the new value later.
+            return WriteRouting.OLD_DSN
+        # Already-migrated line is being overwritten: abort and retry.
+        self._abort(request)
+        return WriteRouting.OLD_DSN
+
+    def _abort(self, request: MigrationRequest) -> None:
+        request.reset_progress()
+        request.retries += 1
+        self.stats.aborts += 1
+        if request.retries > self.max_retries:
+            # Move to the tail of its channel's migration queue.
+            channel = self.channel_of(request.old_dsn)
+            if self._inflight[channel] is request:
+                self._inflight[channel] = None
+            else:
+                try:
+                    self._queues[channel].remove(request)
+                except ValueError:
+                    pass
+            request.retries = 0
+            request.requeues += 1
+            self.stats.requeues += 1
+            self._queues[channel].append(request)
+
+    # -- progress --------------------------------------------------------------------
+
+    def step_channel(self, channel: int, foreground_busy: bool = False,
+                     lines: int = 1) -> int:
+        """Copy up to ``lines`` cachelines on ``channel``.
+
+        Migration only uses idle bandwidth: nothing happens when
+        ``foreground_busy`` is True.
+
+        Returns:
+            Number of lines actually copied.
+        """
+        if foreground_busy:
+            return 0
+        copied = 0
+        while copied < lines:
+            request = self._inflight[channel]
+            if request is None:
+                if not self._queues[channel]:
+                    break
+                request = self._queues[channel].popleft()
+                self._inflight[channel] = request
+            remaining = request.lines_total - request.lines_done
+            take = min(lines - copied, remaining)
+            request.lines_done += take
+            copied += take
+            self.stats.lines_copied += take
+            if request.lines_done == request.lines_total:
+                request.completion = True
+                self._retire(channel, request)
+        return copied
+
+    def step_all(self, busy_channels: set[int] | None = None,
+                 lines: int = 1) -> int:
+        """Copy up to ``lines`` lines on every non-busy channel."""
+        busy = busy_channels or set()
+        return sum(self.step_channel(channel, channel in busy, lines)
+                   for channel in self._queues)
+
+    def drain(self) -> int:
+        """Run all queued migrations to completion.
+
+        Returns:
+            Cumulative count of segments migrated by this engine.
+        """
+        for channel in self._queues:
+            while self._inflight[channel] or self._queues[channel]:
+                self.step_channel(channel, lines=self.lines_per_segment)
+        return self.stats.segments_migrated
+
+    def _retire(self, channel: int, request: MigrationRequest) -> None:
+        """Finish a request: mapping update then removal from registers."""
+        self._inflight[channel] = None
+        del self._by_old_dsn[request.old_dsn]
+        self.stats.segments_migrated += 1
+        if self.on_complete is not None:
+            self.on_complete(request)
+
+    # -- cost model ---------------------------------------------------------------------
+
+    def migration_time_s(self, num_bytes: int, spare_bandwidth_gbs: float) -> float:
+        """Wall time to move ``num_bytes`` using spare channel bandwidth.
+
+        Section 5.1 measures this with a bandwidth-throttled ``memcpy``; we
+        compute it directly from the spare bandwidth.
+        """
+        if spare_bandwidth_gbs <= 0:
+            raise MigrationError("no spare bandwidth for migration")
+        return num_bytes / (spare_bandwidth_gbs * 1e9)
+
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "WriteRouting",
+    "MigrationRequest",
+    "MigrationStats",
+    "MigrationEngine",
+]

@@ -1,0 +1,396 @@
+"""Rank-level power-down policy (Section 3.3).
+
+At every VM deallocation the DTL checks whether the unallocated capacity
+among the *active* ranks exceeds the size of one rank-group (one rank per
+channel, same index — or a CKE pair of them on hardware where two ranks
+share a clock-enable pin, Section 5.1).  If so, the live segments of the
+least-allocated victim group are consolidated into the other active ranks
+and the victim group enters Maximum Power Saving Mode (MPSM).
+
+When a later allocation does not fit into the active ranks, the policy
+reactivates powered-down groups (``MPSM_exit``).  The exit penalty overlaps
+with the new VM's initialisation, so running VMs never observe it
+(paper, Section 3.3 walk-through).
+
+Because hotness-aware self-refresh migrates at segment granularity, rank
+utilisation inside a group can drift apart across channels; the policy then
+forms a *virtual rank-group* from the least-allocated rank of each channel
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allocator import RankId, SegmentAllocator
+from repro.core.migration import MigrationEngine
+from repro.core.tables import TranslationTables
+from repro.dram.device import DramDevice
+from repro.dram.power import PowerState
+from repro.errors import AllocationError
+
+
+@dataclass
+class PowerTransition:
+    """Record of one rank-group power transition."""
+
+    time_s: float
+    rank_ids: tuple[RankId, ...]
+    new_state: PowerState
+    migrated_segments: int
+    migrated_bytes: int
+    exit_penalty_ns: float
+
+
+@dataclass
+class PendingPowerDown:
+    """A consolidation still copying in the background.
+
+    The victim ranks are already fenced from new allocations; the MPSM
+    transition happens once the migration engine drains (the paper copies
+    "in background by utilizing unused DRAM bandwidth").
+    """
+
+    victims: tuple[RankId, ...]
+    started_s: float
+    migrated_segments: int
+    migrated_bytes: int
+
+
+class RankPowerDownPolicy:
+    """Consolidate-and-power-down controller for rank groups."""
+
+    def __init__(self, device: DramDevice, allocator: SegmentAllocator,
+                 tables: TranslationTables, migration: MigrationEngine,
+                 group_granularity: int = 1,
+                 min_active_groups: int = 1,
+                 background_migration: bool = False):
+        geometry = device.geometry
+        if geometry.ranks_per_channel % group_granularity:
+            raise ValueError("group_granularity must divide ranks_per_channel")
+        if min_active_groups < 1:
+            raise ValueError("at least one rank-group must stay active")
+        self.device = device
+        self.geometry = geometry
+        self.allocator = allocator
+        self.tables = tables
+        self.migration = migration
+        self.group_granularity = group_granularity
+        self.min_active_groups = min_active_groups
+        # Active ranks, tracked per channel so virtual groups are possible.
+        self._active: dict[int, set[int]] = {
+            channel: set(range(geometry.ranks_per_channel))
+            for channel in range(geometry.channels)}
+        # Quarantined (retired) ranks: never reactivated, never allocated.
+        self._quarantined: set[RankId] = set()
+        #: When True, consolidation copies proceed only as idle bandwidth
+        #: is granted via :meth:`pump`, and MPSM entry waits for them.
+        self.background_migration = background_migration
+        self._pending: list[PendingPowerDown] = []
+        self.transitions: list[PowerTransition] = []
+
+    # -- queries --------------------------------------------------------------
+
+    def active_rank_ids(self) -> set[RankId]:
+        """All ranks currently in standby (allocatable)."""
+        return {(channel, rank)
+                for channel, ranks in self._active.items()
+                for rank in ranks}
+
+    def active_ranks_per_channel(self) -> int:
+        """Minimum standby ranks over all channels.
+
+        Channels stay balanced under normal operation; rank retirement can
+        leave one channel a rank short, in which case the minimum governs
+        both victim selection and capacity planning.
+        """
+        return min(len(ranks) for ranks in self._active.values())
+
+    def powered_down_ranks(self) -> set[RankId]:
+        """Ranks currently in MPSM."""
+        all_ranks = {(channel, rank)
+                     for channel in range(self.geometry.channels)
+                     for rank in range(self.geometry.ranks_per_channel)}
+        return all_ranks - self.active_rank_ids()
+
+    def free_segments_in_active(self) -> int:
+        """Unallocated segments among active ranks."""
+        return self.allocator.free_count(self.active_rank_ids())
+
+    # -- victim selection -------------------------------------------------------
+
+    def _victim_group(self) -> list[RankId] | None:
+        """Pick the virtual rank-group with the least allocated data.
+
+        Returns ``group_granularity`` ranks per channel — the least-allocated
+        active ranks of each channel — or ``None`` if too few groups would
+        remain active.
+        """
+        active_groups = self.active_ranks_per_channel() // self.group_granularity
+        if active_groups - 1 < self.min_active_groups:
+            return None
+        victims: list[RankId] = []
+        for channel in range(self.geometry.channels):
+            # Only standby ranks qualify: a self-refreshed rank holds cold
+            # data and would need waking + evacuation first.
+            standby = [rank for rank in self._active[channel]
+                       if self.device.rank(channel, rank).state
+                       is PowerState.STANDBY]
+            if len(standby) < self.group_granularity:
+                return None
+            ranked = sorted(
+                standby,
+                key=lambda rank: self.allocator.usage((channel, rank)).allocated)
+            victims.extend((channel, rank)
+                           for rank in ranked[:self.group_granularity])
+        return victims
+
+    def _victim_live_segments(self, victims: list[RankId]) -> dict[RankId, list[int]]:
+        return {rank_id: self.allocator.allocated_in_rank(rank_id)
+                for rank_id in victims}
+
+    # -- power-down ---------------------------------------------------------------
+
+    def maybe_power_down(self, now_s: float) -> list[PowerTransition]:
+        """Power down as many victim groups as the free capacity allows.
+
+        Called after every VM deallocation (and opportunistically by the
+        simulator at interval boundaries).
+        """
+        performed: list[PowerTransition] = []
+        while True:
+            transition = self._try_power_down_once(now_s)
+            if transition is None:
+                return performed
+            performed.append(transition)
+
+    def _try_power_down_once(self, now_s: float) -> PowerTransition | None:
+        victims = self._victim_group()
+        if victims is None:
+            return None
+        group_segments = (self.geometry.rank_group_segments
+                          * self.group_granularity)
+        if self.free_segments_in_active() < group_segments:
+            return None
+        live = self._victim_live_segments(victims)
+        victim_set = set(victims)
+        remaining_active = self.active_rank_ids() - victim_set
+        total_live = sum(len(dsns) for dsns in live.values())
+        # The remaining active ranks must absorb every live segment, channel
+        # by channel (migration never crosses channels).
+        for channel in range(self.geometry.channels):
+            need = sum(len(dsns) for rank_id, dsns in live.items()
+                       if rank_id[0] == channel)
+            have = sum(self.allocator.free_in_rank(rank_id)
+                       for rank_id in remaining_active if rank_id[0] == channel)
+            if have < need:
+                return None
+        migrated_bytes = self._consolidate(live, remaining_active, now_s)
+        per_channel: dict[int, list[int]] = {}
+        for channel, rank in victims:
+            self._active[channel].discard(rank)
+            per_channel.setdefault(channel, []).append(rank)
+        if self.background_migration and self.migration.pending_count():
+            # Victims are fenced (no new allocations) but stay in standby
+            # until their evacuation copies finish in the background.
+            pending = PendingPowerDown(
+                victims=tuple(victims), started_s=now_s,
+                migrated_segments=total_live,
+                migrated_bytes=migrated_bytes)
+            self._pending.append(pending)
+            return PowerTransition(
+                time_s=now_s, rank_ids=tuple(victims),
+                new_state=PowerState.STANDBY,  # not yet MPSM
+                migrated_segments=total_live,
+                migrated_bytes=migrated_bytes, exit_penalty_ns=0.0)
+        # Transition one virtual rank-group (one rank per channel) per
+        # granularity step so the balance invariant is checked each time.
+        penalty = 0.0
+        for step in range(self.group_granularity):
+            group = [(channel, per_channel[channel][step])
+                     for channel in range(self.geometry.channels)]
+            penalty = max(penalty, self.device.set_virtual_rank_group_state(
+                group, PowerState.MPSM, now_s))
+        transition = PowerTransition(
+            time_s=now_s, rank_ids=tuple(victims), new_state=PowerState.MPSM,
+            migrated_segments=total_live, migrated_bytes=migrated_bytes,
+            exit_penalty_ns=penalty)
+        self.transitions.append(transition)
+        return transition
+
+    def _consolidate(self, live: dict[RankId, list[int]],
+                     remaining_active: set[RankId], now_s: float) -> int:
+        """Copy every live segment off the victim ranks.
+
+        Targets are chosen with the allocator's most-utilised-first policy
+        restricted to the surviving active ranks of the same channel.
+        """
+        migrated_bytes = 0
+        for rank_id, dsns in live.items():
+            channel = rank_id[0]
+            allowed = {other for other in remaining_active
+                       if other[0] == channel}
+            for old_dsn in dsns:
+                new_dsn = self._reserve_target(channel, allowed, now_s)
+                hsn = self.tables.hsn_of_dsn(old_dsn)
+                self.migration.submit(hsn, old_dsn, new_dsn)
+                migrated_bytes += self.geometry.segment_bytes
+        if not self.background_migration:
+            self.migration.drain()
+        return migrated_bytes
+
+    def _reserve_target(self, channel: int, allowed: set[RankId],
+                        now_s: float) -> int:
+        best: RankId | None = None
+        best_util = -1.0
+        for rank_id in allowed:
+            if not self.allocator.free_in_rank(rank_id):
+                continue
+            util = self.allocator.usage(rank_id).utilization
+            if util > best_util:
+                best, best_util = rank_id, util
+        if best is None:
+            raise AllocationError(
+                f"no free target segments on channel {channel}")
+        # Writing into a self-refreshed rank wakes it (the DRAM cannot
+        # accept commands in SR).
+        if self.device.ranks[best].state is PowerState.SELF_REFRESH:
+            self.device.set_rank_state(best, PowerState.STANDBY, now_s)
+        return self.allocator.allocate_in_rank(best, 1)[0]
+
+    # -- reactivation ------------------------------------------------------------------
+
+    def ensure_capacity(self, num_segments: int,
+                        now_s: float) -> list[PowerTransition]:
+        """Reactivate rank-groups until ``num_segments`` fit in active ranks.
+
+        Raises:
+            AllocationError: when even the fully powered-on device cannot
+                hold the allocation.
+        """
+        performed: list[PowerTransition] = []
+        while self.free_segments_in_active() < num_segments:
+            transition = self._reactivate_group(now_s)
+            if transition is None:
+                raise AllocationError(
+                    f"device cannot hold {num_segments} more segments")
+            performed.append(transition)
+        return performed
+
+    # -- background migration -------------------------------------------------------
+
+    def pump(self, now_s: float, lines: int = 1,
+             busy_channels: set[int] | None = None) -> int:
+        """Grant idle bandwidth to in-flight consolidations.
+
+        Copies up to ``lines`` cachelines per non-busy channel, then
+        finishes any pending power-down whose copies have drained.
+
+        Returns:
+            Cachelines copied this call.
+        """
+        copied = self.migration.step_all(busy_channels, lines)
+        if self._pending and self.migration.pending_count() == 0:
+            for pending in self._pending:
+                self._finish_pending(pending, now_s)
+            self._pending.clear()
+        return copied
+
+    def _finish_pending(self, pending: PendingPowerDown,
+                        now_s: float) -> None:
+        per_channel: dict[int, list[int]] = {}
+        for channel, rank in pending.victims:
+            # A reactivation may have reclaimed the rank meanwhile.
+            if rank in self._active[channel]:
+                continue
+            per_channel.setdefault(channel, []).append(rank)
+        penalty = 0.0
+        for channel, ranks in per_channel.items():
+            for rank in ranks:
+                if self.device.rank(channel, rank).state \
+                        is PowerState.STANDBY:
+                    penalty = max(penalty, self.device.set_rank_state(
+                        (channel, rank), PowerState.MPSM, now_s))
+        self.transitions.append(PowerTransition(
+            time_s=now_s, rank_ids=pending.victims,
+            new_state=PowerState.MPSM,
+            migrated_segments=pending.migrated_segments,
+            migrated_bytes=pending.migrated_bytes,
+            exit_penalty_ns=penalty))
+
+    def pending_power_downs(self) -> list[PendingPowerDown]:
+        """Consolidations still copying in the background."""
+        return list(self._pending)
+
+    # -- quarantine (rank retirement support) -------------------------------------
+
+    def quarantine(self, rank_id: RankId) -> None:
+        """Remove a rank from service permanently (used by retirement).
+
+        The rank leaves the active set and is excluded from every future
+        reactivation; the caller is responsible for evacuating its data
+        first.
+        """
+        self._quarantined.add(rank_id)
+        self._active[rank_id[0]].discard(rank_id[1])
+
+    def quarantined_ranks(self) -> set[RankId]:
+        """Ranks permanently removed from service."""
+        return set(self._quarantined)
+
+    def ensure_capacity_on_channel(self, channel: int, num_segments: int,
+                                   exclude: set[RankId],
+                                   now_s: float = 0.0) -> None:
+        """Wake ranks on one channel until ``num_segments`` fit.
+
+        Used by rank retirement to make room for an evacuation without
+        disturbing the other channels' balance more than necessary.
+
+        Raises:
+            AllocationError: when the channel cannot absorb the segments.
+        """
+        def free_on_channel() -> int:
+            return sum(self.allocator.free_in_rank((channel, rank))
+                       for rank in self._active[channel]
+                       if (channel, rank) not in exclude)
+
+        while free_on_channel() < num_segments:
+            idle = sorted(rank
+                          for rank in range(self.geometry.ranks_per_channel)
+                          if rank not in self._active[channel]
+                          and (channel, rank) not in self._quarantined
+                          and (channel, rank) not in exclude)
+            if not idle:
+                raise AllocationError(
+                    f"channel {channel} cannot absorb {num_segments} "
+                    "evacuated segments")
+            rank_id = (channel, idle[0])
+            self.device.set_rank_state(rank_id, PowerState.STANDBY, now_s)
+            self._active[channel].add(idle[0])
+
+    def _reactivate_group(self, now_s: float) -> PowerTransition | None:
+        """Wake the next powered-down rank(s), one group step at a time."""
+        woken: list[RankId] = []
+        for channel in range(self.geometry.channels):
+            idle = sorted(rank for rank in
+                          set(range(self.geometry.ranks_per_channel))
+                          - self._active[channel]
+                          if (channel, rank) not in self._quarantined)
+            woken.extend((channel, rank)
+                         for rank in idle[:self.group_granularity])
+        if not woken:
+            return None
+        penalty = 0.0
+        for rank_id in woken:
+            penalty = max(penalty, self.device.set_rank_state(
+                rank_id, PowerState.STANDBY, now_s))
+            self._active[rank_id[0]].add(rank_id[1])
+        transition = PowerTransition(
+            time_s=now_s, rank_ids=tuple(woken),
+            new_state=PowerState.STANDBY, migrated_segments=0,
+            migrated_bytes=0, exit_penalty_ns=penalty)
+        self.transitions.append(transition)
+        return transition
+
+
+__all__ = ["PowerTransition", "RankPowerDownPolicy"]

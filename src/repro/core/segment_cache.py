@@ -1,0 +1,238 @@
+"""Two-level segment mapping cache (SMC).
+
+The DTL fronts its translation tables with a TLB-like cache hierarchy
+(Section 3.2, Table 3):
+
+* **L1 SMC** — 64-entry fully-associative, LRU.
+* **L2 SMC** — 1024-entry 4-way set-associative, LRU.
+
+Both map an HSN to its DSN.  A hit in L1 costs one controller cycle; an L1
+miss that hits in L2 costs seven cycles; a full miss walks the three-level
+table path (two SRAM accesses plus one DRAM access, Section 6.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+CONTROLLER_CLOCK_GHZ = 1.5
+L1_SMC_HIT_CYCLES = 1
+L2_SMC_HIT_CYCLES = 7
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float = CONTROLLER_CLOCK_GHZ) -> float:
+    """Convert controller cycles to nanoseconds."""
+    return cycles / clock_ghz
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits / accesses (0.0 when never accessed)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses (0.0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class FullyAssociativeCache:
+    """Fully-associative LRU cache of HSN -> DSN mappings."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ConfigurationError("cache must have at least one entry")
+        self.entries = entries
+        self._data: OrderedDict[int, int] = OrderedDict()
+        self.stats = CacheStats()
+
+    def lookup(self, hsn: int) -> int | None:
+        """Return the cached DSN for ``hsn`` or ``None`` on a miss."""
+        if hsn in self._data:
+            self._data.move_to_end(hsn)
+            self.stats.hits += 1
+            return self._data[hsn]
+        self.stats.misses += 1
+        return None
+
+    def insert(self, hsn: int, dsn: int) -> tuple[int, int] | None:
+        """Insert a mapping; returns the evicted ``(hsn, dsn)`` if any."""
+        evicted = None
+        if hsn not in self._data and len(self._data) >= self.entries:
+            evicted = self._data.popitem(last=False)
+        self._data[hsn] = dsn
+        self._data.move_to_end(hsn)
+        return evicted
+
+    def invalidate(self, hsn: int) -> bool:
+        """Drop the mapping for ``hsn``; returns True if it was present."""
+        if hsn in self._data:
+            del self._data[hsn]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def __contains__(self, hsn: int) -> bool:
+        return hsn in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class SetAssociativeCache:
+    """Set-associative LRU cache of HSN -> DSN mappings."""
+
+    def __init__(self, entries: int, ways: int):
+        if entries <= 0 or ways <= 0:
+            raise ConfigurationError("entries and ways must be positive")
+        if entries % ways:
+            raise ConfigurationError(
+                f"entries ({entries}) must be a multiple of ways ({ways})")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        self._sets: list[OrderedDict[int, int]] = [
+            OrderedDict() for _ in range(self.sets)]
+        self.stats = CacheStats()
+
+    def _set_for(self, hsn: int) -> OrderedDict[int, int]:
+        return self._sets[hsn % self.sets]
+
+    def lookup(self, hsn: int) -> int | None:
+        """Return the cached DSN for ``hsn`` or ``None`` on a miss."""
+        cache_set = self._set_for(hsn)
+        if hsn in cache_set:
+            cache_set.move_to_end(hsn)
+            self.stats.hits += 1
+            return cache_set[hsn]
+        self.stats.misses += 1
+        return None
+
+    def insert(self, hsn: int, dsn: int) -> tuple[int, int] | None:
+        """Insert a mapping; returns the evicted ``(hsn, dsn)`` if any."""
+        cache_set = self._set_for(hsn)
+        evicted = None
+        if hsn not in cache_set and len(cache_set) >= self.ways:
+            evicted = cache_set.popitem(last=False)
+        cache_set[hsn] = dsn
+        cache_set.move_to_end(hsn)
+        return evicted
+
+    def invalidate(self, hsn: int) -> bool:
+        """Drop the mapping for ``hsn``; returns True if it was present."""
+        cache_set = self._set_for(hsn)
+        if hsn in cache_set:
+            del cache_set[hsn]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def __contains__(self, hsn: int) -> bool:
+        return hsn in self._set_for(hsn)
+
+    def __len__(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+
+@dataclass(frozen=True)
+class SegmentCacheConfig:
+    """SMC sizing (Table 3 defaults)."""
+
+    l1_entries: int = 64
+    l2_entries: int = 1024
+    l2_ways: int = 4
+    clock_ghz: float = CONTROLLER_CLOCK_GHZ
+    l1_hit_cycles: int = L1_SMC_HIT_CYCLES
+    l2_hit_cycles: int = L2_SMC_HIT_CYCLES
+
+    @property
+    def l1_hit_ns(self) -> float:
+        """L1 SMC hit latency in nanoseconds."""
+        return cycles_to_ns(self.l1_hit_cycles, self.clock_ghz)
+
+    @property
+    def l2_hit_ns(self) -> float:
+        """L2 SMC hit latency in nanoseconds."""
+        return cycles_to_ns(self.l2_hit_cycles, self.clock_ghz)
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one SMC lookup."""
+
+    dsn: int | None
+    l1_hit: bool
+    l2_hit: bool
+
+    @property
+    def full_miss(self) -> bool:
+        """True when neither level held the mapping."""
+        return not (self.l1_hit or self.l2_hit)
+
+
+class SegmentMappingCache:
+    """The two-level SMC: inclusive L1 over L2, both LRU."""
+
+    def __init__(self, config: SegmentCacheConfig | None = None):
+        self.config = config or SegmentCacheConfig()
+        self.l1 = FullyAssociativeCache(self.config.l1_entries)
+        self.l2 = SetAssociativeCache(self.config.l2_entries,
+                                      self.config.l2_ways)
+
+    def lookup(self, hsn: int) -> LookupResult:
+        """Look up ``hsn`` in L1 then L2, promoting L2 hits into L1."""
+        dsn = self.l1.lookup(hsn)
+        if dsn is not None:
+            return LookupResult(dsn=dsn, l1_hit=True, l2_hit=False)
+        dsn = self.l2.lookup(hsn)
+        if dsn is not None:
+            self.l1.insert(hsn, dsn)
+            return LookupResult(dsn=dsn, l1_hit=False, l2_hit=True)
+        return LookupResult(dsn=None, l1_hit=False, l2_hit=False)
+
+    def fill(self, hsn: int, dsn: int) -> None:
+        """Install a mapping fetched from the tables into both levels."""
+        self.l2.insert(hsn, dsn)
+        self.l1.insert(hsn, dsn)
+
+    def invalidate(self, hsn: int) -> bool:
+        """Drop a mapping from both levels (used after migration)."""
+        in_l1 = self.l1.invalidate(hsn)
+        in_l2 = self.l2.invalidate(hsn)
+        return in_l1 or in_l2
+
+    def hit_latency_ns(self, result: LookupResult) -> float:
+        """Latency contribution of the cache portion of a lookup."""
+        if result.l1_hit:
+            return self.config.l1_hit_ns
+        return self.config.l1_hit_ns + self.config.l2_hit_ns
+
+
+__all__ = [
+    "CONTROLLER_CLOCK_GHZ",
+    "L1_SMC_HIT_CYCLES",
+    "L2_SMC_HIT_CYCLES",
+    "cycles_to_ns",
+    "CacheStats",
+    "FullyAssociativeCache",
+    "SetAssociativeCache",
+    "SegmentCacheConfig",
+    "LookupResult",
+    "SegmentMappingCache",
+]

@@ -1,0 +1,535 @@
+"""Hotness-aware self-refresh (Section 3.4).
+
+Per channel, the policy runs a small state machine:
+
+``PROFILING`` — at entry, the rank with the fewest accesses in the last
+0.5 ms window becomes the *victim rank*.  A **migration table** (one entry
+per segment: access bit + planned rank/segment) simulates a remapping plan:
+every access to a segment whose *planned* location is the victim rank
+triggers a CLOCK-style table update that plans the hot segment out of the
+victim rank and a cold one in, and resets the profiling timer.  The *target
+segment pointer* (TSP) walks the current target rank like the CLOCK hand,
+clearing access bits until it finds a cold entry; the walk is bounded (the
+paper bounds it at 40 ns, shorter than one DRAM access) and on timeout the
+TSP moves to the next target rank round-robin.
+
+``MIGRATING`` — once the hypothetical victim rank has been quiet for the
+profiling threshold (50 ms), the planned swaps are executed: data moves
+through the migration engine, HPA-to-DPA mappings are updated, and SMC
+entries invalidated.
+
+``SELF_REFRESH`` — the victim rank sits in self-refresh until one of its
+segments is accessed, which wakes it (exit penalty) and restarts profiling.
+
+The migration table is held in NumPy arrays (one slot per device segment)
+so the trace-driven simulator can apply whole access windows at once
+(:meth:`HotnessSelfRefreshPolicy.on_batch`); the per-access path
+(:meth:`~HotnessSelfRefreshPolicy.on_access`) applies exactly the same
+updates one at a time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.addressing import DeviceAddressLayout, SegmentLocation
+from repro.core.allocator import SegmentAllocator
+from repro.core.migration import MigrationEngine
+from repro.core.tables import TranslationTables
+from repro.core.translation import TranslationEngine
+from repro.dram.device import DramDevice
+from repro.dram.power import PowerState
+from repro.units import NS_PER_MS
+
+DEFAULT_WINDOW_NS = 0.5 * NS_PER_MS
+DEFAULT_PROFILING_THRESHOLD_NS = 50 * NS_PER_MS
+#: TSP entries examined per search; the paper bounds the search at 40 ns,
+#: which at one SRAM probe per 1.5 GHz cycle is 60 entries.
+DEFAULT_TSP_SCAN_LIMIT = 60
+#: Quiet time after a successful self-refresh entry before the channel
+#: profiles for an *additional* victim rank.  Profiling a second victim too
+#: early is counter-productive: the new victim's TSP would raid the cold
+#: segments just collected into the sleeping rank's neighbourhood.
+DEFAULT_REVISIT_DELAY_NS = 20 * DEFAULT_PROFILING_THRESHOLD_NS
+
+
+class ChannelPhase(enum.Enum):
+    """Self-refresh state machine phases (per channel)."""
+
+    IDLE = "idle"
+    PROFILING = "profiling"
+    SELF_REFRESH = "self_refresh"
+
+
+@dataclass
+class SelfRefreshEvent:
+    """Record of one channel-level event for analysis."""
+
+    time_ns: float
+    channel: int
+    kind: str  # "enter_sr" | "exit_sr" | "victim_selected"
+    victim_rank: int
+    swaps: int = 0
+    migrated_bytes: int = 0
+
+
+@dataclass
+class _ChannelState:
+    phase: ChannelPhase = ChannelPhase.IDLE
+    victim_rank: int = -1
+    victim_ranks: tuple[int, ...] = ()
+    quiet_since_ns: float = 0.0
+    window_counts: dict[int, int] = field(default_factory=dict)
+    last_window_counts: dict[int, int] = field(default_factory=dict)
+    target_ranks: list[int] = field(default_factory=list)
+    target_cursor: int = 0
+    tsp: dict[int, int] = field(default_factory=dict)
+    last_sr_entry_ns: float = 0.0
+
+
+class HotnessSelfRefreshPolicy:
+    """Per-channel hotness-aware self-refresh controller."""
+
+    def __init__(self, device: DramDevice, allocator: SegmentAllocator,
+                 tables: TranslationTables,
+                 translation: TranslationEngine,
+                 migration: MigrationEngine,
+                 window_ns: float = DEFAULT_WINDOW_NS,
+                 profiling_threshold_ns: float = DEFAULT_PROFILING_THRESHOLD_NS,
+                 tsp_scan_limit: int = DEFAULT_TSP_SCAN_LIMIT,
+                 revisit_delay_ns: float | None = None,
+                 victim_granularity: int = 1,
+                 enable_planning: bool = True):
+        self.device = device
+        self.geometry = device.geometry
+        self.layout = DeviceAddressLayout(self.geometry)
+        self.allocator = allocator
+        self.tables = tables
+        self.translation = translation
+        self.migration = migration
+        self.window_ns = window_ns
+        self.profiling_threshold_ns = profiling_threshold_ns
+        self.tsp_scan_limit = tsp_scan_limit
+        self.revisit_delay_ns = (revisit_delay_ns if revisit_delay_ns
+                                 is not None
+                                 else 20 * profiling_threshold_ns)
+        if device.geometry.ranks_per_channel % victim_granularity:
+            raise ValueError(
+                "victim_granularity must divide ranks_per_channel")
+        self.victim_granularity = victim_granularity
+        #: With planning disabled the migration table never swaps entries:
+        #: a victim only reaches self-refresh if it is *naturally* quiet.
+        #: Exists for the ablation that isolates the CLOCK planner's
+        #: contribution.
+        self.enable_planning = enable_planning
+        total = self.geometry.total_segments
+        # Migration table (Figure 8): one row per device segment.
+        self.access_bits = np.zeros(total, dtype=bool)
+        self.planned = np.arange(total, dtype=np.int64)
+        self._rank_shift = (self.geometry.channel_bits
+                            + self.geometry.segment_index_bits)
+        self._channel_mask = self.geometry.channels - 1
+        self._channels = {channel: _ChannelState()
+                          for channel in range(self.geometry.channels)}
+        self.events: list[SelfRefreshEvent] = []
+        self.exit_penalty_total_ns = 0.0
+        self.migrated_bytes_total = 0
+
+    # -- address helpers ---------------------------------------------------------
+
+    def _rank_of(self, dsn: int) -> int:
+        return dsn >> self._rank_shift
+
+    def _channel_of(self, dsn: int) -> int:
+        return dsn & self._channel_mask
+
+    def _dsn(self, channel: int, rank: int, index: int) -> int:
+        return self.layout.pack_dsn(SegmentLocation(channel, rank, index))
+
+    def planned_rank(self, dsn: int) -> int:
+        """Rank index the plan currently sends segment ``dsn`` to."""
+        return self._rank_of(int(self.planned[dsn]))
+
+    def _swap_entries(self, dsn_a: int, dsn_b: int) -> None:
+        self.planned[dsn_a], self.planned[dsn_b] = (self.planned[dsn_b],
+                                                    self.planned[dsn_a])
+
+    # -- phase control --------------------------------------------------------------
+
+    def active_ranks(self, channel: int) -> list[int]:
+        """Ranks on ``channel`` not in MPSM (standby or self-refresh)."""
+        return [rank.index for rank in self.device.ranks_in_channel(channel)
+                if rank.state is not PowerState.MPSM]
+
+    def start_profiling(self, channel: int, now_ns: float) -> int | None:
+        """Enter the profiling phase and pick a victim rank.
+
+        The victim is the standby rank with the fewest accesses in the last
+        completed window.  Returns the victim rank index, or ``None`` when
+        fewer than two ranks are in standby (nothing to consolidate into).
+        """
+        state = self._channels[channel]
+        candidates = [rank for rank in self.active_ranks(channel)
+                      if self.device.rank(channel, rank).state
+                      is PowerState.STANDBY]
+        # A victim unit is an aligned block of ``victim_granularity`` ranks
+        # (a CKE pair on the paper's testbed, Section 5.1); every member
+        # must be in standby.
+        granularity = self.victim_granularity
+        blocks = [tuple(range(start, start + granularity))
+                  for start in range(0, self.geometry.ranks_per_channel,
+                                     granularity)
+                  if all(rank in candidates
+                         for rank in range(start, start + granularity))]
+        if len(blocks) < 2:
+            state.phase = ChannelPhase.IDLE
+            return None
+        # Drop any plan left over from an interrupted profiling pass; the
+        # migration table restarts from identity (Section 3.4: the table is
+        # re-initialised around each migration).
+        self._reset_channel_table(channel)
+        counts = state.last_window_counts
+        victims = min(blocks, key=lambda block: (
+            sum(counts.get(rank, 0) for rank in block), block))
+        victim = victims[0]
+        state.phase = ChannelPhase.PROFILING
+        state.victim_rank = victim
+        state.victim_ranks = victims
+        state.quiet_since_ns = now_ns
+        state.target_ranks = [rank for rank in candidates
+                              if rank not in victims]
+        # The TSP is a CLOCK hand: it persists across profiling rounds so
+        # repeated searches keep exploring the target ranks instead of
+        # rescanning the same entries.
+        state.target_cursor %= len(state.target_ranks)
+        for rank in state.target_ranks:
+            state.tsp.setdefault(rank, 0)
+        self.events.append(SelfRefreshEvent(
+            time_ns=now_ns, channel=channel, kind="victim_selected",
+            victim_rank=victim))
+        return victim
+
+    # -- access path -------------------------------------------------------------------
+
+    def on_access(self, dsn: int, now_ns: float) -> float:
+        """Record one post-cache access to segment ``dsn``.
+
+        Returns the latency penalty (ns) if the access woke a rank out of
+        self-refresh, else 0.0.
+        """
+        channel = self._channel_of(dsn)
+        rank = self._rank_of(dsn)
+        state = self._channels[channel]
+        penalty = self._wake_if_needed(channel, rank, state, now_ns)
+        self.device.rank(channel, rank).record_access()
+        state.window_counts[rank] = state.window_counts.get(rank, 0) + 1
+        self.access_bits[dsn] = True
+        if state.phase is ChannelPhase.PROFILING:
+            self._profiling_update(dsn, state, rank, now_ns)
+        return penalty
+
+    def on_batch(self, dsns: np.ndarray, now_ns: float,
+                 bit_dsns: np.ndarray | None = None) -> float:
+        """Apply one access window's worth of *distinct touched segments*.
+
+        Equivalent to calling :meth:`on_access` once per touched segment,
+        but with the bulk bookkeeping (access bits, per-rank counters, SR
+        wake detection) vectorised.  Returns total wake penalty (ns).
+
+        Args:
+            dsns: Segments touched during the batch interval (drive wakes,
+                counters, and migration-table updates).
+            bit_dsns: Segments whose access bit should be set.  When the
+                batch interval is longer than the hardware's 0.5 ms access
+                window, pass the sub-sample touched within one window here
+                so the CLOCK's second-chance bits keep their hardware
+                granularity; ``None`` sets bits for every touched segment.
+        """
+        if not len(dsns):
+            return 0.0
+        dsns = np.asarray(dsns, dtype=np.int64)
+        if bit_dsns is None:
+            self.access_bits[dsns] = True
+        elif len(bit_dsns):
+            self.access_bits[np.asarray(bit_dsns, dtype=np.int64)] = True
+        channels = dsns & self._channel_mask
+        ranks = dsns >> self._rank_shift
+        penalty = 0.0
+        for channel in range(self.geometry.channels):
+            mask = channels == channel
+            if not mask.any():
+                continue
+            state = self._channels[channel]
+            channel_dsns = dsns[mask]
+            channel_ranks = ranks[mask]
+            for rank in np.unique(channel_ranks):
+                rank = int(rank)
+                count = int((channel_ranks == rank).sum())
+                penalty += self._wake_if_needed(channel, rank, state, now_ns)
+                self.device.rank(channel, rank).record_access(count)
+                state.window_counts[rank] = (state.window_counts.get(rank, 0)
+                                             + count)
+            if state.phase is not ChannelPhase.PROFILING:
+                continue
+            # Only touches whose *planned* location is the victim rank
+            # update the migration table / reset the timer.
+            planned_ranks = (self.planned[channel_dsns]
+                             >> self._rank_shift)
+            hits = channel_dsns[np.isin(planned_ranks,
+                                        list(state.victim_ranks))]
+            for dsn in hits:
+                self._profiling_update(int(dsn), state,
+                                       int(dsn) >> self._rank_shift, now_ns)
+        return penalty
+
+    def _wake_if_needed(self, channel: int, rank: int, state: _ChannelState,
+                        now_ns: float) -> float:
+        rank_obj = self.device.rank(channel, rank)
+        if rank_obj.state is not PowerState.SELF_REFRESH:
+            return 0.0
+        # The whole victim block wakes together: on the paper's testbed two
+        # ranks share a CKE pin, so self-refresh exit is a pair operation.
+        block_start = (rank // self.victim_granularity) * self.victim_granularity
+        penalty = 0.0
+        for member in range(block_start, block_start + self.victim_granularity):
+            member_obj = self.device.rank(channel, member)
+            if member_obj.state is not PowerState.SELF_REFRESH:
+                continue
+            penalty = max(penalty, self.device.set_rank_state(
+                (channel, member), PowerState.STANDBY, now_ns / 1e9))
+            self.events.append(SelfRefreshEvent(
+                time_ns=now_ns, channel=channel, kind="exit_sr",
+                victim_rank=member))
+        self.exit_penalty_total_ns += penalty
+        # Re-profile: the freshly woken block has the fewest recent accesses
+        # so it is re-selected as the victim, and the few segments that woke
+        # it are planned out — the paper's cheap re-entry path.
+        self.start_profiling(channel, now_ns)
+        return penalty
+
+    def _profiling_update(self, dsn: int, state: _ChannelState, rank: int,
+                          now_ns: float) -> None:
+        victims = state.victim_ranks
+        if self._rank_of(int(self.planned[dsn])) not in victims:
+            return
+        # Access hits the hypothetical victim rank: reset the quiet timer.
+        state.quiet_since_ns = now_ns
+        if not self.enable_planning:
+            return
+        channel = self._channel_of(dsn)
+        if rank in victims and int(self.planned[dsn]) == dsn:
+            # Case (b): hot segment physically in the victim rank, not yet
+            # planned out.  Find a cold partner with the TSP.
+            partner = self._tsp_find_cold(channel, state)
+            if partner is not None:
+                self._swap_entries(dsn, partner)
+        elif rank not in victims:
+            # Case (c): a target-rank segment planned *into* the victim
+            # rank turned out hot.  Restore the swap, then find a genuinely
+            # cold partner for the victim-rank entry it was paired with.
+            partner_victim_dsn = int(self.planned[dsn])
+            self._swap_entries(dsn, partner_victim_dsn)
+            replacement = self._tsp_find_cold(channel, state)
+            if replacement is not None:
+                self._swap_entries(partner_victim_dsn, replacement)
+
+    def _tsp_find_cold(self, channel: int, state: _ChannelState) -> int | None:
+        """CLOCK scan for a cold, not-yet-planned entry in the target rank.
+
+        Clears access bits as it passes hot entries (second chance);
+        bounded by ``tsp_scan_limit`` examined entries, after which the TSP
+        rotates to the next target rank (the paper's 40 ns timeout).
+        """
+        if not state.target_ranks:
+            return None
+        target = state.target_ranks[state.target_cursor]
+        segments = self.geometry.segments_per_rank
+        pointer = state.tsp[target]
+        for _ in range(self.tsp_scan_limit):
+            index = pointer % segments
+            pointer += 1
+            dsn = self._dsn(channel, target, index)
+            if int(self.planned[dsn]) != dsn:
+                continue  # already involved in a planned swap
+            if self.access_bits[dsn]:
+                self.access_bits[dsn] = False  # second chance
+                continue
+            state.tsp[target] = pointer
+            # "A target rank is chosen in a round-robin manner among the
+            # other active ranks": rotate after every selection so cold
+            # segments are collected from all target ranks, not just the
+            # first one with a cold-looking entry.
+            state.target_cursor = ((state.target_cursor + 1)
+                                   % len(state.target_ranks))
+            return dsn
+        # Timeout: remember progress and rotate to the next target rank.
+        state.tsp[target] = pointer
+        state.target_cursor = (state.target_cursor + 1) % len(state.target_ranks)
+        return None
+
+    # -- windows and timers ----------------------------------------------------------
+
+    def end_window(self) -> None:
+        """Close the current access-count window on every channel."""
+        for state in self._channels.values():
+            state.last_window_counts = dict(state.window_counts)
+            state.window_counts.clear()
+
+    def tick(self, now_ns: float) -> list[SelfRefreshEvent]:
+        """Advance timers; run migration + SR entry for quiet channels."""
+        fired: list[SelfRefreshEvent] = []
+        for channel, state in self._channels.items():
+            if state.phase is ChannelPhase.IDLE:
+                self.start_profiling(channel, now_ns)
+                continue
+            if state.phase is ChannelPhase.SELF_REFRESH:
+                # The last victim has slept undisturbed for the revisit
+                # delay: try to consolidate one more rank.
+                if now_ns - state.last_sr_entry_ns >= self.revisit_delay_ns:
+                    self.start_profiling(channel, now_ns)
+                continue
+            if state.phase is not ChannelPhase.PROFILING:
+                continue
+            if now_ns - state.quiet_since_ns >= self.profiling_threshold_ns:
+                event = self._enter_self_refresh(channel, state, now_ns)
+                if event is not None:
+                    fired.append(event)
+        return fired
+
+    # -- migration phase --------------------------------------------------------------
+
+    def _planned_swaps(self, channel: int,
+                       state: _ChannelState) -> list[tuple[int, int]]:
+        """(victim_dsn, partner_dsn) pairs whose plan differs from identity."""
+        swaps = []
+        for victim in state.victim_ranks:
+            for index in range(self.geometry.segments_per_rank):
+                dsn = self._dsn(channel, victim, index)
+                planned = int(self.planned[dsn])
+                if planned != dsn:
+                    swaps.append((dsn, planned))
+        return swaps
+
+    def _reset_channel_table(self, channel: int) -> None:
+        """Re-initialise planned locations for one channel.
+
+        Only the rank/segment (planned) fields are reset, as in the paper;
+        access bits are CLOCK state and persist.
+        """
+        geo = self.geometry
+        for rank in range(geo.ranks_per_channel):
+            base = self._dsn(channel, rank, 0)
+            dsns = base + np.arange(geo.segments_per_rank) * geo.channels
+            self.planned[dsns] = dsns
+
+    def _enter_self_refresh(self, channel: int, state: _ChannelState,
+                            now_ns: float) -> SelfRefreshEvent | None:
+        # The power-down policy (or rank retirement) may have parked a
+        # victim rank in MPSM since profiling began; the plan is stale —
+        # restart with the surviving standby ranks.
+        if any(self.device.rank(channel, rank).state
+               is not PowerState.STANDBY for rank in state.victim_ranks):
+            self.start_profiling(channel, now_ns)
+            return None
+        swaps = self._planned_swaps(channel, state)
+        migrated_bytes = self._execute_swaps(swaps)
+        self._reset_channel_table(channel)
+        victim = state.victim_rank
+        for rank in state.victim_ranks:
+            self.device.set_rank_state((channel, rank),
+                                       PowerState.SELF_REFRESH, now_ns / 1e9)
+        state.phase = ChannelPhase.SELF_REFRESH
+        self.migrated_bytes_total += migrated_bytes
+        event = SelfRefreshEvent(
+            time_ns=now_ns, channel=channel, kind="enter_sr",
+            victim_rank=victim, swaps=len(swaps),
+            migrated_bytes=migrated_bytes)
+        self.events.append(event)
+        state.last_sr_entry_ns = now_ns
+        return event
+
+    def _execute_swaps(self, swaps: list[tuple[int, int]]) -> int:
+        """Perform the planned hot/cold exchanges with mapping updates.
+
+        Swaps whose partner rank has left standby since the plan was made
+        (powered down or retired by a concurrent policy) are dropped — the
+        table resets right after, so the skipped entries simply retry in
+        the next profiling round.
+        """
+        migrated = 0
+        for victim_dsn, partner_dsn in swaps:
+            partner_rank = (self._channel_of(partner_dsn),
+                            self._rank_of(partner_dsn))
+            if self.device.rank(*partner_rank).state \
+                    is not PowerState.STANDBY:
+                continue
+            victim_live = self.tables.is_dsn_live(victim_dsn)
+            partner_live = self.tables.is_dsn_live(partner_dsn)
+            if victim_live and partner_live:
+                hsn_v = self.tables.hsn_of_dsn(victim_dsn)
+                hsn_p = self.tables.hsn_of_dsn(partner_dsn)
+                self.tables.swap_segments(hsn_v, hsn_p)
+                self.translation.invalidate(hsn_v)
+                self.translation.invalidate(hsn_p)
+                migrated += 2 * self.geometry.segment_bytes
+            elif victim_live:
+                self._move(victim_dsn, partner_dsn)
+                migrated += self.geometry.segment_bytes
+            elif partner_live:
+                self._move(partner_dsn, victim_dsn)
+                migrated += self.geometry.segment_bytes
+        return migrated
+
+    def _move(self, src_dsn: int, dst_dsn: int) -> None:
+        """One-way copy of a live segment into a free slot."""
+        self.allocator.reserve_specific(dst_dsn)
+        hsn = self.tables.hsn_of_dsn(src_dsn)
+        self.tables.remap_segment(hsn, dst_dsn)
+        self.translation.invalidate(hsn)
+        self.allocator.free([src_dsn])
+
+    # -- introspection ------------------------------------------------------------------
+
+    def phase(self, channel: int) -> ChannelPhase:
+        """Current phase of ``channel``'s state machine."""
+        return self._channels[channel].phase
+
+    def victim_rank(self, channel: int) -> int:
+        """Current (primary) victim rank of ``channel`` (-1 when none)."""
+        return self._channels[channel].victim_rank
+
+    def victim_ranks(self, channel: int) -> tuple[int, ...]:
+        """Current victim rank block of ``channel`` (empty when none)."""
+        return self._channels[channel].victim_ranks
+
+    def sr_ranks(self, channel: int) -> list[int]:
+        """Ranks of ``channel`` currently in self-refresh."""
+        return [rank.index for rank in self.device.ranks_in_channel(channel)
+                if rank.state is PowerState.SELF_REFRESH]
+
+    def hypothetical_victim_size(self, channel: int) -> int:
+        """Number of segments currently planned into the victim rank."""
+        state = self._channels[channel]
+        if not state.victim_ranks:
+            return 0
+        geo = self.geometry
+        count = 0
+        for rank in range(geo.ranks_per_channel):
+            base = self._dsn(channel, rank, 0)
+            dsns = base + np.arange(geo.segments_per_rank) * geo.channels
+            count += int(np.isin(self.planned[dsns] >> self._rank_shift,
+                                 list(state.victim_ranks)).sum())
+        return count
+
+
+__all__ = [
+    "DEFAULT_WINDOW_NS",
+    "DEFAULT_PROFILING_THRESHOLD_NS",
+    "DEFAULT_TSP_SCAN_LIMIT",
+    "ChannelPhase",
+    "SelfRefreshEvent",
+    "HotnessSelfRefreshPolicy",
+]

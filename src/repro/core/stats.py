@@ -1,0 +1,110 @@
+"""Unified controller statistics snapshot.
+
+Pulls counters from every DTL subsystem into one flat, JSON-ready
+dictionary — what a device vendor would expose over the management
+interface.  Nothing here mutates state; it is safe to call at any point
+during a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.controller import DtlController
+from repro.dram.power import PowerState
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """One point-in-time statistics capture."""
+
+    translation: dict[str, float]
+    allocation: dict[str, float]
+    migration: dict[str, float]
+    power: dict[str, float]
+    self_refresh: dict[str, float]
+
+    def flat(self) -> dict[str, float]:
+        """All counters in one namespace-prefixed dictionary."""
+        merged: dict[str, float] = {}
+        for prefix, group in (("translation", self.translation),
+                              ("allocation", self.allocation),
+                              ("migration", self.migration),
+                              ("power", self.power),
+                              ("self_refresh", self.self_refresh)):
+            for key, value in group.items():
+                merged[f"{prefix}.{key}"] = value
+        return merged
+
+
+def snapshot(controller: DtlController) -> StatsSnapshot:
+    """Capture every subsystem's counters."""
+    translation_engine = controller.translation
+    smc = translation_engine.smc
+    translation = {
+        "count": float(translation_engine.translation_count),
+        "mean_latency_ns": translation_engine.mean_observed_latency_ns(),
+        "amat_ns": translation_engine.measured_amat_ns(),
+        "l1_hit_ratio": smc.l1.stats.hit_ratio,
+        "l2_hit_ratio": smc.l2.stats.hit_ratio,
+        "invalidations": float(smc.l1.stats.invalidations
+                               + smc.l2.stats.invalidations),
+    }
+
+    allocator = controller.allocator
+    geometry = controller.geometry
+    allocation = {
+        "segments_allocated": float(allocator.allocated_count()),
+        "segments_free": float(allocator.free_count()),
+        "utilization": allocator.allocated_count()
+        / geometry.total_segments,
+        "live_vms": float(len(controller.live_vms)),
+        "reserved_bytes": float(controller.reserved_bytes()),
+    }
+
+    engine = controller.migration
+    migration = {
+        "segments_migrated": float(engine.stats.segments_migrated),
+        "bytes_copied": float(engine.stats.bytes_copied),
+        "aborts": float(engine.stats.aborts),
+        "requeues": float(engine.stats.requeues),
+        "foreground_redirects": float(engine.stats.foreground_redirects),
+        "pending": float(engine.pending_count()),
+    }
+
+    device = controller.device
+    counts = device.state_counts()
+    power = {
+        "ranks_standby": float(counts[PowerState.STANDBY]),
+        "ranks_self_refresh": float(counts[PowerState.SELF_REFRESH]),
+        "ranks_mpsm": float(counts[PowerState.MPSM]),
+        "background_power_rsu": device.background_power(),
+        "transitions": float(sum(rank.transition_count
+                                 for rank in device.ranks.values())),
+        "exit_penalty_total_ns": sum(rank.exit_penalty_total_ns
+                                     for rank in device.ranks.values()),
+    }
+    if controller.power_down is not None:
+        power["active_ranks_per_channel"] = float(
+            controller.power_down.active_ranks_per_channel())
+        power["quarantined"] = float(
+            len(controller.power_down.quarantined_ranks()))
+
+    self_refresh: dict[str, float] = {}
+    policy = controller.self_refresh
+    if policy is not None:
+        self_refresh = {
+            "sr_entries": float(sum(1 for e in policy.events
+                                    if e.kind == "enter_sr")),
+            "sr_exits": float(sum(1 for e in policy.events
+                                  if e.kind == "exit_sr")),
+            "migrated_bytes": float(policy.migrated_bytes_total),
+            "exit_penalty_total_ns": policy.exit_penalty_total_ns,
+        }
+
+    return StatsSnapshot(translation=translation, allocation=allocation,
+                         migration=migration, power=power,
+                         self_refresh=self_refresh)
+
+
+__all__ = ["StatsSnapshot", "snapshot"]

@@ -1,0 +1,226 @@
+"""DTL translation tables: the three-level miss path plus reverse mapping.
+
+The miss path (Figure 4) is:
+
+1. **Host base address table** (on-chip SRAM) — host ID -> base of that
+   host's AU table.
+2. **AU table** (on-chip SRAM, one per host) — AU ID -> base address of the
+   AU's slice of the segment mapping table.
+3. **Segment mapping table** (in reserved DRAM) — AU offset -> DSN.
+
+A **reverse mapping table** (DSN -> HSN, also in reserved DRAM) supports
+mapping updates after data migration (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.addressing import HostAddressLayout
+from repro.errors import AddressError, AllocationError, TranslationError
+
+UNMAPPED = -1
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a full table walk for one HSN."""
+
+    dsn: int
+    sram_accesses: int
+    dram_accesses: int
+
+
+class AuMappingSlice:
+    """The segment mapping table slice for one allocated AU.
+
+    Maps AU offsets (0 .. segments_per_au-1) to DSNs; ``UNMAPPED`` marks
+    segments not yet backed by DRAM.
+    """
+
+    def __init__(self, au_id: int, segments_per_au: int):
+        self.au_id = au_id
+        self._dsns: list[int] = [UNMAPPED] * segments_per_au
+
+    def get(self, au_offset: int) -> int:
+        """DSN for ``au_offset`` (may be :data:`UNMAPPED`)."""
+        return self._dsns[au_offset]
+
+    def set(self, au_offset: int, dsn: int) -> None:
+        """Record that ``au_offset`` is backed by segment ``dsn``."""
+        self._dsns[au_offset] = dsn
+
+    def clear(self, au_offset: int) -> int:
+        """Unmap ``au_offset``; returns the previous DSN."""
+        old = self._dsns[au_offset]
+        self._dsns[au_offset] = UNMAPPED
+        return old
+
+    def mapped_offsets(self) -> list[int]:
+        """AU offsets currently backed by a segment."""
+        return [offset for offset, dsn in enumerate(self._dsns)
+                if dsn != UNMAPPED]
+
+    def __len__(self) -> int:
+        return len(self._dsns)
+
+
+class TranslationTables:
+    """All DTL mapping state for one device.
+
+    This class is purely functional bookkeeping — latency and energy of
+    table accesses are accounted by the callers
+    (:class:`repro.core.translation.TranslationEngine`).
+    """
+
+    def __init__(self, layout: HostAddressLayout):
+        self.layout = layout
+        # host_id -> {au_id -> AuMappingSlice}; models host base address
+        # table + per-host AU tables + the DRAM-resident mapping slices.
+        self._hosts: dict[int, dict[int, AuMappingSlice]] = {}
+        # DSN -> HSN reverse map.
+        self._reverse: dict[int, int] = {}
+
+    # -- AU lifecycle ---------------------------------------------------------
+
+    def register_host(self, host_id: int) -> None:
+        """Create the AU table for ``host_id`` if not present."""
+        if not 0 <= host_id < self.layout.max_hosts:
+            raise AddressError(f"host_id {host_id} out of range")
+        self._hosts.setdefault(host_id, {})
+
+    def allocate_au(self, host_id: int, au_id: int) -> AuMappingSlice:
+        """Create the mapping slice for a newly allocated AU."""
+        self.register_host(host_id)
+        aus = self._hosts[host_id]
+        if au_id in aus:
+            raise AllocationError(
+                f"AU {au_id} of host {host_id} already allocated")
+        if not 0 <= au_id < self.layout.max_aus_per_host:
+            raise AddressError(f"au_id {au_id} out of range")
+        aus[au_id] = AuMappingSlice(au_id, self.layout.segments_per_au)
+        return aus[au_id]
+
+    def free_au(self, host_id: int, au_id: int) -> list[int]:
+        """Tear down an AU; returns the DSNs of its mapped segments."""
+        au_slice = self._au_slice(host_id, au_id)
+        dsns = []
+        for au_offset in au_slice.mapped_offsets():
+            dsn = au_slice.clear(au_offset)
+            self._reverse.pop(dsn, None)
+            dsns.append(dsn)
+        del self._hosts[host_id][au_id]
+        return dsns
+
+    def au_ids(self, host_id: int) -> list[int]:
+        """AU IDs currently allocated for ``host_id``."""
+        return sorted(self._hosts.get(host_id, {}))
+
+    def _au_slice(self, host_id: int, au_id: int) -> AuMappingSlice:
+        try:
+            return self._hosts[host_id][au_id]
+        except KeyError:
+            raise TranslationError(
+                f"AU {au_id} of host {host_id} is not allocated") from None
+
+    # -- mapping --------------------------------------------------------------
+
+    def map_segment(self, hsn: int, dsn: int) -> None:
+        """Install the HSN -> DSN mapping (and its reverse)."""
+        host_id, au_id, au_offset = self.layout.unpack_hsn(hsn)
+        au_slice = self._au_slice(host_id, au_id)
+        if au_slice.get(au_offset) != UNMAPPED:
+            raise TranslationError(f"HSN {hsn:#x} is already mapped")
+        if dsn in self._reverse:
+            raise TranslationError(f"DSN {dsn:#x} is already in use")
+        au_slice.set(au_offset, dsn)
+        self._reverse[dsn] = hsn
+
+    def remap_segment(self, hsn: int, new_dsn: int) -> int:
+        """Point ``hsn`` at ``new_dsn`` after migration; returns the old DSN."""
+        host_id, au_id, au_offset = self.layout.unpack_hsn(hsn)
+        au_slice = self._au_slice(host_id, au_id)
+        old_dsn = au_slice.get(au_offset)
+        if old_dsn == UNMAPPED:
+            raise TranslationError(f"HSN {hsn:#x} is not mapped")
+        if new_dsn in self._reverse:
+            raise TranslationError(f"DSN {new_dsn:#x} is already in use")
+        au_slice.set(au_offset, new_dsn)
+        del self._reverse[old_dsn]
+        self._reverse[new_dsn] = hsn
+        return old_dsn
+
+    def swap_segments(self, hsn_a: int, hsn_b: int) -> None:
+        """Exchange the DSNs of two mapped HSNs (hot/cold swap)."""
+        dsn_a = self.walk(hsn_a).dsn
+        dsn_b = self.walk(hsn_b).dsn
+        host_a, au_a, off_a = self.layout.unpack_hsn(hsn_a)
+        host_b, au_b, off_b = self.layout.unpack_hsn(hsn_b)
+        self._au_slice(host_a, au_a).set(off_a, dsn_b)
+        self._au_slice(host_b, au_b).set(off_b, dsn_a)
+        self._reverse[dsn_a] = hsn_b
+        self._reverse[dsn_b] = hsn_a
+
+    def unmap_segment(self, hsn: int) -> int:
+        """Remove the mapping for ``hsn``; returns the freed DSN."""
+        host_id, au_id, au_offset = self.layout.unpack_hsn(hsn)
+        au_slice = self._au_slice(host_id, au_id)
+        dsn = au_slice.clear(au_offset)
+        if dsn == UNMAPPED:
+            raise TranslationError(f"HSN {hsn:#x} is not mapped")
+        del self._reverse[dsn]
+        return dsn
+
+    # -- lookups --------------------------------------------------------------
+
+    def walk(self, hsn: int) -> WalkResult:
+        """Full three-level walk: 2 SRAM accesses + 1 DRAM access.
+
+        Raises:
+            TranslationError: if the HSN has no mapping.
+        """
+        host_id, au_id, au_offset = self.layout.unpack_hsn(hsn)
+        au_slice = self._au_slice(host_id, au_id)
+        dsn = au_slice.get(au_offset)
+        if dsn == UNMAPPED:
+            raise TranslationError(f"HSN {hsn:#x} is not mapped")
+        return WalkResult(dsn=dsn, sram_accesses=2, dram_accesses=1)
+
+    def try_walk(self, hsn: int) -> int | None:
+        """Like :meth:`walk` but returns ``None`` for unmapped HSNs."""
+        try:
+            return self.walk(hsn).dsn
+        except TranslationError:
+            return None
+
+    def hsn_of_dsn(self, dsn: int) -> int:
+        """Reverse lookup: HSN mapped to ``dsn``.
+
+        Raises:
+            TranslationError: if the DSN holds no live segment.
+        """
+        try:
+            return self._reverse[dsn]
+        except KeyError:
+            raise TranslationError(f"DSN {dsn:#x} holds no segment") from None
+
+    def is_dsn_live(self, dsn: int) -> bool:
+        """True if ``dsn`` currently backs some HSN."""
+        return dsn in self._reverse
+
+    def live_dsns(self) -> list[int]:
+        """All DSNs currently backing segments."""
+        return sorted(self._reverse)
+
+    @property
+    def mapped_segment_count(self) -> int:
+        """Number of live HSN -> DSN mappings."""
+        return len(self._reverse)
+
+
+__all__ = [
+    "UNMAPPED",
+    "WalkResult",
+    "AuMappingSlice",
+    "TranslationTables",
+]

@@ -1,0 +1,8 @@
+"""CXL substrate: link model, pooled memory device, and multi-device pool."""
+
+from repro.cxl.device import CxlMemoryDevice
+from repro.cxl.link import CxlLinkConfig
+from repro.cxl.pool import MemoryPool, PoolStats, PoolVmHandle
+
+__all__ = ["CxlMemoryDevice", "CxlLinkConfig", "MemoryPool", "PoolStats",
+           "PoolVmHandle"]

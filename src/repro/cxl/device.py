@@ -1,0 +1,74 @@
+"""CXL memory device: a DTL controller behind a CXL.mem link.
+
+:class:`CxlMemoryDevice` is the outermost device abstraction: hosts issue
+loads/stores against host physical addresses and the device returns data
+placement and latency, with the CXL link delay composed in.  It is a thin
+wrapper over :class:`~repro.core.controller.DtlController` that keeps the
+link model separate from the translation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DtlConfig
+from repro.core.controller import AccessResult, DtlController, VmHandle
+from repro.cxl.link import CxlLinkConfig
+from repro.dram.timing import NATIVE_DRAM_LATENCY_NS
+
+
+@dataclass
+class CxlMemoryDevice:
+    """A pooled CXL memory expander with an embedded DTL.
+
+    Attributes:
+        config: DTL configuration (geometry, policies, cache sizing).
+        link: CXL link parameters.
+    """
+
+    config: DtlConfig = field(default_factory=DtlConfig)
+    link: CxlLinkConfig = field(default_factory=CxlLinkConfig)
+    controller: DtlController = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.controller is None:
+            self.controller = DtlController(
+                self.config,
+                cxl_latency_ns=self.link.base_latency_ns
+                + NATIVE_DRAM_LATENCY_NS)
+
+    # -- host-facing API ---------------------------------------------------------
+
+    def allocate_vm(self, host_id: int, reserved_bytes: int,
+                    now_s: float = 0.0) -> VmHandle:
+        """Reserve pooled memory for a VM on ``host_id``."""
+        return self.controller.allocate_vm(host_id, reserved_bytes, now_s)
+
+    def deallocate_vm(self, vm: VmHandle, now_s: float = 0.0):
+        """Release a VM's reservation (may power ranks down)."""
+        return self.controller.deallocate_vm(vm, now_s)
+
+    def load(self, host_id: int, hpa: int, now_ns: float = 0.0) -> AccessResult:
+        """A read through the CXL.mem path."""
+        return self.controller.access(host_id, hpa, is_write=False,
+                                      now_ns=now_ns)
+
+    def store(self, host_id: int, hpa: int, now_ns: float = 0.0) -> AccessResult:
+        """A write through the CXL.mem path."""
+        return self.controller.access(host_id, hpa, is_write=True,
+                                      now_ns=now_ns)
+
+    # -- status ----------------------------------------------------------------------
+
+    def power_summary(self) -> dict[str, float]:
+        """Instantaneous background power and rank-state census."""
+        device = self.controller.device
+        counts = device.state_counts()
+        return {
+            "background_power_rsu": device.background_power(),
+            **{f"ranks_{state.value}": float(count)
+               for state, count in counts.items()},
+        }
+
+
+__all__ = ["CxlMemoryDevice"]

@@ -1,0 +1,42 @@
+"""DRAM substrate: geometry, timing, power states, and device model."""
+
+from repro.dram.banks import (AddressDecoder, BankState, BankStats,
+                              RowBufferAnalyzer, RowOutcome)
+from repro.dram.device import DramDevice, RankId
+from repro.dram.geometry import (DEFAULT_SEGMENT_BYTES, DramGeometry,
+                                 PAPER_1TB_GEOMETRY, PAPER_4TB_GEOMETRY,
+                                 geometry_for_capacity)
+from repro.dram.power import (DramPowerModel, EnergyAccumulator, MPSM_EXIT_NS,
+                              PowerState, SELF_REFRESH_EXIT_NS, STATE_POWER,
+                              check_transition, transition_exit_penalty_ns)
+from repro.dram.rank import Rank
+from repro.dram.timing import (CXL_MEMORY_LATENCY_NS, DDR4_2933, DramTiming,
+                               NATIVE_DRAM_LATENCY_NS)
+
+__all__ = [
+    "AddressDecoder",
+    "BankState",
+    "BankStats",
+    "RowBufferAnalyzer",
+    "RowOutcome",
+    "DramDevice",
+    "RankId",
+    "DramGeometry",
+    "DEFAULT_SEGMENT_BYTES",
+    "PAPER_1TB_GEOMETRY",
+    "PAPER_4TB_GEOMETRY",
+    "geometry_for_capacity",
+    "DramPowerModel",
+    "EnergyAccumulator",
+    "PowerState",
+    "STATE_POWER",
+    "SELF_REFRESH_EXIT_NS",
+    "MPSM_EXIT_NS",
+    "check_transition",
+    "transition_exit_penalty_ns",
+    "Rank",
+    "DramTiming",
+    "DDR4_2933",
+    "NATIVE_DRAM_LATENCY_NS",
+    "CXL_MEMORY_LATENCY_NS",
+]

@@ -1,0 +1,200 @@
+"""Bank-level row-buffer state tracking.
+
+The schedule-level simulators use measured end-to-end latencies, but the
+performance model's bank *service time* is an effective constant.  This
+module grounds it: a :class:`BankState` grid tracks the open row of every
+bank, classifies each access as a row hit / miss / conflict, and
+:class:`RowBufferAnalyzer` turns a post-cache trace into hit-rate and
+mean-service-time statistics under a configurable address mapping.
+
+It doubles as the substrate for studying how the DTL's segment-granular
+channel interleaving affects row locality compared to the conventional
+cacheline-interleaved mapping (the paper's Figure 5 argument in
+microcosm: interleaving trades row locality for parallelism).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DDR4_2933, DramTiming
+from repro.units import KIB, log2_int
+
+
+class RowOutcome(enum.Enum):
+    """Classification of one DRAM column access."""
+
+    HIT = "hit"          # row already open
+    MISS = "miss"        # bank idle (closed row)
+    CONFLICT = "conflict"  # different row open: precharge first
+
+
+@dataclass
+class BankStats:
+    """Access-outcome counters."""
+
+    hits: int = 0
+    misses: int = 0
+    conflicts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total classified accesses."""
+        return self.hits + self.misses + self.conflicts
+
+    @property
+    def hit_ratio(self) -> float:
+        """Row-buffer hit ratio."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_ratio(self) -> float:
+        """Row-buffer conflict ratio."""
+        return self.conflicts / self.accesses if self.accesses else 0.0
+
+
+class BankState:
+    """Open-row tracking for every bank in the device."""
+
+    IDLE = -1
+
+    def __init__(self, geometry: DramGeometry, row_bytes: int = 8 * KIB):
+        self.geometry = geometry
+        self.row_bytes = row_bytes
+        total_banks = (geometry.channels * geometry.ranks_per_channel
+                       * geometry.banks_per_rank)
+        self._open_rows = np.full(total_banks, self.IDLE, dtype=np.int64)
+        self.stats = BankStats()
+
+    def _bank_index(self, channel: int, rank: int, bank: int) -> int:
+        geo = self.geometry
+        return ((channel * geo.ranks_per_channel + rank)
+                * geo.banks_per_rank + bank)
+
+    def access(self, channel: int, rank: int, bank: int,
+               row: int) -> RowOutcome:
+        """Classify one access and update the open row."""
+        index = self._bank_index(channel, rank, bank)
+        open_row = self._open_rows[index]
+        self._open_rows[index] = row
+        if open_row == self.IDLE:
+            self.stats.misses += 1
+            return RowOutcome.MISS
+        if open_row == row:
+            self.stats.hits += 1
+            return RowOutcome.HIT
+        self.stats.conflicts += 1
+        return RowOutcome.CONFLICT
+
+    def precharge_all(self) -> None:
+        """Close every row (e.g. after refresh)."""
+        self._open_rows.fill(self.IDLE)
+
+    def open_row(self, channel: int, rank: int, bank: int) -> int:
+        """Currently open row of a bank (-1 when idle)."""
+        return int(self._open_rows[self._bank_index(channel, rank, bank)])
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """Decomposed device address for the bank model."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+
+
+class AddressDecoder:
+    """Map flat physical addresses onto (channel, rank, bank, row).
+
+    Two mappings are provided:
+
+    * ``"interleaved"`` — the conventional baseline: channel and bank bits
+      directly above the cacheline offset, rank above them.
+    * ``"dtl"`` — the DTL layout (Figure 6): channel bits above the 2 MiB
+      segment offset, rank bits at the top; banks interleave on row
+      boundaries inside a rank.
+    """
+
+    def __init__(self, geometry: DramGeometry, mapping: str = "dtl",
+                 row_bytes: int = 8 * KIB):
+        if mapping not in ("dtl", "interleaved"):
+            raise ValueError(f"unknown mapping {mapping!r}")
+        self.geometry = geometry
+        self.mapping = mapping
+        self.row_bytes = row_bytes
+        self._row_bits = log2_int(row_bytes)
+
+    def decode(self, address: int) -> DramAddress:
+        """Decompose one byte address."""
+        geo = self.geometry
+        if self.mapping == "interleaved":
+            block = address >> 6  # cacheline
+            channel = block % geo.channels
+            block //= geo.channels
+            bank = block % geo.banks_per_rank
+            block //= geo.banks_per_rank
+            rank = block % geo.ranks_per_channel
+            row = block // geo.ranks_per_channel
+            return DramAddress(channel, rank, bank, int(row))
+        segment = address // geo.segment_bytes
+        offset = address % geo.segment_bytes
+        channel = segment % geo.channels
+        within_channel = segment // geo.channels
+        rank = (within_channel // geo.segments_per_rank) \
+            % geo.ranks_per_channel
+        row_linear = (within_channel % geo.segments_per_rank) \
+            * (geo.segment_bytes // self.row_bytes) \
+            + (offset >> self._row_bits)
+        bank = row_linear % geo.banks_per_rank
+        row = row_linear // geo.banks_per_rank
+        return DramAddress(channel, rank, bank, int(row))
+
+
+class RowBufferAnalyzer:
+    """Classify a whole trace and estimate the effective service time."""
+
+    def __init__(self, geometry: DramGeometry, mapping: str = "dtl",
+                 timing: DramTiming = DDR4_2933):
+        self.geometry = geometry
+        self.decoder = AddressDecoder(geometry, mapping)
+        self.banks = BankState(geometry)
+        self.timing = timing
+
+    def run(self, addresses: np.ndarray) -> BankStats:
+        """Classify every access of a flat address stream."""
+        for address in addresses:
+            decoded = self.decoder.decode(int(address))
+            self.banks.access(decoded.channel, decoded.rank, decoded.bank,
+                              decoded.row)
+        return self.banks.stats
+
+    def mean_service_time_ns(self) -> float:
+        """Outcome-weighted mean bank service time.
+
+        This is the quantity the performance model folds into one
+        effective ``bank_service_ns`` constant.
+        """
+        stats = self.banks.stats
+        if not stats.accesses:
+            return self.timing.row_miss_latency_ns()
+        hit = self.timing.row_hit_latency_ns()
+        miss = self.timing.row_miss_latency_ns()
+        conflict = self.timing.row_conflict_latency_ns()
+        return (stats.hits * hit + stats.misses * miss
+                + stats.conflicts * conflict) / stats.accesses
+
+
+__all__ = [
+    "RowOutcome",
+    "BankStats",
+    "BankState",
+    "DramAddress",
+    "AddressDecoder",
+    "RowBufferAnalyzer",
+]

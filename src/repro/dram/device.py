@@ -1,0 +1,144 @@
+"""Whole-device DRAM model: a grid of ranks plus power/energy accounting.
+
+:class:`DramDevice` owns one :class:`~repro.dram.rank.Rank` per
+(channel, rank-index) slot, applies rank-group power transitions, and can
+report instantaneous power or integrate energy over time through the
+:class:`~repro.dram.power.DramPowerModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.power import DramPowerModel, PowerState
+from repro.dram.rank import Rank
+from repro.dram.timing import DDR4_2933, DramTiming
+from repro.errors import PowerStateError
+
+RankId = tuple[int, int]
+
+
+@dataclass
+class DramDevice:
+    """A DRAM subsystem of ``geometry.total_ranks`` ranks.
+
+    Attributes:
+        geometry: Structural parameters.
+        power_model: Analytical power model (defaults to one calibrated to
+            the paper's Table 2 / Figure 11 numbers).
+        timing: DDR4 timing set.
+    """
+
+    geometry: DramGeometry
+    power_model: DramPowerModel = None  # type: ignore[assignment]
+    timing: DramTiming = DDR4_2933
+    ranks: dict[RankId, Rank] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.power_model is None:
+            self.power_model = DramPowerModel(geometry=self.geometry)
+        if self.power_model.geometry != self.geometry:
+            raise ValueError("power model geometry does not match device")
+        if not self.ranks:
+            self.ranks = {
+                (channel, index): Rank(channel=channel, index=index)
+                for channel in range(self.geometry.channels)
+                for index in range(self.geometry.ranks_per_channel)
+            }
+
+    # -- lookups ------------------------------------------------------------
+
+    def rank(self, channel: int, index: int) -> Rank:
+        """Return the rank at ``(channel, index)``."""
+        try:
+            return self.ranks[(channel, index)]
+        except KeyError:
+            raise KeyError(f"no rank ({channel}, {index})") from None
+
+    def ranks_in_channel(self, channel: int) -> list[Rank]:
+        """All ranks on one channel, ordered by index."""
+        return [self.ranks[(channel, index)]
+                for index in range(self.geometry.ranks_per_channel)]
+
+    def rank_group(self, group_index: int) -> list[Rank]:
+        """The rank-group with index ``group_index`` (one rank per channel)."""
+        return [self.ranks[(channel, group_index)]
+                for channel in range(self.geometry.channels)]
+
+    def state_counts(self) -> dict[PowerState, int]:
+        """Number of ranks currently in each power state."""
+        counts = {state: 0 for state in PowerState}
+        for rank in self.ranks.values():
+            counts[rank.state] += 1
+        return counts
+
+    def standby_ranks_per_channel(self, channel: int) -> int:
+        """Count of standby (active) ranks on ``channel``."""
+        return sum(1 for rank in self.ranks_in_channel(channel)
+                   if rank.state is PowerState.STANDBY)
+
+    # -- transitions ---------------------------------------------------------
+
+    def set_rank_state(self, rank_id: RankId, state: PowerState,
+                       now_s: float) -> float:
+        """Transition a single rank; returns exit penalty in ns."""
+        return self.ranks[rank_id].set_state(state, now_s)
+
+    def set_rank_group_state(self, group_index: int, state: PowerState,
+                             now_s: float) -> float:
+        """Transition a whole rank-group; returns the max exit penalty (ns).
+
+        The paper transitions power state at rank-group granularity
+        (Section 3.3) so channel bandwidth stays balanced.
+        """
+        penalties = [rank.set_state(state, now_s)
+                     for rank in self.rank_group(group_index)]
+        return max(penalties)
+
+    def set_virtual_rank_group_state(self, rank_ids: list[RankId],
+                                     state: PowerState, now_s: float) -> float:
+        """Transition a *virtual* rank-group (Section 4.3).
+
+        A virtual rank-group takes one idle rank per channel, possibly with
+        different rank indices.  Returns the max exit penalty (ns).
+
+        Raises:
+            PowerStateError: if the set does not contain exactly one rank
+                per channel.
+        """
+        channels = sorted(channel for channel, _ in rank_ids)
+        if channels != list(range(self.geometry.channels)):
+            raise PowerStateError(
+                "virtual rank-group must contain exactly one rank per channel, "
+                f"got channels {channels}")
+        penalties = [self.ranks[rank_id].set_state(state, now_s)
+                     for rank_id in rank_ids]
+        return max(penalties)
+
+    # -- power / energy -------------------------------------------------------
+
+    def background_power(self) -> float:
+        """Instantaneous background power (RSU) for the current states."""
+        return self.power_model.background_power(self.state_counts())
+
+    def total_power(self, bandwidth_gbs: float) -> float:
+        """Instantaneous total power at the given consumed bandwidth (RSU)."""
+        return self.background_power() + self.power_model.active_power(
+            bandwidth_gbs)
+
+    def finalize(self, now_s: float) -> None:
+        """Close all ranks' residency intervals."""
+        for rank in self.ranks.values():
+            rank.finalize(now_s)
+
+    def background_energy(self) -> float:
+        """Total background energy accumulated so far (RSU-seconds).
+
+        Call :meth:`finalize` first to close open residency intervals.
+        """
+        return sum(rank.background_energy(self.power_model.state_power)
+                   for rank in self.ranks.values())
+
+
+__all__ = ["DramDevice", "RankId"]

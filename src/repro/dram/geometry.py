@@ -1,0 +1,168 @@
+"""DRAM device geometry: channels, ranks, banks, and segment math.
+
+The paper's reference device (Figure 6) is a 1 TB CXL memory device with
+4 channels and 8 ranks per channel; the evaluation testbed (Table 1) has
+6 channels with two 4-rank DIMMs each.  :class:`DramGeometry` captures the
+structural parameters every other subsystem derives its sizes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB, TIB, is_power_of_two, log2_int
+
+DEFAULT_SEGMENT_BYTES = 2 * MIB
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Structural description of a DRAM subsystem behind one CXL controller.
+
+    Attributes:
+        channels: Number of independent DRAM channels.
+        ranks_per_channel: Ranks on each channel.
+        banks_per_rank: Banks within one rank (used by the performance model).
+        rank_bytes: Capacity of a single rank.
+        segment_bytes: DTL translation granularity (2 MiB by default,
+            Section 4.1 of the paper).
+    """
+
+    channels: int = 4
+    ranks_per_channel: int = 8
+    banks_per_rank: int = 16
+    rank_bytes: int = 32 * GIB
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks_per_channel", "banks_per_rank",
+                     "rank_bytes", "segment_bytes"):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ConfigurationError(
+                    f"{name} must be a power of two, got {value}")
+        if self.segment_bytes > self.rank_bytes:
+            raise ConfigurationError(
+                "segment_bytes must not exceed rank_bytes "
+                f"({self.segment_bytes} > {self.rank_bytes})")
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def total_ranks(self) -> int:
+        """Total number of ranks across all channels."""
+        return self.channels * self.ranks_per_channel
+
+    @property
+    def channel_bytes(self) -> int:
+        """Capacity of one channel."""
+        return self.rank_bytes * self.ranks_per_channel
+
+    @property
+    def total_bytes(self) -> int:
+        """Total device capacity."""
+        return self.channel_bytes * self.channels
+
+    # -- segments -----------------------------------------------------------
+
+    @property
+    def segments_per_rank(self) -> int:
+        """Number of translation segments in one rank."""
+        return self.rank_bytes // self.segment_bytes
+
+    @property
+    def segments_per_channel(self) -> int:
+        """Number of translation segments in one channel."""
+        return self.segments_per_rank * self.ranks_per_channel
+
+    @property
+    def total_segments(self) -> int:
+        """Number of translation segments in the whole device."""
+        return self.segments_per_channel * self.channels
+
+    @property
+    def rank_group_bytes(self) -> int:
+        """Capacity of one rank-group (same rank index across all channels)."""
+        return self.rank_bytes * self.channels
+
+    @property
+    def rank_group_segments(self) -> int:
+        """Number of segments in one rank-group."""
+        return self.rank_group_bytes // self.segment_bytes
+
+    # -- bit widths (Figure 6) ----------------------------------------------
+
+    @property
+    def segment_offset_bits(self) -> int:
+        """Bits addressing a byte within one segment."""
+        return log2_int(self.segment_bytes)
+
+    @property
+    def channel_bits(self) -> int:
+        """Bits selecting the channel (interleaved at segment granularity)."""
+        return log2_int(self.channels)
+
+    @property
+    def rank_bits(self) -> int:
+        """Bits selecting the rank (placed as the most significant bits)."""
+        return log2_int(self.ranks_per_channel)
+
+    @property
+    def segment_index_bits(self) -> int:
+        """Bits selecting a segment within one (rank, channel) slice."""
+        return log2_int(self.segments_per_rank)
+
+    @property
+    def dpa_bits(self) -> int:
+        """Total width of a DRAM device physical address."""
+        return (self.rank_bits + self.segment_index_bits + self.channel_bits
+                + self.segment_offset_bits)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the geometry."""
+        return (f"{self.total_bytes // GIB}GiB: {self.channels}ch x "
+                f"{self.ranks_per_channel}ranks x "
+                f"{self.rank_bytes // GIB}GiB/rank, "
+                f"{self.segment_bytes // MIB}MiB segments")
+
+
+#: Figure 6 reference device: 1 TB, 4 channels, 8 ranks/channel.
+PAPER_1TB_GEOMETRY = DramGeometry(
+    channels=4, ranks_per_channel=8, banks_per_rank=16, rank_bytes=32 * GIB)
+
+#: Section 6.6 hypothetical scale-up: 4 TB, 8 channels, 16 ranks/channel.
+PAPER_4TB_GEOMETRY = DramGeometry(
+    channels=8, ranks_per_channel=16, banks_per_rank=16, rank_bytes=32 * GIB)
+
+
+def geometry_for_capacity(total_bytes: int,
+                          channels: int = 4,
+                          ranks_per_channel: int = 8,
+                          segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                          banks_per_rank: int = 16) -> DramGeometry:
+    """Build a geometry with the given total capacity.
+
+    Raises:
+        ConfigurationError: if ``total_bytes`` does not divide evenly into
+            power-of-two ranks.
+    """
+    total_ranks = channels * ranks_per_channel
+    if total_bytes % total_ranks:
+        raise ConfigurationError(
+            f"total capacity {total_bytes} not divisible by {total_ranks} ranks")
+    rank_bytes = total_bytes // total_ranks
+    return DramGeometry(channels=channels,
+                        ranks_per_channel=ranks_per_channel,
+                        banks_per_rank=banks_per_rank,
+                        rank_bytes=rank_bytes,
+                        segment_bytes=segment_bytes)
+
+
+__all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "DramGeometry",
+    "PAPER_1TB_GEOMETRY",
+    "PAPER_4TB_GEOMETRY",
+    "geometry_for_capacity",
+]

@@ -1,0 +1,26 @@
+"""Host substrate: cache hierarchy, VM model, and node scheduler."""
+
+from repro.host.caches import (CacheHierarchy, CacheLevel, CacheLevelConfig,
+                               CacheLevelStats, MemoryRequest,
+                               PAPER_CACHE_LEVELS)
+from repro.host.scheduler import (FIVE_MINUTES_S, ScheduleResult,
+                                  SchedulerConfig, UsageSample, VmScheduler)
+from repro.host.tracing import TraceRecorder
+from repro.host.vm import VmEvent, VmSpec
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheLevelConfig",
+    "CacheLevelStats",
+    "MemoryRequest",
+    "PAPER_CACHE_LEVELS",
+    "FIVE_MINUTES_S",
+    "ScheduleResult",
+    "SchedulerConfig",
+    "UsageSample",
+    "VmScheduler",
+    "TraceRecorder",
+    "VmEvent",
+    "VmSpec",
+]

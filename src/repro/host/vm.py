@@ -1,0 +1,57 @@
+"""Virtual machine descriptors used by the scheduler and simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """A VM request, as found in the Azure VM trace (Figure 1 methodology).
+
+    Attributes:
+        vm_name: Stable identifier within one trace.
+        vcpus: Virtual CPU count.
+        memory_bytes: Reserved vMemory (a multiple of the 2 GiB AU).
+        lifetime_s: Requested lifetime (a multiple of 5 minutes, as in the
+            Azure dataset).
+        arrival_s: Submission time relative to trace start.
+        workload: Name of the CloudSuite-like workload the VM runs.
+    """
+
+    vm_name: str
+    vcpus: int
+    memory_bytes: int
+    lifetime_s: float
+    arrival_s: float
+    workload: str = "data-caching"
+
+    @property
+    def memory_gib(self) -> float:
+        """Reserved memory in GiB."""
+        return self.memory_bytes / GIB
+
+    @property
+    def departure_s(self) -> float:
+        """Time the VM frees its resources (if admitted at arrival)."""
+        return self.arrival_s + self.lifetime_s
+
+
+@dataclass
+class VmEvent:
+    """One scheduler event: a VM starting or stopping."""
+
+    time_s: float
+    kind: str  # "start" | "stop"
+    spec: VmSpec
+
+    def __lt__(self, other: "VmEvent") -> bool:
+        # Stops sort before starts at equal times so capacity frees first.
+        order = {"stop": 0, "start": 1}
+        return (self.time_s, order[self.kind]) < (other.time_s,
+                                                  order[other.kind])
+
+
+__all__ = ["VmSpec", "VmEvent"]

@@ -1,0 +1,136 @@
+"""Head-to-head: DTL hotness-aware self-refresh vs the RAMZzz baseline.
+
+Runs the same capacity point, workload mix, placement, and replay model
+through both policies and reports stable savings, wakeups, and migration
+traffic — quantifying what the DTL's allocation knowledge and quiet-timer
+planning buy over epoch-based hot/cold separation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.ramzzz import RamzzzConfig, RamzzzPolicy
+from repro.dram.power import PowerState
+from repro.sim.selfrefresh_sim import (SelfRefreshResult, SelfRefreshSimConfig,
+                                       SelfRefreshSimulator, StepRecord)
+from repro.units import NS_PER_S
+
+
+@dataclass
+class ComparisonResult:
+    """Both policies' outcomes on the same experiment."""
+
+    dtl: SelfRefreshResult
+    ramzzz: SelfRefreshResult
+    ramzzz_demotions: int
+    ramzzz_wakeups: int
+
+    def advantage(self) -> float:
+        """DTL's stable-savings edge (percentage points)."""
+        return self.dtl.stable_savings - self.ramzzz.stable_savings
+
+
+class RamzzzSimulator:
+    """Drives :class:`RamzzzPolicy` with the windowed replay model."""
+
+    def __init__(self, config: SelfRefreshSimConfig,
+                 ramzzz: RamzzzConfig | None = None):
+        # Reuse the DTL simulator's setup (controller, placement, rates)
+        # but with the DTL's own self-refresh disabled.
+        self.config = config
+        self.ramzzz_config = ramzzz or RamzzzConfig(
+            victim_granularity=config.group_granularity)
+        self._dtl_sim = SelfRefreshSimulator(config)
+
+    def run(self) -> tuple[SelfRefreshResult, RamzzzPolicy]:
+        """Replay the experiment; returns (result, policy)."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        # Build the same substrate, minus the DTL SR policy.
+        inner = SelfRefreshSimulator(dataclasses.replace(config))
+        controller, handles = inner._build_controller()
+        if controller.self_refresh is not None:
+            controller.self_refresh = None  # RAMZzz replaces it
+        policy = RamzzzPolicy(controller.device, controller.allocator,
+                              controller.tables, controller.translation,
+                              self.ramzzz_config)
+        hsns, generators = inner._build_workloads(controller, handles, rng)
+        rates_hz = inner._rates_hz(generators)
+        dsns = inner._dsn_of(controller, hsns)
+        step_s = config.step_ns / NS_PER_S
+        p_touch = 1.0 - np.exp(-rates_hz * step_s)
+
+        device = controller.device
+        power_model = device.power_model
+        active_per_channel = device.standby_ranks_per_channel(0)
+        baseline_power = (power_model.background_power(device.state_counts())
+                          + power_model.active_power(
+                              config.aggregate_bandwidth_gbs))
+        active_power = power_model.active_power(
+            config.aggregate_bandwidth_gbs)
+
+        steps: list[StepRecord] = []
+        num_steps = int(config.duration_s / step_s)
+        epoch_steps = max(1, int(self.ramzzz_config.epoch_ns
+                                 / config.step_ns))
+        migrated_before = 0
+        for step in range(num_steps):
+            now_ns = (step + 1) * config.step_ns
+            touched_mask = rng.random(len(dsns)) < p_touch
+            policy.on_batch(dsns[touched_mask], now_ns)
+            if (step + 1) % epoch_steps == 0:
+                policy.end_epoch(now_ns)
+                dsns = inner._dsn_of(controller, hsns)
+            migrated_now = policy.migrated_bytes_total
+            step_migrated = migrated_now - migrated_before
+            migrated_before = migrated_now
+            counts = device.state_counts()
+            migration_power = (power_model.active_power_per_gbs
+                               * step_migrated / 1e9) / step_s
+            steps.append(StepRecord(
+                time_s=step * step_s,
+                sr_ranks=counts[PowerState.SELF_REFRESH],
+                background_power=power_model.background_power(counts)
+                + active_power,
+                migration_power=migration_power))
+
+        result = self._summarise(config, steps, baseline_power,
+                                 active_per_channel, policy)
+        return result, policy
+
+    def _summarise(self, config, steps, baseline_power, active_per_channel,
+                   policy) -> SelfRefreshResult:
+        savings = np.array([1.0 - step.total_power / baseline_power
+                            for step in steps])
+        tail = max(1, len(steps) // 3)
+        stable = float(savings[-tail:].mean())
+        ever = stable > 0.01
+        warmup = float("inf")
+        if ever:
+            reached = np.nonzero(savings >= 0.9 * stable)[0]
+            if len(reached):
+                warmup = steps[reached[0]].time_s
+        return SelfRefreshResult(
+            config=config, steps=steps, baseline_power=baseline_power,
+            active_ranks_per_channel=active_per_channel,
+            warmup_s=warmup, stable_savings=stable,
+            mean_savings=float(savings.mean()),
+            sr_entries=policy.demotions, sr_exits=policy.wakeups,
+            migrated_bytes=policy.migrated_bytes_total, ever_stable=ever)
+
+
+def compare_policies(config: SelfRefreshSimConfig,
+                     ramzzz: RamzzzConfig | None = None) -> ComparisonResult:
+    """Run both policies on identical inputs."""
+    dtl_result = SelfRefreshSimulator(config).run()
+    ramzzz_result, policy = RamzzzSimulator(config, ramzzz).run()
+    return ComparisonResult(dtl=dtl_result, ramzzz=ramzzz_result,
+                            ramzzz_demotions=policy.demotions,
+                            ramzzz_wakeups=policy.wakeups)
+
+
+__all__ = ["ComparisonResult", "RamzzzSimulator", "compare_policies"]

@@ -1,0 +1,147 @@
+"""Figure-series extraction: plot-ready data for every figure.
+
+Each ``figure*_series`` function runs (or accepts) the relevant
+experiment and returns a :class:`FigureSeries` — named x/y arrays plus
+labels — so users can plot with any tool.  For environments without a
+plotting stack, :func:`ascii_chart` renders a quick bar/line view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.host.scheduler import VmScheduler
+from repro.sim.perf_model import PerformanceModel
+from repro.sim.powerdown_sim import PowerDownResult
+from repro.sim.selfrefresh_sim import SelfRefreshResult
+from repro.workloads.azure import generate_vm_trace
+
+
+@dataclass
+class FigureSeries:
+    """One plottable series set.
+
+    Attributes:
+        figure: Paper figure id ("fig1", "fig12a", ...).
+        x_label / y_label: Axis names.
+        x: Shared x values.
+        series: Mapping of legend label to y values (same length as x).
+    """
+
+    figure: str
+    x_label: str
+    y_label: str
+    x: np.ndarray
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, values in self.series.items():
+            if len(values) != len(self.x):
+                raise ValueError(
+                    f"series {label!r} length {len(values)} != x length "
+                    f"{len(self.x)}")
+
+
+def figure1_series(seed: int = 0) -> FigureSeries:
+    """Azure schedule memory usage over time (Figure 1)."""
+    result = VmScheduler().run(generate_vm_trace(seed=seed))
+    times = np.array([sample.time_s / 60.0 for sample in result.samples])
+    usage = np.array([sample.memory_fraction(result.config.memory_bytes)
+                      for sample in result.samples])
+    return FigureSeries(figure="fig1", x_label="time (min)",
+                        y_label="memory usage", x=times,
+                        series={"usage": usage})
+
+
+def figure2_series() -> FigureSeries:
+    """Mean slowdown vs active ranks per channel (Figure 2)."""
+    model = PerformanceModel()
+    ranks = np.array([8, 6, 4, 2])
+    slowdowns = np.array([model.mean_rank_sweep_slowdown(int(r))
+                          for r in ranks])
+    return FigureSeries(figure="fig2", x_label="ranks/channel",
+                        y_label="slowdown", x=ranks,
+                        series={"mean": slowdowns})
+
+
+def figure11a_series(power_model=None) -> FigureSeries:
+    """Normalised background power vs active ranks (Figure 11a)."""
+    from repro.dram.geometry import DramGeometry
+    from repro.dram.power import DramPowerModel
+    from repro.units import GIB
+    model = power_model or DramPowerModel(
+        geometry=DramGeometry(rank_bytes=16 * GIB))
+    ranks = np.array([2, 4, 6, 8])
+    full = model.background_power_active_ranks(8)
+    values = np.array([model.background_power_active_ranks(int(r)) / full
+                       for r in ranks])
+    return FigureSeries(figure="fig11a", x_label="active ranks/channel",
+                        y_label="normalised background power", x=ranks,
+                        series={"background": values})
+
+
+def figure12a_series(result: PowerDownResult) -> FigureSeries:
+    """Runtime power trace with migration pulses (Figure 12a)."""
+    times = np.array([record.time_s / 60.0 for record in result.intervals])
+    return FigureSeries(
+        figure="fig12a", x_label="time (min)", y_label="power (RSU)",
+        x=times,
+        series={
+            "total": np.array([r.total_power for r in result.intervals]),
+            "background": np.array([r.background_power
+                                    for r in result.intervals]),
+            "migration": np.array([r.migration_power
+                                   for r in result.intervals]),
+        })
+
+
+def figure14_series(result: SelfRefreshResult) -> FigureSeries:
+    """Savings trajectory: warmup then stable phase (Figure 14)."""
+    times, savings = result.savings_timeseries()
+    sr_ranks = np.array([step.sr_ranks for step in result.steps],
+                        dtype=float)
+    return FigureSeries(figure="fig14", x_label="time (s)",
+                        y_label="energy savings", x=times,
+                        series={"savings": savings,
+                                "sr_ranks": sr_ranks})
+
+
+def ascii_chart(series: FigureSeries, label: str | None = None,
+                width: int = 60, height: int = 12) -> str:
+    """Render one series as a crude ASCII line chart."""
+    label = label or next(iter(series.series))
+    values = np.asarray(series.series[label], dtype=float)
+    if not len(values):
+        return "(empty series)"
+    # Downsample to the target width.
+    if len(values) > width:
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        values = np.array([values[a:b].mean() if b > a else values[a - 1]
+                           for a, b in zip(edges, edges[1:])])
+    low, high = float(values.min()), float(values.max())
+    span = high - low
+    rows = []
+    for level in range(height, 0, -1):
+        if span == 0.0:
+            # Flat series: draw one mid-height line.
+            rows.append(("#" if level == height // 2 else " ") * len(values))
+            continue
+        threshold = low + span * (level - 0.5) / height
+        rows.append("".join("#" if value >= threshold else " "
+                            for value in values))
+    header = (f"{series.figure}: {label}  "
+              f"[{low:.3g} .. {high:.3g}] {series.y_label}")
+    return "\n".join([header] + rows + ["-" * len(values)])
+
+
+__all__ = [
+    "FigureSeries",
+    "figure1_series",
+    "figure2_series",
+    "figure11a_series",
+    "figure12a_series",
+    "figure14_series",
+    "ascii_chart",
+]

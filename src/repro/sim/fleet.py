@@ -1,0 +1,133 @@
+"""Fleet-level study: many pool nodes, one datacenter.
+
+Scales the Figure 12 experiment out: a fleet of memory-pool nodes each
+runs its own Azure-like VM schedule through a DTL device, and the
+per-node DRAM savings aggregate into the datacenter-level power/TCO
+numbers the paper's introduction motivates (DRAM ~38 % of server power,
+savings -> TCO).
+
+Node heterogeneity comes from independent trace seeds: some nodes run
+hot (little to power down), others sit half-empty — the fleet mean is
+what a capacity planner sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.tco import TcoModel
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.powerdown_sim import (PowerDownResult, PowerDownSimConfig,
+                                     PowerDownSimulator, energy_savings,
+                                     run_comparison)
+from repro.workloads.azure import AzureTraceConfig
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A fleet of identical pool nodes with independent schedules.
+
+    Attributes:
+        num_nodes: Pool nodes simulated (each gets its own VM trace).
+        node: Per-node simulation configuration template.
+        base_seed: Node ``i`` uses seed ``base_seed + i``.
+        tco: Cost model for the datacenter roll-up.
+    """
+
+    num_nodes: int = 8
+    node: PowerDownSimConfig = field(default_factory=PowerDownSimConfig)
+    base_seed: int = 0
+    tco: TcoModel = field(default_factory=TcoModel)
+
+
+@dataclass
+class NodeOutcome:
+    """One node's paired baseline/DTL results."""
+
+    seed: int
+    baseline: PowerDownResult
+    dtl: PowerDownResult
+
+    @property
+    def energy_savings(self) -> float:
+        """This node's DRAM energy saving."""
+        return energy_savings(self.baseline, self.dtl)
+
+
+@dataclass
+class FleetResult:
+    """Aggregate of every node's outcome."""
+
+    config: FleetConfig
+    nodes: list[NodeOutcome]
+
+    @property
+    def per_node_savings(self) -> np.ndarray:
+        """Each node's DRAM energy saving."""
+        return np.array([node.energy_savings for node in self.nodes])
+
+    @property
+    def fleet_savings(self) -> float:
+        """Energy-weighted fleet-level DRAM saving."""
+        baseline = sum(node.baseline.total_energy for node in self.nodes)
+        dtl = sum(node.dtl.total_energy for node in self.nodes)
+        return 1.0 - dtl / baseline
+
+    def tco_report(self) -> dict[str, float]:
+        """Datacenter-level roll-up through the TCO model."""
+        return self.config.tco.report(self.fleet_savings)
+
+    def summary_rows(self) -> list[tuple]:
+        """Per-node + fleet rows for reporting."""
+        rows = [(f"node {node.seed}", f"{node.energy_savings:.1%}",
+                 f"{node.dtl.mean_active_ranks:.2f}")
+                for node in self.nodes]
+        rows.append(("fleet", f"{self.fleet_savings:.1%}", ""))
+        return rows
+
+
+class FleetSimulator:
+    """Run the node-level comparison across the whole fleet."""
+
+    def __init__(self, config: FleetConfig | None = None):
+        self.config = config or FleetConfig()
+
+    def run(self) -> FleetResult:
+        """Simulate every node; returns the aggregate."""
+        nodes = []
+        template = self.config.node
+        for index in range(self.config.num_nodes):
+            seed = self.config.base_seed + index
+            node_config = PowerDownSimConfig(
+                geometry=template.geometry,
+                scheduler=template.scheduler,
+                azure=template.azure,
+                enable_power_down=template.enable_power_down,
+                group_granularity=template.group_granularity,
+                spare_migration_bandwidth_gbs=
+                template.spare_migration_bandwidth_gbs,
+                seed=seed)
+            baseline, dtl = run_comparison(node_config)
+            nodes.append(NodeOutcome(seed=seed, baseline=baseline, dtl=dtl))
+        return FleetResult(config=self.config, nodes=nodes)
+
+
+def quick_fleet(num_nodes: int = 4, duration_s: float = 3600.0,
+                num_vms: int = 60, base_seed: int = 0) -> FleetResult:
+    """A small fleet on one-hour schedules (for tests and examples)."""
+    node = PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=num_vms, duration_s=duration_s),
+        scheduler=SchedulerConfig(duration_s=duration_s))
+    return FleetSimulator(FleetConfig(num_nodes=num_nodes, node=node,
+                                      base_seed=base_seed)).run()
+
+
+__all__ = [
+    "FleetConfig",
+    "NodeOutcome",
+    "FleetResult",
+    "FleetSimulator",
+    "quick_fleet",
+]

@@ -1,0 +1,158 @@
+"""Analytical performance model for rank/interleaving sensitivity.
+
+Reproduces the paper's performance experiments:
+
+* **Figure 2** — execution-time change when the number of active ranks per
+  channel shrinks from eight to two (paper: 0.7 % average loss at 2 ranks).
+* **Figure 5** — cost of disabling rank interleaving, under local DRAM
+  latency (paper: 1.7 %) and CXL latency (1.4 % — the same absolute
+  queueing delta matters relatively less when the base latency is higher).
+
+The model is a standard additive CPI decomposition: per kilo-instruction,
+
+``T = T_core + MAPKI x AMAT_eff / MLP``
+
+where ``AMAT_eff = base_latency + bank_queueing_delay``.  Bank queueing is
+an M/D/1 waiting time over the banks visible to the workload's data:
+with rank interleaving, data (and hence load) spreads over every rank's
+banks; without it, a workload's footprint covers only the ranks that hold
+its data, so the same load concentrates on fewer banks.  The effect is
+small because bank- and channel-level parallelism already absorb most of
+the load — which is precisely the paper's argument (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import CXL_MEMORY_LATENCY_NS, NATIVE_DRAM_LATENCY_NS
+from repro.units import CACHELINE_BYTES
+from repro.workloads.cloudsuite import PROFILES, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class PerfModelConfig:
+    """Machine parameters for the performance model.
+
+    Defaults model the Figure 2 testbed: 28 cores at 2.7 GHz over four
+    DRAM channels.
+    """
+
+    cores: int = 28
+    clock_ghz: float = 2.7
+    channels: int = 4
+    ranks_per_channel: int = 8
+    banks_per_rank: int = 16
+    bank_service_ns: float = 76.0
+    mlp: float = 2.5
+    core_utilization: float = 0.85
+
+
+class PerformanceModel:
+    """Execution-time estimates under different DRAM configurations."""
+
+    def __init__(self, config: PerfModelConfig | None = None):
+        self.config = config or PerfModelConfig()
+
+    # -- components -----------------------------------------------------------------
+
+    def access_rate_per_channel(self, profile: WorkloadProfile) -> float:
+        """Post-cache accesses per second hitting one channel."""
+        config = self.config
+        instr_per_s = (config.cores * config.clock_ghz * 1e9 * profile.ipc
+                       * config.core_utilization)
+        return profile.mapki / 1000.0 * instr_per_s / config.channels
+
+    def bank_queue_delay_ns(self, profile: WorkloadProfile,
+                            visible_ranks: int) -> float:
+        """M/D/1 mean waiting time at the banks of ``visible_ranks`` ranks."""
+        if visible_ranks < 1:
+            raise ValueError("need at least one visible rank")
+        config = self.config
+        banks = visible_ranks * config.banks_per_rank
+        arrival_per_bank = self.access_rate_per_channel(profile) / banks
+        rho = min(0.95, arrival_per_bank * config.bank_service_ns * 1e-9)
+        return config.bank_service_ns * rho / (2.0 * (1.0 - rho))
+
+    def time_per_kilo_instruction_ns(self, profile: WorkloadProfile,
+                                     visible_ranks: int,
+                                     memory_latency_ns: float) -> float:
+        """Execution time of 1000 instructions under the configuration."""
+        config = self.config
+        core_ns = 1000.0 / (profile.ipc * config.clock_ghz)
+        amat = memory_latency_ns + self.bank_queue_delay_ns(
+            profile, visible_ranks)
+        return core_ns + profile.mapki * amat / config.mlp
+
+    # -- experiments -------------------------------------------------------------------
+
+    def rank_sweep_slowdown(self, profile: WorkloadProfile,
+                            active_ranks: int,
+                            memory_latency_ns: float = NATIVE_DRAM_LATENCY_NS,
+                            baseline_ranks: int | None = None) -> float:
+        """Figure 2: relative execution time with fewer active ranks.
+
+        Returns ``T(active) / T(baseline) - 1`` (positive = slower).
+        """
+        baseline = baseline_ranks or self.config.ranks_per_channel
+        t_base = self.time_per_kilo_instruction_ns(profile, baseline,
+                                                   memory_latency_ns)
+        t_new = self.time_per_kilo_instruction_ns(profile, active_ranks,
+                                                  memory_latency_ns)
+        return t_new / t_base - 1.0
+
+    def interleaving_slowdown(self, profile: WorkloadProfile,
+                              memory_latency_ns: float,
+                              footprint_rank_share: float = 0.125) -> float:
+        """Figure 5: relative cost of disabling rank interleaving.
+
+        With interleaving, a workload's accesses spread over every rank of
+        a channel; without it, they cover only the ranks holding its data
+        (``footprint_rank_share`` of the channel, at least one rank).
+        """
+        total = self.config.ranks_per_channel
+        visible = max(1.0, footprint_rank_share * total)
+        t_interleaved = self.time_per_kilo_instruction_ns(
+            profile, total, memory_latency_ns)
+        # Fractional visible ranks: interpolate the queue delay.
+        config = self.config
+        core_ns = 1000.0 / (profile.ipc * config.clock_ghz)
+        banks = visible * config.banks_per_rank
+        arrival_per_bank = self.access_rate_per_channel(profile) / banks
+        rho = min(0.95, arrival_per_bank * config.bank_service_ns * 1e-9)
+        queue = config.bank_service_ns * rho / (2.0 * (1.0 - rho))
+        t_no_interleave = core_ns + profile.mapki * (
+            memory_latency_ns + queue) / config.mlp
+        return t_no_interleave / t_interleaved - 1.0
+
+    # -- aggregates ----------------------------------------------------------------------
+
+    def mean_rank_sweep_slowdown(self, active_ranks: int,
+                                 memory_latency_ns: float =
+                                 NATIVE_DRAM_LATENCY_NS) -> float:
+        """Average Figure 2 slowdown over all ten CloudSuite profiles."""
+        values = [self.rank_sweep_slowdown(profile, active_ranks,
+                                           memory_latency_ns)
+                  for profile in PROFILES.values()]
+        return sum(values) / len(values)
+
+    def mean_interleaving_slowdown(self, cxl: bool) -> float:
+        """Average Figure 5 slowdown (local vs CXL latency)."""
+        latency = CXL_MEMORY_LATENCY_NS if cxl else NATIVE_DRAM_LATENCY_NS
+        values = [self.interleaving_slowdown(profile, latency)
+                  for profile in PROFILES.values()]
+        return sum(values) / len(values)
+
+
+#: Paper constants used by the energy/performance post-processing
+#: (Sections 5.1 and 6.2).
+INTERLEAVING_OFF_PENALTY_CXL = 0.014
+TRANSLATION_OVERHEAD = 0.0018
+
+
+__all__ = [
+    "PerfModelConfig",
+    "PerformanceModel",
+    "INTERLEAVING_OFF_PENALTY_CXL",
+    "TRANSLATION_OVERHEAD",
+]

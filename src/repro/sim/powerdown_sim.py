@@ -1,0 +1,284 @@
+"""Six-hour VM-schedule simulation of rank-level power-down.
+
+Reproduces the Section 6.2 methodology: an Azure-like VM trace is
+scheduled onto one memory-pool node for six hours; every VM allocation/
+deallocation flows through the DTL controller, which consolidates
+segments and powers rank-groups up/down.  Power is integrated per
+5-minute interval exactly as the paper does (Section 5.1):
+
+* background power from each rank's power-state residency,
+* active power proportional to the live VMs' aggregate bandwidth,
+* a short migration-power pulse after deallocations (the paper's red
+  line in Figure 12(a)), sized by the spare bandwidth available to the
+  migration engine.
+
+The baseline is the same schedule with power-down disabled (every rank in
+standby), matching the paper's 8-rank baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DtlConfig
+from repro.core.controller import DtlController, VmHandle
+from repro.dram.geometry import DramGeometry
+from repro.dram.power import EnergyAccumulator, PowerState
+from repro.host.scheduler import SchedulerConfig, VmScheduler
+from repro.host.vm import VmSpec
+from repro.sim.perf_model import (INTERLEAVING_OFF_PENALTY_CXL,
+                                  PerformanceModel, TRANSLATION_OVERHEAD)
+from repro.units import GIB
+from repro.workloads.azure import AzureTraceConfig, generate_vm_trace
+from repro.workloads.cloudsuite import PROFILES
+
+
+@dataclass(frozen=True)
+class PowerDownSimConfig:
+    """Parameters of the schedule-level simulation.
+
+    The default geometry is a 512 GiB device (4 channels x 8 ranks x
+    16 GiB) of which the scheduler uses up to 384 GB — mirroring the
+    paper's 1 TB-installed / 384 GB-used setup (Section 5.1).
+    """
+
+    geometry: DramGeometry = field(
+        default_factory=lambda: DramGeometry(rank_bytes=16 * GIB))
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    azure: AzureTraceConfig = field(default_factory=AzureTraceConfig)
+    enable_power_down: bool = True
+    group_granularity: int = 2  # CKE pairs (Section 5.1)
+    spare_migration_bandwidth_gbs: float = 18.0
+    seed: int = 0
+
+
+@dataclass
+class IntervalRecord:
+    """State of the device over one 5-minute interval."""
+
+    time_s: float
+    duration_s: float
+    reserved_bytes: int
+    live_vms: int
+    active_ranks_per_channel: int
+    background_power: float
+    active_power: float
+    migration_power: float
+    bandwidth_gbs: float
+
+    @property
+    def total_power(self) -> float:
+        """Total power over the interval (RSU)."""
+        return self.background_power + self.active_power + self.migration_power
+
+
+@dataclass
+class PowerDownResult:
+    """Everything one simulation run produced."""
+
+    config: PowerDownSimConfig
+    intervals: list[IntervalRecord]
+    energy: EnergyAccumulator
+    migrated_bytes: int
+    migration_time_s: float
+    power_transitions: int
+    execution_time_factor: float
+    mean_active_ranks: float
+
+    @property
+    def total_energy(self) -> float:
+        """Total DRAM energy including the execution-time stretch."""
+        return self.energy.total_j * self.execution_time_factor
+
+    def power_timeseries(self) -> tuple[np.ndarray, np.ndarray]:
+        """(time_s, total_power) samples for Figure 12(a)."""
+        times = np.array([record.time_s for record in self.intervals])
+        powers = np.array([record.total_power for record in self.intervals])
+        return times, powers
+
+
+def energy_savings(baseline: PowerDownResult, dtl: PowerDownResult) -> float:
+    """Fractional DRAM energy saving of ``dtl`` over ``baseline``."""
+    return 1.0 - dtl.total_energy / baseline.total_energy
+
+
+def power_savings(baseline: PowerDownResult, dtl: PowerDownResult) -> float:
+    """Fractional DRAM *power* saving (no execution-time stretch)."""
+    return 1.0 - dtl.energy.total_j / baseline.energy.total_j
+
+
+def background_power_savings(baseline: PowerDownResult,
+                             dtl: PowerDownResult) -> float:
+    """Fractional background-power saving (Figure 13)."""
+    return 1.0 - dtl.energy.background_j / baseline.energy.background_j
+
+
+class PowerDownSimulator:
+    """Replays a VM schedule through the DTL controller."""
+
+    def __init__(self, config: PowerDownSimConfig | None = None):
+        self.config = config or PowerDownSimConfig()
+        self.perf_model = PerformanceModel()
+
+    def _make_controller(self) -> DtlController:
+        config = self.config
+        return DtlController(DtlConfig(
+            geometry=config.geometry,
+            enable_power_down=config.enable_power_down,
+            enable_self_refresh=False,
+            group_granularity=config.group_granularity))
+
+    def _vm_bandwidth_gbs(self, spec: VmSpec) -> float:
+        profile = PROFILES[spec.workload]
+        return profile.bandwidth_gbs(spec.vcpus)
+
+    def run(self, specs: list[VmSpec] | None = None) -> PowerDownResult:
+        """Simulate the schedule; returns interval records and energy."""
+        config = self.config
+        if specs is None:
+            specs = generate_vm_trace(config.azure, seed=config.seed)
+        schedule = VmScheduler(config.scheduler).run(specs)
+        controller = self._make_controller()
+        device = controller.device
+        power_model = device.power_model
+
+        interval_s = config.scheduler.sample_interval_s
+        end_s = config.scheduler.duration_s
+        events = list(schedule.events)
+        event_index = 0
+        handles: dict[str, VmHandle] = {}
+        bandwidth_gbs = 0.0
+        migrated_bytes_total = 0
+        migration_time_total = 0.0
+        intervals: list[IntervalRecord] = []
+        energy = EnergyAccumulator()
+        active_rank_samples: list[int] = []
+        # Pending migration work spills into the interval it occurred in.
+        pending_migration_bytes = 0.0
+
+        def apply_events_until(limit_s: float) -> None:
+            nonlocal event_index, bandwidth_gbs, migrated_bytes_total, \
+                pending_migration_bytes, migration_time_total
+            while event_index < len(events) and \
+                    events[event_index].time_s <= limit_s:
+                event = events[event_index]
+                event_index += 1
+                spec = event.spec
+                if event.kind == "start":
+                    handles[spec.vm_name] = controller.allocate_vm(
+                        0, spec.memory_bytes, now_s=event.time_s)
+                    bandwidth_gbs += self._vm_bandwidth_gbs(spec)
+                else:
+                    handle = handles.pop(spec.vm_name)
+                    bandwidth_gbs -= self._vm_bandwidth_gbs(spec)
+                    transitions = controller.deallocate_vm(
+                        handle, now_s=event.time_s)
+                    moved = sum(t.migrated_bytes for t in transitions)
+                    migrated_bytes_total += moved
+                    pending_migration_bytes += moved
+                    if moved:
+                        migration_time_total += moved / (
+                            config.spare_migration_bandwidth_gbs * 1e9)
+
+        time_s = 0.0
+        while time_s < end_s:
+            interval_end = min(time_s + interval_s, end_s)
+            apply_events_until(interval_end)
+            duration = interval_end - time_s
+            counts = device.state_counts()
+            background = power_model.background_power(counts)
+            active = power_model.active_power(bandwidth_gbs)
+            # Migration pulse: the pending bytes move at the spare
+            # bandwidth; the pulse is much shorter than the interval, so we
+            # spread its energy over the interval (same integral).
+            migration_time = pending_migration_bytes / (
+                config.spare_migration_bandwidth_gbs * 1e9)
+            migration_energy = (power_model.active_power(
+                config.spare_migration_bandwidth_gbs) * migration_time)
+            migration_power = migration_energy / duration if duration else 0.0
+            pending_migration_bytes = 0.0
+            energy.add_interval(duration, background, active, migration_power)
+            if config.enable_power_down and controller.power_down is not None:
+                active_ranks = controller.power_down.active_ranks_per_channel()
+            else:
+                active_ranks = config.geometry.ranks_per_channel
+            active_rank_samples.append(active_ranks)
+            reserved = controller.reserved_bytes()
+            intervals.append(IntervalRecord(
+                time_s=time_s, duration_s=duration, reserved_bytes=reserved,
+                live_vms=len(handles),
+                active_ranks_per_channel=active_ranks,
+                background_power=background, active_power=active,
+                migration_power=migration_power,
+                bandwidth_gbs=bandwidth_gbs))
+            time_s = interval_end
+
+        mean_active = float(np.mean(active_rank_samples))
+        execution_factor = self._execution_time_factor(mean_active)
+        transitions = 0
+        if controller.power_down is not None:
+            transitions = len(controller.power_down.transitions)
+        return PowerDownResult(
+            config=config, intervals=intervals, energy=energy,
+            migrated_bytes=migrated_bytes_total,
+            migration_time_s=migration_time_total,
+            power_transitions=transitions,
+            execution_time_factor=execution_factor,
+            mean_active_ranks=mean_active)
+
+    def _execution_time_factor(self, mean_active_ranks: float) -> float:
+        """Section 5.1 post-processing of the execution time.
+
+        The DTL run pays for (i) disabled rank interleaving, (ii) address
+        translation, and (iii) reduced active-rank parallelism; the
+        baseline pays nothing.
+        """
+        if not self.config.enable_power_down:
+            return 1.0
+        low = int(np.floor(mean_active_ranks))
+        high = int(np.ceil(mean_active_ranks))
+        low = max(1, min(low, self.config.geometry.ranks_per_channel))
+        high = max(1, min(high, self.config.geometry.ranks_per_channel))
+        slow_low = self.perf_model.mean_rank_sweep_slowdown(low)
+        slow_high = self.perf_model.mean_rank_sweep_slowdown(high)
+        if high == low:
+            rank_penalty = slow_low
+        else:
+            frac = mean_active_ranks - low
+            rank_penalty = slow_low + (slow_high - slow_low) * frac
+        return (1.0 + INTERLEAVING_OFF_PENALTY_CXL + TRANSLATION_OVERHEAD
+                + rank_penalty)
+
+
+def run_comparison(config: PowerDownSimConfig | None = None,
+                   ) -> tuple[PowerDownResult, PowerDownResult]:
+    """Run the DTL and baseline configurations on the same VM trace.
+
+    Returns:
+        ``(baseline_result, dtl_result)``.
+    """
+    config = config or PowerDownSimConfig()
+    specs = generate_vm_trace(config.azure, seed=config.seed)
+    baseline_config = PowerDownSimConfig(
+        geometry=config.geometry, scheduler=config.scheduler,
+        azure=config.azure, enable_power_down=False,
+        group_granularity=config.group_granularity,
+        spare_migration_bandwidth_gbs=config.spare_migration_bandwidth_gbs,
+        seed=config.seed)
+    baseline = PowerDownSimulator(baseline_config).run(specs)
+    dtl = PowerDownSimulator(config).run(specs)
+    return baseline, dtl
+
+
+__all__ = [
+    "PowerDownSimConfig",
+    "IntervalRecord",
+    "PowerDownResult",
+    "PowerDownSimulator",
+    "run_comparison",
+    "energy_savings",
+    "power_savings",
+    "background_power_savings",
+]

@@ -1,0 +1,223 @@
+"""Trace-driven rank sweep: Figure 2 from first principles.
+
+The analytical :mod:`~repro.sim.perf_model` assumes Poisson arrivals over
+identical banks.  This module replays a real (synthetic) post-cache trace
+against the bank-level substrate instead: for each rank count it measures
+
+* the per-bank load *imbalance* (hot banks queue more than the mean),
+* the row-buffer outcome mix (hits are cheaper to serve),
+
+and derives the execution-time delta with the same CPI decomposition.
+It is the cross-check that the paper's "low returns from rank-level
+parallelism" claim does not hinge on the analytical model's uniformity
+assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.banks import AddressDecoder, BankState
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DDR4_2933, DramTiming, NATIVE_DRAM_LATENCY_NS
+from repro.units import GIB
+from repro.workloads.cloudsuite import PROFILES, TraceGenerator, WorkloadProfile
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class RankSweepConfig:
+    """Machine parameters for the trace-driven sweep (Figure 2 testbed)."""
+
+    channels: int = 4
+    banks_per_rank: int = 16
+    rank_bytes: int = 2 * GIB
+    cores: int = 28
+    clock_ghz: float = 2.7
+    core_utilization: float = 0.85
+    mlp: float = 2.5
+    memory_latency_ns: float = NATIVE_DRAM_LATENCY_NS
+    timing: DramTiming = DDR4_2933
+
+
+@dataclass
+class RankSweepPoint:
+    """Measurements for one rank count."""
+
+    active_ranks: int
+    row_hit_ratio: float
+    mean_service_ns: float
+    mean_queue_ns: float
+    time_per_ki_ns: float
+
+
+class TraceRankSweep:
+    """Replay one workload's trace at several rank counts."""
+
+    def __init__(self, profile: WorkloadProfile,
+                 config: RankSweepConfig | None = None,
+                 num_accesses: int = 60_000,
+                 seed: int = 0):
+        self.profile = profile
+        self.config = config or RankSweepConfig()
+        # The working set spans the full 8-rank configuration; shrinking
+        # the rank count folds the same footprint onto fewer ranks.
+        generator = TraceGenerator(
+            profile,
+            footprint_bytes=(self.config.channels * self.config.rank_bytes
+                             * 8),
+            seed=seed)
+        self.trace: Trace = generator.generate(num_accesses)
+
+    # -- measurement -------------------------------------------------------------
+
+    def _arrival_rate_per_channel(self) -> float:
+        config = self.config
+        instr_per_s = (config.cores * config.clock_ghz * 1e9
+                       * self.profile.ipc * config.core_utilization)
+        return (self.profile.mapki / 1000.0 * instr_per_s
+                / config.channels)
+
+    def measure(self, active_ranks: int) -> RankSweepPoint:
+        """Replay the trace with the footprint folded onto ``active_ranks``."""
+        config = self.config
+        geometry = DramGeometry(
+            channels=config.channels,
+            ranks_per_channel=max(1, active_ranks),
+            banks_per_rank=config.banks_per_rank,
+            rank_bytes=config.rank_bytes)
+        decoder = AddressDecoder(geometry, mapping="dtl")
+        banks = BankState(geometry)
+        # Fold the trace's footprint into the shrunken capacity, exactly
+        # what happens when fewer ranks back the same working set.
+        addresses = self.trace.addresses % np.uint64(geometry.total_bytes)
+        per_bank = np.zeros(geometry.ranks_per_channel
+                            * config.banks_per_rank, dtype=np.int64)
+        service_sum = 0.0
+        timing = config.timing
+        outcome_cost = {
+            "hit": timing.row_hit_latency_ns(),
+            "miss": timing.row_miss_latency_ns(),
+            "conflict": timing.row_conflict_latency_ns(),
+        }
+        for address in addresses:
+            decoded = decoder.decode(int(address))
+            outcome = banks.access(decoded.channel, decoded.rank,
+                                   decoded.bank, decoded.row)
+            service_sum += outcome_cost[outcome.value]
+            if decoded.channel == 0:
+                per_bank[decoded.rank * config.banks_per_rank
+                         + decoded.bank] += 1
+        total = len(addresses)
+        mean_service = service_sum / total
+        # Per-bank arrival rates, shaped by the measured imbalance.
+        arrival = self._arrival_rate_per_channel()
+        channel_total = max(1, int(per_bank.sum()))
+        queue_sum = 0.0
+        for count in per_bank:
+            bank_arrival = arrival * count / channel_total
+            rho = min(0.95, bank_arrival * mean_service * 1e-9)
+            queue = mean_service * rho / (2.0 * (1.0 - rho))
+            queue_sum += queue * count
+        mean_queue = queue_sum / channel_total
+        core_ns = 1000.0 / (self.profile.ipc * config.clock_ghz)
+        amat = config.memory_latency_ns + mean_queue
+        time_per_ki = core_ns + self.profile.mapki * amat / config.mlp
+        return RankSweepPoint(
+            active_ranks=active_ranks,
+            row_hit_ratio=banks.stats.hit_ratio,
+            mean_service_ns=mean_service,
+            mean_queue_ns=mean_queue,
+            time_per_ki_ns=time_per_ki)
+
+    def sweep(self, rank_counts: tuple[int, ...] = (8, 6, 4, 2),
+              ) -> dict[int, RankSweepPoint]:
+        """Measure every rank count (power-of-two counts recommended)."""
+        points = {}
+        for ranks in rank_counts:
+            if ranks & (ranks - 1):
+                # Geometry needs powers of two; interpolate odd counts.
+                low = self.measure(1 << (ranks.bit_length() - 1))
+                high = self.measure(1 << ranks.bit_length())
+                frac = (ranks - low.active_ranks) / (
+                    high.active_ranks - low.active_ranks)
+                points[ranks] = RankSweepPoint(
+                    active_ranks=ranks,
+                    row_hit_ratio=low.row_hit_ratio + frac * (
+                        high.row_hit_ratio - low.row_hit_ratio),
+                    mean_service_ns=low.mean_service_ns + frac * (
+                        high.mean_service_ns - low.mean_service_ns),
+                    mean_queue_ns=low.mean_queue_ns + frac * (
+                        high.mean_queue_ns - low.mean_queue_ns),
+                    time_per_ki_ns=low.time_per_ki_ns + frac * (
+                        high.time_per_ki_ns - low.time_per_ki_ns))
+            else:
+                points[ranks] = self.measure(ranks)
+        return points
+
+    def slowdowns(self, rank_counts: tuple[int, ...] = (8, 6, 4, 2),
+                  baseline_ranks: int = 8) -> dict[int, float]:
+        """Relative execution-time change vs the baseline rank count."""
+        points = self.sweep(tuple(sorted(set(rank_counts)
+                                         | {baseline_ranks})))
+        base = points[baseline_ranks].time_per_ki_ns
+        return {ranks: points[ranks].time_per_ki_ns / base - 1.0
+                for ranks in rank_counts}
+
+
+def interleaving_comparison(profile: WorkloadProfile,
+                            config: RankSweepConfig | None = None,
+                            num_accesses: int = 30_000,
+                            footprint_ranks: int = 1,
+                            seed: int = 0) -> dict[str, float]:
+    """Trace-driven Figure 5 cross-check.
+
+    Measures the queueing + row-buffer cost of serving the same trace
+    under (a) conventional fine-grained interleaving over every rank and
+    (b) the DTL layout where the footprint concentrates on
+    ``footprint_ranks`` ranks per channel, and converts the delta into a
+    slowdown at both the local and CXL base latencies.
+
+    Returns:
+        ``{"local": slowdown, "cxl": slowdown}``.
+    """
+    from repro.dram.timing import CXL_MEMORY_LATENCY_NS
+    config = config or RankSweepConfig()
+    sweep = TraceRankSweep(profile, config, num_accesses, seed)
+    interleaved = sweep.measure(8)  # load spread over every rank
+    concentrated = sweep.measure(footprint_ranks)
+    results = {}
+    for label, latency in (("local", config.memory_latency_ns),
+                           ("cxl", CXL_MEMORY_LATENCY_NS)):
+        core_ns = 1000.0 / (profile.ipc * config.clock_ghz)
+
+        def time_ns(point):
+            amat = latency + point.mean_queue_ns
+            return core_ns + profile.mapki * amat / config.mlp
+
+        results[label] = time_ns(concentrated) / time_ns(interleaved) - 1.0
+    return results
+
+
+def mean_trace_driven_slowdown(active_ranks: int,
+                               workloads: tuple[str, ...] = (
+                                   "graph-analytics", "data-serving",
+                                   "data-caching", "web-search"),
+                               num_accesses: int = 30_000) -> float:
+    """Average trace-driven Figure 2 slowdown over a workload sample."""
+    values = []
+    for index, name in enumerate(workloads):
+        sweep = TraceRankSweep(PROFILES[name], num_accesses=num_accesses,
+                               seed=index)
+        values.append(sweep.slowdowns((active_ranks,))[active_ranks])
+    return float(np.mean(values))
+
+
+__all__ = [
+    "RankSweepConfig",
+    "RankSweepPoint",
+    "TraceRankSweep",
+    "mean_trace_driven_slowdown",
+]

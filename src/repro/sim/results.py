@@ -1,0 +1,116 @@
+"""Result records: serialisation and table rendering for experiments.
+
+The simulators return rich dataclasses; this module flattens them into
+plain dictionaries for JSON output and renders aligned text/markdown
+tables for reports and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.sim.powerdown_sim import PowerDownResult
+from repro.sim.selfrefresh_sim import SelfRefreshResult
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's identity plus its flattened metrics."""
+
+    experiment: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+    paper: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {"experiment": self.experiment, "metrics": self.metrics,
+                "paper": self.paper}
+
+
+def flatten_powerdown(result: PowerDownResult) -> dict[str, Any]:
+    """Flatten a power-down simulation result into plain metrics."""
+    return {
+        "mean_active_ranks_per_channel": result.mean_active_ranks,
+        "execution_time_factor": result.execution_time_factor,
+        "background_energy_rsu_s": result.energy.background_j,
+        "active_energy_rsu_s": result.energy.active_j,
+        "migration_energy_rsu_s": result.energy.migration_j,
+        "total_energy_rsu_s": result.total_energy,
+        "migrated_bytes": result.migrated_bytes,
+        "migration_time_s": result.migration_time_s,
+        "power_transitions": result.power_transitions,
+        "intervals": len(result.intervals),
+    }
+
+
+def flatten_selfrefresh(result: SelfRefreshResult) -> dict[str, Any]:
+    """Flatten a self-refresh simulation result into plain metrics."""
+    return {
+        "active_ranks_per_channel": result.active_ranks_per_channel,
+        "stable_savings": result.stable_savings,
+        "mean_savings": result.mean_savings,
+        "warmup_s": (None if result.warmup_s == float("inf")
+                     else result.warmup_s),
+        "ever_stable": result.ever_stable,
+        "sr_entries": result.sr_entries,
+        "sr_exits": result.sr_exits,
+        "migrated_bytes": result.migrated_bytes,
+        "baseline_power_rsu": result.baseline_power,
+    }
+
+
+def save_records(records: list[ExperimentRecord], path: str | Path) -> Path:
+    """Write experiment records as a JSON document; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps([record.to_dict() for record in records],
+                               indent=2, sort_keys=True))
+    return path
+
+
+def load_records(path: str | Path) -> list[ExperimentRecord]:
+    """Read experiment records back from :func:`save_records` output."""
+    raw = json.loads(Path(path).read_text())
+    return [ExperimentRecord(experiment=item["experiment"],
+                             metrics=item.get("metrics", {}),
+                             paper=item.get("paper", {}))
+            for item in raw]
+
+
+def render_table(rows: list[tuple], header: tuple = (),
+                 markdown: bool = False) -> str:
+    """Render rows as an aligned text table (or a markdown table)."""
+    cells = [tuple(str(cell) for cell in row) for row in rows]
+    if header:
+        cells.insert(0, tuple(str(cell) for cell in header))
+    if not cells:
+        return ""
+    columns = max(len(row) for row in cells)
+    cells = [row + ("",) * (columns - len(row)) for row in cells]
+    widths = [max(len(row[index]) for row in cells)
+              for index in range(columns)]
+    lines = []
+    for position, row in enumerate(cells):
+        if markdown:
+            line = "| " + " | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)) + " |"
+        else:
+            line = "  ".join(cell.rjust(width)
+                             for cell, width in zip(row, widths))
+        lines.append(line)
+        if markdown and header and position == 0:
+            lines.append("|" + "|".join("-" * (width + 2)
+                                        for width in widths) + "|")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ExperimentRecord",
+    "flatten_powerdown",
+    "flatten_selfrefresh",
+    "save_records",
+    "load_records",
+    "render_table",
+]

@@ -1,0 +1,53 @@
+"""Common unit constants and helpers.
+
+All sizes in the library are expressed in **bytes**, short times in
+**nanoseconds** and schedule-level times in **seconds**, unless a name
+explicitly says otherwise (``_s``, ``_ns``, ``_ms``).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+CACHELINE_BYTES = 64
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def ns_to_s(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def s_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return log2 of a power-of-two integer, raising ``ValueError`` otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count using binary units (e.g. ``'2.0MiB'``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

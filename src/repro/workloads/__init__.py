@@ -1,0 +1,32 @@
+"""Workload substrate: Azure-like VM traces and CloudSuite-like memory traces."""
+
+from repro.workloads.azure import AzureTraceConfig, generate_vm_trace
+from repro.workloads.drift import DriftConfig, DriftingWorkload
+from repro.workloads.cloudsuite import (PROFILES, SEGMENT_BYTES,
+                                        STRIDE_BUCKET_EDGES,
+                                        TRACED_BENCHMARKS, TraceGenerator,
+                                        WorkloadProfile, make_trace)
+from repro.workloads.trace import Trace, concatenate, mix
+from repro.workloads.validation import (ValidationReport, WorkloadCheck,
+                                        check_workload, validate_workloads)
+
+__all__ = [
+    "DriftConfig",
+    "DriftingWorkload",
+    "AzureTraceConfig",
+    "generate_vm_trace",
+    "PROFILES",
+    "SEGMENT_BYTES",
+    "STRIDE_BUCKET_EDGES",
+    "TRACED_BENCHMARKS",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "make_trace",
+    "Trace",
+    "ValidationReport",
+    "WorkloadCheck",
+    "check_workload",
+    "validate_workloads",
+    "concatenate",
+    "mix",
+]

@@ -1,0 +1,123 @@
+"""Hot-set drift: time-varying workload behaviour.
+
+The paper leans on a measured property of datacenter workloads: "data
+access patterns remain relatively stable for a long period (minutes to
+hours)" [TPP], which is what lets the victim rank *stay* in self-refresh
+after warmup.  This module makes that assumption a knob: a
+:class:`DriftingWorkload` wraps a
+:class:`~repro.workloads.cloudsuite.TraceGenerator` and rotates a
+fraction of the hot set into the cold set (and vice versa) every
+``drift_period_s``, so experiments can measure how self-refresh stability
+degrades as the stability assumption weakens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.cloudsuite import TraceGenerator, WorkloadProfile
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """How fast and how much the hot set moves.
+
+    Attributes:
+        period_s: Time between drift events (the paper's "minutes to
+            hours" regime corresponds to large values).
+        fraction: Share of the hot set replaced per event.
+    """
+
+    period_s: float = 600.0
+    fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("drift period must be positive")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("drift fraction must be in [0, 1]")
+
+
+class DriftingWorkload:
+    """A workload whose hot set rotates over time.
+
+    The segment *tiers* (hot / warm / frozen sizes) stay constant — only
+    the membership rotates, which is exactly what invalidates a
+    previously collected cold victim rank.
+    """
+
+    def __init__(self, profile: WorkloadProfile, footprint_bytes: int,
+                 drift: DriftConfig | None = None,
+                 seed: int | np.random.Generator = 0):
+        self.profile = profile
+        self.drift = drift or DriftConfig()
+        self.rng = (seed if isinstance(seed, np.random.Generator)
+                    else np.random.default_rng(seed))
+        self.generator = TraceGenerator(profile, footprint_bytes,
+                                        seed=self.rng)
+        self._last_drift_s = 0.0
+        self.drift_events = 0
+
+    @classmethod
+    def wrap(cls, generator: TraceGenerator, drift: DriftConfig,
+             rng: np.random.Generator) -> "DriftingWorkload":
+        """Wrap an existing generator instead of building a new one."""
+        instance = cls.__new__(cls)
+        instance.profile = generator.profile
+        instance.drift = drift
+        instance.rng = rng
+        instance.generator = generator
+        instance._last_drift_s = 0.0
+        instance.drift_events = 0
+        return instance
+
+    # -- time ------------------------------------------------------------------
+
+    def advance_to(self, now_s: float) -> int:
+        """Apply every drift event due by ``now_s``; returns how many."""
+        applied = 0
+        while now_s - self._last_drift_s >= self.drift.period_s:
+            self._last_drift_s += self.drift.period_s
+            self._rotate()
+            applied += 1
+        self.drift_events += applied
+        return applied
+
+    def _rotate(self) -> None:
+        """Swap a fraction of hot segments with frozen segments."""
+        generator = self.generator
+        hot = generator.hot_segments
+        frozen = generator.frozen_segments
+        count = min(len(hot), len(frozen),
+                    max(1, round(self.drift.fraction * len(hot))))
+        if count == 0:
+            return
+        hot_out = self.rng.choice(len(hot), size=count, replace=False)
+        frozen_in = self.rng.choice(len(frozen), size=count, replace=False)
+        new_hot = hot.copy()
+        new_frozen = frozen.copy()
+        new_hot[hot_out], new_frozen[frozen_in] = (frozen[frozen_in],
+                                                   hot[hot_out])
+        generator.hot_segments = np.sort(new_hot)
+        generator.frozen_segments = np.sort(new_frozen)
+        # Re-derive the frozen sub-tiers over the new membership.
+        deep_count = len(generator.deep_cold_segments)
+        shuffled = self.rng.permutation(new_frozen)
+        generator.deep_cold_segments = np.sort(shuffled[:deep_count])
+        generator.shallow_frozen_segments = np.sort(shuffled[deep_count:])
+
+    # -- views -----------------------------------------------------------------
+
+    def segment_access_rates(self) -> np.ndarray:
+        """Current per-segment access shares (sums to 1)."""
+        return self.generator.segment_access_rates()
+
+    @property
+    def num_segments(self) -> int:
+        """Footprint size in segments."""
+        return self.generator.num_segments
+
+
+__all__ = ["DriftConfig", "DriftingWorkload"]

@@ -1,0 +1,224 @@
+"""Memory-trace containers and manipulation utilities.
+
+A :class:`Trace` is a columnar (NumPy-backed) record of post-cache memory
+accesses: byte address, read/write flag, and the number of instructions
+retired since the previous access.  Traces can be concatenated, interleaved
+("mixed", Section 5.2), rebased to new footprints, and reduced to
+segment-granular statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import CACHELINE_BYTES
+
+
+@dataclass
+class Trace:
+    """Columnar post-cache memory trace.
+
+    Attributes:
+        addresses: Byte addresses (``uint64``).
+        is_write: Write flags (``bool``).
+        instr_deltas: Instructions retired since the previous access
+            (``uint32``); their cumulative sum is the instruction clock.
+        name: Human-readable origin (workload name or mix id).
+    """
+
+    addresses: np.ndarray
+    is_write: np.ndarray
+    instr_deltas: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if not (len(self.addresses) == len(self.is_write)
+                == len(self.instr_deltas)):
+            raise ValueError("trace columns must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions covered by the trace."""
+        return int(self.instr_deltas.sum())
+
+    @property
+    def mapki(self) -> float:
+        """Memory accesses per kilo-instruction (Table 4 metric)."""
+        instructions = self.total_instructions
+        if not instructions:
+            return 0.0
+        return 1000.0 * len(self) / instructions
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are writes."""
+        if not len(self):
+            return 0.0
+        return float(self.is_write.mean())
+
+    def footprint_bytes(self, granularity: int = CACHELINE_BYTES) -> int:
+        """Unique bytes touched, measured at ``granularity``."""
+        if not len(self):
+            return 0
+        unique = np.unique(self.addresses // granularity)
+        return int(len(unique)) * granularity
+
+    # -- transforms --------------------------------------------------------------
+
+    def rebase(self, base_address: int) -> "Trace":
+        """Shift every address by ``base_address`` (placing a VM's trace)."""
+        return Trace(addresses=self.addresses + np.uint64(base_address),
+                     is_write=self.is_write,
+                     instr_deltas=self.instr_deltas,
+                     name=self.name)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A view of accesses ``[start, stop)``."""
+        return Trace(addresses=self.addresses[start:stop],
+                     is_write=self.is_write[start:stop],
+                     instr_deltas=self.instr_deltas[start:stop],
+                     name=self.name)
+
+    def segments(self, segment_bytes: int) -> np.ndarray:
+        """Segment number of each access at the given granularity."""
+        return self.addresses // np.uint64(segment_bytes)
+
+    # -- analyses ----------------------------------------------------------------
+
+    def stride_distribution(self,
+                            bucket_edges: tuple[int, ...] = (
+                                CACHELINE_BYTES, 4096, 65536, 1 << 20, 1 << 22),
+                            ) -> dict[str, float]:
+        """Distribution of absolute access strides into size buckets.
+
+        The final implicit bucket collects strides at or above the last
+        edge (the paper's ">=4MB" class, Figure 9).
+        """
+        if len(self) < 2:
+            return {}
+        strides = np.abs(np.diff(self.addresses.astype(np.int64)))
+        total = len(strides)
+        result: dict[str, float] = {}
+        previous = 0
+        for edge in bucket_edges:
+            count = int(((strides >= previous) & (strides < edge)).sum())
+            result[f"<{edge}"] = count / total
+            previous = edge
+        result[f">={bucket_edges[-1]}"] = int(
+            (strides >= previous).sum()) / total
+        return result
+
+    def segment_reuse_distances(self, segment_bytes: int) -> np.ndarray:
+        """Per-revisit reuse distances in *instructions* at segment
+        granularity (the Figure 10 metric).
+
+        Returns one distance per access whose segment was seen before.
+        """
+        segments = self.segments(segment_bytes)
+        clock = np.cumsum(self.instr_deltas.astype(np.int64))
+        last_seen: dict[int, int] = {}
+        distances = []
+        for index in range(len(segments)):
+            segment = int(segments[index])
+            now = int(clock[index])
+            if segment in last_seen:
+                distances.append(now - last_seen[segment])
+            last_seen[segment] = now
+        return np.asarray(distances, dtype=np.int64)
+
+    def cold_segment_fraction(self, segment_bytes: int,
+                              threshold_instructions: int = 10_000_000,
+                              total_segments: int | None = None) -> float:
+        """Fraction of segments that are *cold* (the Figure 10 metric).
+
+        A segment is cold when it is never revisited within
+        ``threshold_instructions``.  Consecutive accesses to the same
+        segment form one *visit* (a sojourn of the strided cursor); only
+        gaps between visits count as reuse distances, since a single burst
+        does not keep a migrated segment's rank awake.
+
+        Args:
+            segment_bytes: Segment granularity (2 MiB or 4 MiB in Fig. 10).
+            threshold_instructions: Coldness threshold (10 M in the paper).
+            total_segments: Denominator.  When given, untouched segments
+                (trivially cold) are included, matching the paper's
+                whole-footprint percentages; otherwise only touched
+                segments count.
+        """
+        segments = self.segments(segment_bytes)
+        clock = np.cumsum(self.instr_deltas.astype(np.int64))
+        # Collapse runs of equal consecutive segments into visits.
+        if len(segments):
+            boundaries = np.empty(len(segments), dtype=bool)
+            boundaries[0] = True
+            boundaries[1:] = segments[1:] != segments[:-1]
+            visit_segments = segments[boundaries]
+            visit_clock = clock[boundaries]
+        else:
+            visit_segments = segments
+            visit_clock = clock
+        last_seen: dict[int, int] = {}
+        is_hot: set[int] = set()
+        for index in range(len(visit_segments)):
+            segment = int(visit_segments[index])
+            now = int(visit_clock[index])
+            if segment in last_seen and \
+                    now - last_seen[segment] <= threshold_instructions:
+                is_hot.add(segment)
+            last_seen[segment] = now
+        touched = len(last_seen)
+        if total_segments is not None:
+            if total_segments < touched:
+                raise ValueError("total_segments smaller than touched set")
+            return (total_segments - len(is_hot)) / total_segments
+        if not touched:
+            return 0.0
+        return (touched - len(is_hot)) / touched
+
+
+def concatenate(traces: list[Trace], name: str = "concat") -> Trace:
+    """Concatenate traces back to back."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    return Trace(
+        addresses=np.concatenate([trace.addresses for trace in traces]),
+        is_write=np.concatenate([trace.is_write for trace in traces]),
+        instr_deltas=np.concatenate([trace.instr_deltas for trace in traces]),
+        name=name)
+
+
+def mix(traces: list[Trace], rng: np.random.Generator,
+        name: str = "mix") -> Trace:
+    """Randomly interleave traces, preserving each trace's internal order.
+
+    This reproduces the paper's "randomly mixes the post-cache traces"
+    step (Section 5.2).  The instruction clock of the mix advances with
+    whichever trace supplied each access.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    lengths = np.array([len(trace) for trace in traces])
+    order = np.repeat(np.arange(len(traces)), lengths)
+    rng.shuffle(order)
+    cursors = [0] * len(traces)
+    total = int(lengths.sum())
+    addresses = np.empty(total, dtype=np.uint64)
+    is_write = np.empty(total, dtype=bool)
+    instr_deltas = np.empty(total, dtype=np.uint32)
+    for position, trace_index in enumerate(order):
+        trace = traces[trace_index]
+        cursor = cursors[trace_index]
+        addresses[position] = trace.addresses[cursor]
+        is_write[position] = trace.is_write[cursor]
+        instr_deltas[position] = trace.instr_deltas[cursor]
+        cursors[trace_index] = cursor + 1
+    return Trace(addresses=addresses, is_write=is_write,
+                 instr_deltas=instr_deltas, name=name)
+
+
+__all__ = ["Trace", "concatenate", "mix"]

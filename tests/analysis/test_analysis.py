@@ -1,0 +1,114 @@
+"""Tests for the analytical models (Sections 6.1, 6.5, 6.6)."""
+
+import pytest
+
+from repro.analysis import (AmatModel, CONTROLLER_384GB, CONTROLLER_4TB,
+                            ControllerModel, MODEL_384GB, MODEL_4TB,
+                            PAPER_TABLE5, PAPER_TABLE6_384GB,
+                            PAPER_TABLE6_4TB, StructureSizingModel,
+                            sanity_check_40nm_scaling, technology_scale)
+from repro.units import GIB, TIB
+
+
+class TestAmat:
+    def test_paper_amat(self):
+        """Section 6.1: 214.2 ns AMAT, +4.2 ns over vanilla CXL."""
+        model = AmatModel()
+        assert model.amat_ns() == pytest.approx(214.2, abs=0.5)
+        assert model.translation_overhead_ns() == pytest.approx(4.2, abs=0.2)
+
+    def test_worst_case_increase(self):
+        """Section 6.1: max increase 123.7 ns (full walk)."""
+        assert AmatModel().max_overhead_ns() == pytest.approx(123.7, abs=5.0)
+
+    def test_best_case_is_l1_hit(self):
+        model = AmatModel()
+        assert model.min_overhead_ns() == pytest.approx(0.67, abs=0.01)
+
+    def test_execution_overhead(self):
+        """Section 6.1: 0.18 % execution-time increase."""
+        assert AmatModel().execution_time_overhead() == pytest.approx(
+            0.0018, abs=0.0003)
+
+    def test_overhead_grows_with_miss_ratio(self):
+        good = AmatModel(l1_miss_ratio=0.05)
+        bad = AmatModel(l1_miss_ratio=0.5)
+        assert bad.translation_overhead_ns() > good.translation_overhead_ns()
+
+    def test_miss_penalty_dominated_by_dram(self):
+        model = AmatModel()
+        assert model.miss_penalty_ns > model.table_dram_latency_ns
+
+
+class TestTable5:
+    @pytest.mark.parametrize("model,column", [(MODEL_384GB, "384GB"),
+                                              (MODEL_4TB, "4TB")])
+    def test_structure_sizes_match_paper(self, model, column):
+        report = model.report()
+        for name, expected in PAPER_TABLE5[column].items():
+            assert report[name] == pytest.approx(expected, rel=0.15), name
+
+    def test_l1_smc_exact(self):
+        """The paper's 328 B L1 SMC is bit-exact in our layout."""
+        assert MODEL_384GB.l1_smc_bytes() == 328
+        assert MODEL_4TB.l1_smc_bytes() == 752
+
+    def test_dram_overhead_negligible(self):
+        """Section 6.6: metadata is ~0.0005 % of a 4 TB device."""
+        assert MODEL_4TB.dram_overhead_fraction() < 1e-5
+
+    def test_structures_scale_with_capacity(self):
+        small = StructureSizingModel(capacity_bytes=384 * GIB)
+        large = StructureSizingModel(capacity_bytes=4 * TIB)
+        assert large.migration_table_bytes() > small.migration_table_bytes()
+        assert large.sram_total_bytes() > small.sram_total_bytes()
+
+    def test_sram_totals_near_paper(self):
+        """Section 6.6: 0.5 MB -> 5.3 MB of on-chip SRAM."""
+        assert MODEL_384GB.sram_total_bytes() == pytest.approx(
+            0.5 * 2 ** 20, rel=0.2)
+        assert MODEL_4TB.sram_total_bytes() == pytest.approx(
+            5.3 * 2 ** 20, rel=0.25)
+
+    def test_dram_totals_near_paper(self):
+        """Section 6.6: 1.9 MB -> 22.6 MB of reserved DRAM."""
+        assert MODEL_384GB.dram_total_bytes() == pytest.approx(
+            1.9 * 2 ** 20, rel=0.2)
+        assert MODEL_4TB.dram_total_bytes() == pytest.approx(
+            22.6 * 2 ** 20, rel=0.2)
+
+
+class TestTable6:
+    def test_technology_scaling_law(self):
+        assert technology_scale() == pytest.approx((7 / 40) ** 2)
+
+    def test_40nm_cross_check(self):
+        """Section 6.5: 0.8 W / 5.4 mm^2 at 40 nm -> ~25.7 mW / 0.165 mm^2."""
+        power_mw, area_mm2 = sanity_check_40nm_scaling()
+        assert power_mw == pytest.approx(25.7, rel=0.1)
+        assert area_mm2 == pytest.approx(0.165, rel=0.05)
+
+    @pytest.mark.parametrize("model,paper", [
+        (CONTROLLER_384GB, PAPER_TABLE6_384GB),
+        (CONTROLLER_4TB, PAPER_TABLE6_4TB),
+    ])
+    def test_component_breakdown(self, model, paper):
+        report = model.report()
+        for key in ("smc_mw", "sram_mw", "cpu_mw", "total_mw"):
+            assert report[key] == pytest.approx(paper[key], rel=0.15), key
+        assert report["total_mm2"] == pytest.approx(paper["total_mm2"],
+                                                    rel=0.2)
+
+    def test_bigger_sram_costs_more(self):
+        assert CONTROLLER_4TB.total_power_mw() > \
+            CONTROLLER_384GB.total_power_mw()
+        assert CONTROLLER_4TB.total_area_mm2() > \
+            CONTROLLER_384GB.total_area_mm2()
+
+    def test_cpu_power_capacity_independent(self):
+        assert CONTROLLER_4TB.cpu_power_mw() == \
+            CONTROLLER_384GB.cpu_power_mw()
+
+    def test_coarser_node_costs_more(self):
+        coarse = ControllerModel(technology_nm=16.0)
+        assert coarse.total_power_mw() > CONTROLLER_384GB.total_power_mw()

@@ -1,0 +1,62 @@
+"""Tests for the TCO model."""
+
+import pytest
+
+from repro.analysis.tco import PAPER_DRAM_POWER_SHARE, TcoModel
+
+
+@pytest.fixture
+def model():
+    return TcoModel()
+
+
+class TestValidation:
+    def test_paper_share(self):
+        assert PAPER_DRAM_POWER_SHARE == 0.38
+
+    def test_invalid_share(self):
+        with pytest.raises(ValueError):
+            TcoModel(dram_power_share=1.5)
+
+    def test_invalid_pue(self):
+        with pytest.raises(ValueError):
+            TcoModel(pue=0.9)
+
+    def test_invalid_savings(self, model):
+        with pytest.raises(ValueError):
+            model.server_power_saved_w(1.2)
+
+
+class TestArithmetic:
+    def test_dram_power(self, model):
+        assert model.dram_power_w() == pytest.approx(152.0)
+
+    def test_paper_headline_saving(self, model):
+        """Figure 12's 31.6 % DRAM saving is ~12 % of server power."""
+        share = model.server_share_saved(0.316)
+        assert share == pytest.approx(0.12, abs=0.005)
+
+    def test_fleet_power_includes_pue(self, model):
+        base = model.server_power_saved_w(0.316) * model.num_servers / 1000
+        assert model.fleet_power_saved_kw(0.316) == pytest.approx(
+            base * model.pue)
+
+    def test_annual_cost_scale(self, model):
+        """10k servers at 31.6 % DRAM savings save several hundred
+        thousand dollars a year — the TCO motivation in Section 1."""
+        cost = model.annual_cost_saved_usd(0.316)
+        assert 2e5 < cost < 1e6
+
+    def test_linear_in_savings(self, model):
+        assert model.annual_cost_saved_usd(0.2) == pytest.approx(
+            2 * model.annual_cost_saved_usd(0.1))
+
+    def test_report_keys(self, model):
+        report = model.report(0.316)
+        assert set(report) == {
+            "dram_savings", "server_power_saved_w", "server_share_saved",
+            "fleet_power_saved_kw", "annual_energy_saved_mwh",
+            "annual_cost_saved_usd"}
+
+    def test_zero_savings(self, model):
+        assert model.annual_cost_saved_usd(0.0) == 0.0

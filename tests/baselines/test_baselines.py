@@ -1,0 +1,87 @@
+"""Tests for the conventional-mapping baselines."""
+
+import pytest
+
+from repro.baselines import (InterleavedMapping, SequentialMapping,
+                             StaticCxlDevice)
+from repro.dram.geometry import DramGeometry
+from repro.errors import AddressError, AllocationError
+from repro.units import GIB, KIB, MIB
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(rank_bytes=256 * MIB)
+
+
+class TestInterleavedMapping:
+    def test_consecutive_lines_rotate_channels(self, geometry):
+        mapping = InterleavedMapping(geometry)
+        channels = [mapping.locate(line * 64).channel for line in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rotates_ranks_after_channels(self, geometry):
+        mapping = InterleavedMapping(geometry)
+        ranks = {mapping.locate(line * 64).rank for line in range(64)}
+        assert len(ranks) == 8
+
+    def test_small_region_touches_every_rank(self, geometry):
+        """The paper's motivation: interleaving defeats rank power-down."""
+        mapping = InterleavedMapping(geometry)
+        assert mapping.ranks_touched(0, 64 * KIB) == 32
+
+    def test_out_of_range(self, geometry):
+        mapping = InterleavedMapping(geometry)
+        with pytest.raises(AddressError):
+            mapping.locate(geometry.total_bytes)
+
+    def test_page_granular_interleave(self, geometry):
+        mapping = InterleavedMapping(geometry, interleave_bytes=4096)
+        assert mapping.locate(0).channel == mapping.locate(64).channel
+        assert mapping.locate(0).channel != mapping.locate(4096).channel
+
+
+class TestSequentialMapping:
+    def test_fills_rank_by_rank(self, geometry):
+        mapping = SequentialMapping(geometry)
+        assert mapping.locate(0).rank_id == (0, 0)
+        last = mapping.locate(geometry.rank_bytes - 1)
+        assert last.rank_id == (0, 0)
+        next_rank = mapping.locate(geometry.rank_bytes)
+        assert next_rank.rank_id == (0, 1)
+
+    def test_small_region_touches_one_rank(self, geometry):
+        mapping = SequentialMapping(geometry)
+        locations = {mapping.locate(a).rank_id
+                     for a in range(0, 64 * KIB, 64)}
+        assert len(locations) == 1
+
+    def test_out_of_range(self, geometry):
+        with pytest.raises(AddressError):
+            SequentialMapping(geometry).locate(-1)
+
+
+class TestStaticDevice:
+    def test_bump_allocation(self, geometry):
+        device = StaticCxlDevice(geometry)
+        base_a = device.allocate(1 * GIB)
+        base_b = device.allocate(1 * GIB)
+        assert base_a == 0
+        assert base_b == 1 * GIB
+        assert device.free_bytes() == geometry.total_bytes - 2 * GIB
+
+    def test_overflow_rejected(self, geometry):
+        device = StaticCxlDevice(geometry)
+        with pytest.raises(AllocationError):
+            device.allocate(geometry.total_bytes + 1)
+
+    def test_access_has_no_translation_overhead(self, geometry):
+        device = StaticCxlDevice(geometry)
+        device.allocate(1 * GIB)
+        _, latency = device.access(4096)
+        assert latency == device.cxl_latency_ns
+
+    def test_background_power_always_full(self, geometry):
+        device = StaticCxlDevice(geometry)
+        power = device.background_power()
+        assert power == device.device.power_model.baseline_background_power()

@@ -1,0 +1,161 @@
+"""Tests for HPA/DPA address codecs (Figures 4 and 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.addressing import (DeviceAddressLayout, HostAddressLayout,
+                                   SegmentLocation)
+from repro.dram.geometry import DramGeometry, PAPER_1TB_GEOMETRY
+from repro.errors import AddressError, ConfigurationError
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(rank_bytes=1 * GIB)
+
+
+@pytest.fixture
+def host_layout(geometry):
+    return HostAddressLayout(geometry, au_bytes=256 * MIB)
+
+
+@pytest.fixture
+def device_layout(geometry):
+    return DeviceAddressLayout(geometry)
+
+
+class TestHostLayoutWidths:
+    def test_paper_au_offset_is_10_bits(self):
+        """2 GiB AU of 2 MiB segments -> 1024 segments -> 10 bits."""
+        layout = HostAddressLayout(PAPER_1TB_GEOMETRY)
+        assert layout.au_offset_bits == 10
+        assert layout.segments_per_au == 1024
+
+    def test_host_id_bits_for_16_hosts(self):
+        layout = HostAddressLayout(PAPER_1TB_GEOMETRY)
+        assert layout.host_id_bits == 4
+
+    def test_au_must_be_segment_multiple(self, geometry):
+        with pytest.raises(ConfigurationError):
+            HostAddressLayout(geometry, au_bytes=3 * MIB)
+
+    def test_hosts_power_of_two(self, geometry):
+        with pytest.raises(ConfigurationError):
+            HostAddressLayout(geometry, max_hosts=10)
+
+
+class TestHsnCodec:
+    def test_pack_unpack_roundtrip(self, host_layout):
+        hsn = host_layout.pack_hsn(host_id=3, au_id=17, au_offset=99)
+        assert host_layout.unpack_hsn(hsn) == (3, 17, 99)
+
+    @given(st.data())
+    def test_roundtrip_property(self, data):
+        layout = HostAddressLayout(DramGeometry(rank_bytes=1 * GIB),
+                                   au_bytes=256 * MIB)
+        host = data.draw(st.integers(0, layout.max_hosts - 1))
+        au = data.draw(st.integers(0, layout.max_aus_per_host - 1))
+        off = data.draw(st.integers(0, layout.segments_per_au - 1))
+        assert layout.unpack_hsn(layout.pack_hsn(host, au, off)) == \
+            (host, au, off)
+
+    def test_field_range_checks(self, host_layout):
+        with pytest.raises(AddressError):
+            host_layout.pack_hsn(host_layout.max_hosts, 0, 0)
+        with pytest.raises(AddressError):
+            host_layout.pack_hsn(0, host_layout.max_aus_per_host, 0)
+        with pytest.raises(AddressError):
+            host_layout.pack_hsn(0, 0, host_layout.segments_per_au)
+
+    def test_hsn_of_hpa(self, host_layout):
+        hpa = 5 * 2 * MIB + 1234
+        assert host_layout.hsn_of_hpa(hpa) == 5
+        assert host_layout.offset_of_hpa(hpa) == 1234
+
+    def test_negative_hpa_rejected(self, host_layout):
+        with pytest.raises(AddressError):
+            host_layout.hsn_of_hpa(-1)
+
+    def test_hpa_reconstruction(self, host_layout):
+        assert host_layout.hpa_of(7, 42) == 7 * 2 * MIB + 42
+
+    def test_hpa_offset_range(self, host_layout):
+        with pytest.raises(AddressError):
+            host_layout.hpa_of(0, 2 * MIB)
+
+
+class TestDsnCodec:
+    def test_pack_unpack_roundtrip(self, device_layout):
+        location = SegmentLocation(channel=2, rank=5, index=300)
+        dsn = device_layout.pack_dsn(location)
+        assert device_layout.unpack_dsn(dsn) == location
+
+    @given(st.data())
+    def test_roundtrip_property(self, data):
+        layout = DeviceAddressLayout(DramGeometry(rank_bytes=1 * GIB))
+        geo = layout.geometry
+        location = SegmentLocation(
+            channel=data.draw(st.integers(0, geo.channels - 1)),
+            rank=data.draw(st.integers(0, geo.ranks_per_channel - 1)),
+            index=data.draw(st.integers(0, geo.segments_per_rank - 1)))
+        assert layout.unpack_dsn(layout.pack_dsn(location)) == location
+
+    def test_out_of_range_fields(self, device_layout):
+        with pytest.raises(AddressError):
+            device_layout.pack_dsn(SegmentLocation(4, 0, 0))
+        with pytest.raises(AddressError):
+            device_layout.pack_dsn(SegmentLocation(0, 8, 0))
+        with pytest.raises(AddressError):
+            device_layout.pack_dsn(SegmentLocation(0, 0, 512))
+
+    def test_consecutive_dsns_interleave_channels(self, device_layout):
+        """Figure 6: channel bits sit just above the segment offset."""
+        channels = [device_layout.channel_of_dsn(dsn) for dsn in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rank_bits_are_most_significant(self, device_layout):
+        """Figure 6: the top bits select the rank, so a rank's segments
+        form one contiguous DSN block."""
+        geo = device_layout.geometry
+        per_rank_block = geo.total_segments // geo.ranks_per_channel
+        for rank in range(geo.ranks_per_channel):
+            dsn = device_layout.pack_dsn(SegmentLocation(0, rank, 0))
+            assert device_layout.rank_of_dsn(dsn) == rank
+            assert dsn // per_rank_block == rank
+
+    def test_dpa_roundtrip(self, device_layout):
+        dsn = device_layout.pack_dsn(SegmentLocation(1, 2, 3))
+        dpa = device_layout.dpa_of(dsn, offset=4096)
+        assert device_layout.dsn_of_dpa(dpa) == dsn
+
+    def test_dpa_range_check(self, device_layout):
+        with pytest.raises(AddressError):
+            device_layout.dsn_of_dpa(device_layout.geometry.total_bytes)
+
+    def test_rank_id_helper(self):
+        assert SegmentLocation(1, 2, 3).rank_id == (1, 2)
+
+
+class TestCrossLayoutProperties:
+    @given(st.integers(min_value=0))
+    def test_every_dsn_maps_to_valid_location(self, seed):
+        layout = DeviceAddressLayout(DramGeometry(rank_bytes=1 * GIB))
+        geo = layout.geometry
+        dsn = seed % geo.total_segments
+        location = layout.unpack_dsn(dsn)
+        assert 0 <= location.channel < geo.channels
+        assert 0 <= location.rank < geo.ranks_per_channel
+        assert 0 <= location.index < geo.segments_per_rank
+
+    def test_dsn_space_is_dense(self, device_layout):
+        """Every DSN in [0, total) is reachable exactly once."""
+        geo = device_layout.geometry
+        seen = set()
+        for channel in range(geo.channels):
+            for rank in range(geo.ranks_per_channel):
+                for index in range(0, geo.segments_per_rank,
+                                   geo.segments_per_rank // 8):
+                    seen.add(device_layout.pack_dsn(
+                        SegmentLocation(channel, rank, index)))
+        assert len(seen) == geo.channels * geo.ranks_per_channel * 8

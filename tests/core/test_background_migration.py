@@ -1,0 +1,102 @@
+"""Tests for background (idle-bandwidth) consolidation migration."""
+
+import pytest
+
+from repro.core.checker import check
+from repro.core.config import DtlConfig
+from repro.core.controller import DtlController
+from repro.dram.geometry import DramGeometry
+from repro.dram.power import PowerState
+from repro.units import MIB
+
+
+@pytest.fixture
+def controller():
+    return DtlController(DtlConfig(
+        geometry=DramGeometry(channels=2, ranks_per_channel=4,
+                              rank_bytes=64 * MIB),
+        au_bytes=16 * MIB, enable_self_refresh=False,
+        background_migration=True))
+
+
+def force_consolidation(controller):
+    """Create a layout where power-down must migrate live segments."""
+    vm_a = controller.allocate_vm(0, 96 * MIB, now_s=0.0)
+    vm_b = controller.allocate_vm(0, 96 * MIB, now_s=1.0)
+    controller.deallocate_vm(vm_a, now_s=2.0)
+    return vm_b
+
+
+class TestDeferredPowerDown:
+    def test_mpsm_waits_for_copies(self, controller):
+        force_consolidation(controller)
+        policy = controller.power_down
+        if not policy.pending_power_downs():
+            pytest.skip("this layout needed no live-segment migration")
+        # Victims are fenced but still in standby, holding their data.
+        pending = policy.pending_power_downs()[0]
+        for rank_id in pending.victims:
+            assert controller.device.ranks[rank_id].state \
+                is PowerState.STANDBY
+        assert controller.migration.pending_count() > 0
+
+    def test_pump_completes_power_down(self, controller):
+        force_consolidation(controller)
+        policy = controller.power_down
+        if not policy.pending_power_downs():
+            pytest.skip("no migration needed")
+        pending = policy.pending_power_downs()[0]
+        # Grant bandwidth until the copies drain.
+        for _ in range(10_000):
+            if not policy.pending_power_downs():
+                break
+            controller.pump_migrations(now_s=3.0, lines=4096)
+        assert not policy.pending_power_downs()
+        for rank_id in pending.victims:
+            assert controller.device.ranks[rank_id].state is PowerState.MPSM
+        check(controller, balance_tolerance=10 ** 9)
+
+    def test_fenced_ranks_refuse_new_allocations(self, controller):
+        force_consolidation(controller)
+        policy = controller.power_down
+        fenced = {rank_id for pending in policy.pending_power_downs()
+                  for rank_id in pending.victims}
+        vm = controller.allocate_vm(1, 32 * MIB, now_s=4.0)
+        for au_id in vm.au_ids:
+            for offset in range(controller.host_layout.segments_per_au):
+                hsn = controller.host_layout.pack_hsn(1, au_id, offset)
+                dsn = controller.tables.walk(hsn).dsn
+                assert controller.allocator.rank_of_dsn(dsn) not in fenced
+
+    def test_busy_channels_stall_copies(self, controller):
+        force_consolidation(controller)
+        if not controller.power_down.pending_power_downs():
+            pytest.skip("no migration needed")
+        busy = set(range(controller.geometry.channels))
+        assert controller.pump_migrations(5.0, lines=64,
+                                          busy_channels=busy) == 0
+
+    def test_foreground_writes_still_consistent(self, controller):
+        vm_b = force_consolidation(controller)
+        # Write to the surviving VM while copies are in flight.
+        for offset in range(8):
+            controller.access(0, controller.hpa_of(vm_b.au_ids[0], offset),
+                              is_write=True)
+        for _ in range(10_000):
+            if not controller.power_down.pending_power_downs():
+                break
+            controller.pump_migrations(now_s=6.0, lines=4096)
+        check(controller, balance_tolerance=10 ** 9)
+
+
+class TestSynchronousDefault:
+    def test_default_mode_drains_inline(self):
+        controller = DtlController(DtlConfig(
+            geometry=DramGeometry(channels=2, ranks_per_channel=4,
+                                  rank_bytes=64 * MIB),
+            au_bytes=16 * MIB, enable_self_refresh=False))
+        vm_a = controller.allocate_vm(0, 96 * MIB, now_s=0.0)
+        controller.allocate_vm(0, 96 * MIB, now_s=1.0)
+        controller.deallocate_vm(vm_a, now_s=2.0)
+        assert controller.migration.pending_count() == 0
+        assert not controller.power_down.pending_power_downs()

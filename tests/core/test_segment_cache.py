@@ -1,0 +1,163 @@
+"""Tests for the two-level segment mapping cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.segment_cache import (CacheStats, FullyAssociativeCache,
+                                      SegmentCacheConfig, SegmentMappingCache,
+                                      SetAssociativeCache, cycles_to_ns)
+from repro.errors import ConfigurationError
+
+
+class TestCycleConversion:
+    def test_one_cycle_at_1p5ghz(self):
+        assert cycles_to_ns(1) == pytest.approx(1 / 1.5)
+
+    def test_seven_cycles(self):
+        assert cycles_to_ns(7) == pytest.approx(7 / 1.5)
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_ratio == pytest.approx(0.75)
+        assert stats.miss_ratio == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert CacheStats().hit_ratio == 0.0
+
+
+class TestFullyAssociative:
+    def test_hit_after_insert(self):
+        cache = FullyAssociativeCache(4)
+        cache.insert(10, 100)
+        assert cache.lookup(10) == 100
+        assert cache.stats.hits == 1
+
+    def test_miss(self):
+        cache = FullyAssociativeCache(4)
+        assert cache.lookup(10) is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = FullyAssociativeCache(2)
+        cache.insert(1, 11)
+        cache.insert(2, 22)
+        cache.lookup(1)  # make 2 the LRU entry
+        evicted = cache.insert(3, 33)
+        assert evicted == (2, 22)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_reinsert_updates_value(self):
+        cache = FullyAssociativeCache(2)
+        cache.insert(1, 11)
+        cache.insert(1, 99)
+        assert cache.lookup(1) == 99
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = FullyAssociativeCache(2)
+        cache.insert(1, 11)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert cache.stats.invalidations == 1
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FullyAssociativeCache(0)
+
+
+class TestSetAssociative:
+    def test_set_isolation(self):
+        cache = SetAssociativeCache(entries=8, ways=2)  # 4 sets
+        # Keys 0, 4, 8, 12 all map to set 0; two ways force eviction.
+        cache.insert(0, 1)
+        cache.insert(4, 2)
+        cache.insert(8, 3)
+        assert 0 not in cache  # LRU of set 0
+        assert 4 in cache and 8 in cache
+
+    def test_other_sets_unaffected(self):
+        cache = SetAssociativeCache(entries=8, ways=2)
+        cache.insert(1, 10)
+        cache.insert(0, 1)
+        cache.insert(4, 2)
+        cache.insert(8, 3)
+        assert cache.lookup(1) == 10
+
+    def test_ways_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(entries=10, ways=4)
+
+    def test_len_counts_all_sets(self):
+        cache = SetAssociativeCache(entries=8, ways=2)
+        cache.insert(0, 1)
+        cache.insert(1, 2)
+        assert len(cache) == 2
+
+
+class TestSegmentCacheConfig:
+    def test_table3_defaults(self):
+        config = SegmentCacheConfig()
+        assert config.l1_entries == 64
+        assert config.l2_entries == 1024
+        assert config.l2_ways == 4
+
+    def test_latencies(self):
+        config = SegmentCacheConfig()
+        assert config.l1_hit_ns == pytest.approx(1 / 1.5)
+        assert config.l2_hit_ns == pytest.approx(7 / 1.5)
+
+
+class TestTwoLevel:
+    @pytest.fixture
+    def smc(self):
+        return SegmentMappingCache(SegmentCacheConfig(l1_entries=2,
+                                                      l2_entries=8,
+                                                      l2_ways=2))
+
+    def test_fill_populates_both_levels(self, smc):
+        smc.fill(5, 50)
+        assert 5 in smc.l1 and 5 in smc.l2
+
+    def test_l2_hit_promotes_to_l1(self, smc):
+        smc.fill(1, 10)
+        smc.fill(2, 20)
+        smc.fill(3, 30)  # 1 evicted from tiny L1, still in L2
+        assert 1 not in smc.l1
+        result = smc.lookup(1)
+        assert result.l2_hit and not result.l1_hit
+        assert 1 in smc.l1
+
+    def test_full_miss(self, smc):
+        result = smc.lookup(99)
+        assert result.full_miss
+        assert result.dsn is None
+
+    def test_invalidate_both_levels(self, smc):
+        smc.fill(7, 70)
+        assert smc.invalidate(7)
+        assert 7 not in smc.l1 and 7 not in smc.l2
+        assert not smc.invalidate(7)
+
+    def test_hit_latency_composition(self, smc):
+        smc.fill(1, 10)
+        l1 = smc.lookup(1)
+        assert smc.hit_latency_ns(l1) == pytest.approx(smc.config.l1_hit_ns)
+        smc.fill(2, 20)
+        smc.fill(3, 30)
+        l2 = smc.lookup(1) if 1 not in smc.l1 else smc.lookup(99)
+        assert smc.hit_latency_ns(l2) == pytest.approx(
+            smc.config.l1_hit_ns + smc.config.l2_hit_ns)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
+    def test_lookup_after_fill_always_hits(self, keys):
+        """An immediately repeated lookup never misses (LRU keeps MRU)."""
+        smc = SegmentMappingCache(SegmentCacheConfig(l1_entries=4,
+                                                     l2_entries=16,
+                                                     l2_ways=4))
+        for key in keys:
+            smc.fill(key, key * 10)
+            result = smc.lookup(key)
+            assert result.dsn == key * 10
+            assert result.l1_hit

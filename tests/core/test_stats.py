@@ -1,0 +1,64 @@
+"""Tests for the controller statistics snapshot."""
+
+import json
+
+import pytest
+
+from repro.core.config import DtlConfig
+from repro.core.controller import DtlController
+from repro.core.stats import snapshot
+from repro.dram.geometry import DramGeometry
+from repro.units import MIB
+
+
+@pytest.fixture
+def controller():
+    return DtlController(DtlConfig(
+        geometry=DramGeometry(rank_bytes=256 * MIB), au_bytes=64 * MIB))
+
+
+class TestSnapshot:
+    def test_fresh_controller(self, controller):
+        stats = snapshot(controller)
+        assert stats.translation["count"] == 0
+        assert stats.allocation["segments_allocated"] == 0
+        assert stats.power["ranks_standby"] == 32
+
+    def test_reflects_activity(self, controller):
+        vm = controller.allocate_vm(0, 128 * MIB)
+        for offset in range(8):
+            controller.access(0, controller.hpa_of(vm.au_ids[0], offset))
+        stats = snapshot(controller)
+        assert stats.translation["count"] == 8
+        assert stats.allocation["live_vms"] == 1
+        assert stats.allocation["reserved_bytes"] == 128 * MIB
+        assert 0 < stats.allocation["utilization"] < 1
+
+    def test_power_counters_after_dealloc(self, controller):
+        vm = controller.allocate_vm(0, 1024 * MIB)
+        controller.deallocate_vm(vm, now_s=1.0)
+        stats = snapshot(controller)
+        assert stats.power["ranks_mpsm"] > 0
+        assert stats.power["transitions"] > 0
+
+    def test_flat_namespacing(self, controller):
+        flat = snapshot(controller).flat()
+        assert "translation.count" in flat
+        assert "power.ranks_standby" in flat
+        assert all("." in key for key in flat)
+
+    def test_json_serialisable(self, controller):
+        controller.allocate_vm(0, 64 * MIB)
+        json.dumps(snapshot(controller).flat())
+
+    def test_policies_disabled(self):
+        controller = DtlController(DtlConfig(
+            geometry=DramGeometry(rank_bytes=256 * MIB), au_bytes=64 * MIB,
+            enable_power_down=False, enable_self_refresh=False))
+        stats = snapshot(controller)
+        assert stats.self_refresh == {}
+        assert "active_ranks_per_channel" not in stats.power
+
+    def test_retirement_counted(self, controller):
+        controller.retire_rank(0, 7)
+        assert snapshot(controller).power["quarantined"] == 1

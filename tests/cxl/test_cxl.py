@@ -1,0 +1,66 @@
+"""Tests for the CXL link and device wrapper."""
+
+import pytest
+
+from repro.core.config import DtlConfig
+from repro.cxl import CxlLinkConfig, CxlMemoryDevice
+from repro.dram import DramGeometry, PowerState
+from repro.dram.timing import CXL_MEMORY_LATENCY_NS, NATIVE_DRAM_LATENCY_NS
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def device():
+    return CxlMemoryDevice(config=DtlConfig(
+        geometry=DramGeometry(rank_bytes=256 * MIB), au_bytes=64 * MIB))
+
+
+class TestLink:
+    def test_default_end_to_end_matches_table1(self):
+        link = CxlLinkConfig()
+        assert link.end_to_end_latency_ns == pytest.approx(
+            CXL_MEMORY_LATENCY_NS)
+
+    def test_access_latency_composition(self):
+        link = CxlLinkConfig()
+        assert link.access_latency_ns() == pytest.approx(
+            CXL_MEMORY_LATENCY_NS)
+
+    def test_larger_payloads_take_longer(self):
+        link = CxlLinkConfig()
+        assert link.access_latency_ns(payload_bytes=4096) > \
+            link.access_latency_ns(payload_bytes=64)
+
+    def test_custom_base_latency(self):
+        link = CxlLinkConfig(base_latency_ns=50.0)
+        assert link.end_to_end_latency_ns == pytest.approx(
+            50.0 + NATIVE_DRAM_LATENCY_NS)
+
+
+class TestDevice:
+    def test_allocate_and_load(self, device):
+        vm = device.allocate_vm(0, 128 * MIB)
+        hpa = device.controller.hpa_of(vm.au_ids[0], 0)
+        result = device.load(0, hpa)
+        assert result.latency_ns >= CXL_MEMORY_LATENCY_NS
+
+    def test_store_goes_through_migration_check(self, device):
+        vm = device.allocate_vm(0, 64 * MIB)
+        hpa = device.controller.hpa_of(vm.au_ids[0], 1)
+        result = device.store(0, hpa)
+        assert not result.routed_to_new_dsn
+
+    def test_deallocate_powers_down(self, device):
+        vm = device.allocate_vm(0, 64 * MIB)
+        device.deallocate_vm(vm)
+        summary = device.power_summary()
+        assert summary["ranks_mpsm"] > 0
+
+    def test_power_summary_keys(self, device):
+        summary = device.power_summary()
+        assert set(summary) == {
+            "background_power_rsu",
+            f"ranks_{PowerState.STANDBY.value}",
+            f"ranks_{PowerState.SELF_REFRESH.value}",
+            f"ranks_{PowerState.MPSM.value}",
+        }

@@ -1,0 +1,111 @@
+"""Tests for the multi-device memory pool."""
+
+import pytest
+
+from repro.core.config import DtlConfig
+from repro.cxl.pool import MemoryPool
+from repro.dram.geometry import DramGeometry
+from repro.errors import AllocationError, ConfigurationError
+from repro.units import GIB, MIB
+
+
+def make_pool(devices=2, placement="pack"):
+    config = DtlConfig(geometry=DramGeometry(rank_bytes=256 * MIB),
+                       au_bytes=64 * MIB, group_granularity=2)
+    return MemoryPool([config] * devices, placement=placement)
+
+
+class TestConstruction:
+    def test_needs_devices(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPool([])
+
+    def test_unknown_placement(self):
+        config = DtlConfig(geometry=DramGeometry(rank_bytes=256 * MIB),
+                           au_bytes=64 * MIB)
+        with pytest.raises(ConfigurationError):
+            MemoryPool([config], placement="hash")
+
+    def test_total_capacity(self):
+        pool = make_pool(devices=3)
+        assert pool.total_bytes == 3 * 8 * GIB
+
+
+class TestPlacement:
+    def test_pack_concentrates(self):
+        pool = make_pool(placement="pack")
+        handles = [pool.allocate_vm(0, 1 * GIB) for _ in range(3)]
+        devices = {handle.device_index for handle in handles}
+        assert len(devices) == 1  # all on one device
+
+    def test_spread_balances(self):
+        pool = make_pool(placement="spread")
+        handles = [pool.allocate_vm(0, 1 * GIB) for _ in range(2)]
+        assert handles[0].device_index != handles[1].device_index
+
+    def test_pack_overflows_to_next_device(self):
+        pool = make_pool(placement="pack")
+        pool.allocate_vm(0, 7 * GIB)
+        second = pool.allocate_vm(0, 4 * GIB)
+        assert second.device_index == 1
+
+    def test_pool_full(self):
+        pool = make_pool()
+        with pytest.raises(AllocationError):
+            pool.allocate_vm(0, 17 * GIB)
+
+    def test_pack_saves_pool_power(self):
+        """The DTL philosophy one level up: packing lets the idle
+        device's ranks power down entirely."""
+        packed = make_pool(placement="pack")
+        spread = make_pool(placement="spread")
+        for pool in (packed, spread):
+            for _ in range(2):
+                vm = pool.allocate_vm(0, 1 * GIB, now_s=0.0)
+            # Nudge both pools' power-down policies via a dealloc cycle.
+            extra = pool.allocate_vm(0, 1 * GIB, now_s=1.0)
+            pool.deallocate_vm(extra, now_s=2.0)
+        assert packed.stats().background_power_rsu <= \
+            spread.stats().background_power_rsu
+
+
+class TestLifecycle:
+    def test_deallocate(self):
+        pool = make_pool()
+        vm = pool.allocate_vm(0, 1 * GIB)
+        assert pool.reserved_bytes() == 1 * GIB
+        pool.deallocate_vm(vm, now_s=1.0)
+        assert pool.reserved_bytes() == 0
+        assert pool.live_vms == []
+
+    def test_double_deallocate(self):
+        pool = make_pool()
+        vm = pool.allocate_vm(0, 1 * GIB)
+        pool.deallocate_vm(vm)
+        with pytest.raises(AllocationError):
+            pool.deallocate_vm(vm)
+
+    def test_stats_shape(self):
+        pool = make_pool()
+        vm = pool.allocate_vm(0, 2 * GIB, now_s=0.0)
+        stats = pool.stats()
+        assert stats.devices == 2
+        assert stats.reserved_bytes == 2 * GIB
+        assert stats.utilization == pytest.approx(2 / 16)
+        assert stats.ranks_standby + stats.ranks_self_refresh \
+            + stats.ranks_mpsm == 64
+
+
+class TestInitialPowerDown:
+    def test_enabled_by_default(self):
+        pool = make_pool()
+        assert pool.stats().ranks_mpsm > 0
+
+    def test_can_be_disabled(self):
+        from repro.core.config import DtlConfig
+        from repro.cxl.pool import MemoryPool
+        from repro.dram.geometry import DramGeometry
+        config = DtlConfig(geometry=DramGeometry(rank_bytes=256 * MIB),
+                           au_bytes=64 * MIB)
+        pool = MemoryPool([config], initial_power_down=False)
+        assert pool.stats().ranks_mpsm == 0

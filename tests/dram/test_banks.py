@@ -1,0 +1,131 @@
+"""Tests for the bank-level row-buffer model."""
+
+import numpy as np
+import pytest
+
+from repro.dram.banks import (AddressDecoder, BankState, RowBufferAnalyzer,
+                              RowOutcome)
+from repro.dram.geometry import DramGeometry
+from repro.units import GIB, KIB, MIB
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(rank_bytes=1 * GIB)
+
+
+class TestBankState:
+    def test_first_access_is_miss(self, geometry):
+        banks = BankState(geometry)
+        assert banks.access(0, 0, 0, row=5) is RowOutcome.MISS
+
+    def test_repeat_row_hits(self, geometry):
+        banks = BankState(geometry)
+        banks.access(0, 0, 0, row=5)
+        assert banks.access(0, 0, 0, row=5) is RowOutcome.HIT
+
+    def test_different_row_conflicts(self, geometry):
+        banks = BankState(geometry)
+        banks.access(0, 0, 0, row=5)
+        assert banks.access(0, 0, 0, row=6) is RowOutcome.CONFLICT
+
+    def test_banks_are_independent(self, geometry):
+        banks = BankState(geometry)
+        banks.access(0, 0, 0, row=5)
+        assert banks.access(0, 0, 1, row=6) is RowOutcome.MISS
+        assert banks.access(1, 0, 0, row=7) is RowOutcome.MISS
+
+    def test_precharge_all(self, geometry):
+        banks = BankState(geometry)
+        banks.access(0, 0, 0, row=5)
+        banks.precharge_all()
+        assert banks.open_row(0, 0, 0) == BankState.IDLE
+        assert banks.access(0, 0, 0, row=5) is RowOutcome.MISS
+
+    def test_stats_ratios(self, geometry):
+        banks = BankState(geometry)
+        banks.access(0, 0, 0, row=1)
+        banks.access(0, 0, 0, row=1)
+        banks.access(0, 0, 0, row=2)
+        assert banks.stats.accesses == 3
+        assert banks.stats.hit_ratio == pytest.approx(1 / 3)
+        assert banks.stats.conflict_ratio == pytest.approx(1 / 3)
+
+
+class TestAddressDecoder:
+    def test_unknown_mapping_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            AddressDecoder(geometry, mapping="bogus")
+
+    def test_dtl_channel_follows_segment(self, geometry):
+        decoder = AddressDecoder(geometry, mapping="dtl")
+        assert decoder.decode(0).channel == 0
+        assert decoder.decode(2 * MIB).channel == 1
+        # Within one segment the channel never changes.
+        assert decoder.decode(2 * MIB - 64).channel == 0
+
+    def test_interleaved_channel_follows_cacheline(self, geometry):
+        decoder = AddressDecoder(geometry, mapping="interleaved")
+        assert decoder.decode(0).channel == 0
+        assert decoder.decode(64).channel == 1
+
+    def test_dtl_sequential_within_segment_changes_bank_per_row(self,
+                                                                geometry):
+        decoder = AddressDecoder(geometry, mapping="dtl")
+        first = decoder.decode(0)
+        same_row = decoder.decode(4 * KIB)
+        next_row = decoder.decode(8 * KIB)
+        assert (first.bank, first.row) == (same_row.bank, same_row.row)
+        assert next_row.bank != first.bank or next_row.row != first.row
+
+    def test_fields_in_range(self, geometry):
+        rng = np.random.default_rng(0)
+        for mapping in ("dtl", "interleaved"):
+            decoder = AddressDecoder(geometry, mapping=mapping)
+            for address in rng.integers(0, geometry.total_bytes, size=200):
+                decoded = decoder.decode(int(address))
+                assert 0 <= decoded.channel < geometry.channels
+                assert 0 <= decoded.rank < geometry.ranks_per_channel
+                assert 0 <= decoded.bank < geometry.banks_per_rank
+                assert decoded.row >= 0
+
+
+class TestRowBufferAnalyzer:
+    def test_sequential_stream_hits_often_under_dtl(self, geometry):
+        """A sequential scan stays in each row for 128 cachelines."""
+        analyzer = RowBufferAnalyzer(geometry, mapping="dtl")
+        addresses = np.arange(0, 1 * MIB, 64, dtype=np.int64)
+        stats = analyzer.run(addresses)
+        assert stats.hit_ratio > 0.9
+
+    def test_random_stream_conflicts(self, geometry):
+        analyzer = RowBufferAnalyzer(geometry, mapping="dtl")
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, geometry.total_bytes, size=4000)
+        stats = analyzer.run(addresses)
+        assert stats.hit_ratio < 0.2
+
+    def test_service_time_between_extremes(self, geometry):
+        analyzer = RowBufferAnalyzer(geometry)
+        rng = np.random.default_rng(1)
+        analyzer.run(rng.integers(0, geometry.total_bytes, size=2000))
+        service = analyzer.mean_service_time_ns()
+        assert analyzer.timing.row_hit_latency_ns() < service \
+            <= analyzer.timing.row_conflict_latency_ns()
+
+    def test_empty_trace_default(self, geometry):
+        analyzer = RowBufferAnalyzer(geometry)
+        assert analyzer.mean_service_time_ns() == pytest.approx(
+            analyzer.timing.row_miss_latency_ns())
+
+    def test_dtl_mapping_preserves_row_locality(self, geometry):
+        """The Figure 5 trade-off in microcosm: cacheline interleaving
+        spreads a sequential stream over channels (parallelism) at the
+        cost of row locality; the DTL's segment interleaving keeps rows
+        hot within each channel."""
+        addresses = np.arange(0, 1 * MIB, 64, dtype=np.int64)
+        dtl = RowBufferAnalyzer(geometry, mapping="dtl")
+        interleaved = RowBufferAnalyzer(geometry, mapping="interleaved")
+        dtl_stats = dtl.run(addresses)
+        il_stats = interleaved.run(addresses)
+        assert dtl_stats.hit_ratio >= il_stats.hit_ratio

@@ -1,0 +1,84 @@
+"""Tests for the DRAM geometry model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.geometry import (DramGeometry, PAPER_1TB_GEOMETRY,
+                                 PAPER_4TB_GEOMETRY, geometry_for_capacity)
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB, TIB
+
+
+class TestCapacityMath:
+    def test_paper_1tb_totals(self):
+        geo = PAPER_1TB_GEOMETRY
+        assert geo.total_bytes == 1 * TIB
+        assert geo.total_ranks == 32
+        assert geo.channel_bytes == 256 * GIB
+
+    def test_paper_4tb_totals(self):
+        geo = PAPER_4TB_GEOMETRY
+        assert geo.total_bytes == 4 * TIB
+        assert geo.total_ranks == 128
+
+    def test_segments(self):
+        geo = DramGeometry(rank_bytes=1 * GIB)
+        assert geo.segments_per_rank == 512
+        assert geo.segments_per_channel == 512 * 8
+        assert geo.total_segments == 512 * 8 * 4
+
+    def test_rank_group(self):
+        geo = DramGeometry(rank_bytes=1 * GIB)
+        assert geo.rank_group_bytes == 4 * GIB
+        assert geo.rank_group_segments == 2048
+
+
+class TestBitWidths:
+    def test_figure6_layout(self):
+        """The 1 TB reference device of Figure 6."""
+        geo = PAPER_1TB_GEOMETRY
+        assert geo.segment_offset_bits == 21
+        assert geo.channel_bits == 2
+        assert geo.rank_bits == 3
+        assert geo.dpa_bits == 40  # 1 TiB
+
+    def test_dpa_bits_cover_capacity(self):
+        geo = DramGeometry(rank_bytes=1 * GIB)
+        assert 1 << geo.dpa_bits == geo.total_bytes
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_channels(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(channels=3)
+
+    def test_rejects_non_power_of_two_rank_size(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(rank_bytes=3 * GIB)
+
+    def test_rejects_segment_larger_than_rank(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(rank_bytes=1 * MIB, segment_bytes=2 * MIB)
+
+
+class TestGeometryForCapacity:
+    def test_even_split(self):
+        geo = geometry_for_capacity(32 * GIB)
+        assert geo.rank_bytes == 1 * GIB
+        assert geo.total_bytes == 32 * GIB
+
+    def test_rejects_uneven(self):
+        with pytest.raises(ConfigurationError):
+            geometry_for_capacity(33 * GIB)
+
+    @given(st.integers(min_value=0, max_value=6))
+    def test_power_of_two_capacities_always_work(self, shift):
+        total = (32 << shift) * GIB
+        geo = geometry_for_capacity(total)
+        assert geo.total_bytes == total
+
+
+class TestDescribe:
+    def test_describe_mentions_shape(self):
+        text = DramGeometry(rank_bytes=1 * GIB).describe()
+        assert "4ch" in text and "8ranks" in text

@@ -1,0 +1,47 @@
+"""Tests for DDR4 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import (CXL_MEMORY_LATENCY_NS, DDR4_2933, DramTiming,
+                               NATIVE_DRAM_LATENCY_NS)
+
+
+class TestPaperLatencies:
+    def test_table1_values(self):
+        assert NATIVE_DRAM_LATENCY_NS == 121.0
+        assert CXL_MEMORY_LATENCY_NS == 210.0
+
+    def test_cxl_slower_than_native(self):
+        assert CXL_MEMORY_LATENCY_NS > NATIVE_DRAM_LATENCY_NS
+
+
+class TestDdr4Timing:
+    def test_data_rate(self):
+        assert DDR4_2933.data_rate_mts == pytest.approx(2933.0)
+
+    def test_channel_bandwidth(self):
+        # DDR4-2933 x 8 bytes ~= 23.5 GB/s per channel.
+        assert DDR4_2933.channel_peak_bandwidth_gbs == pytest.approx(
+            23.46, abs=0.1)
+
+    def test_latency_ordering(self):
+        t = DDR4_2933
+        assert (t.row_hit_latency_ns() < t.row_miss_latency_ns()
+                < t.row_conflict_latency_ns())
+
+    def test_refresh_overhead_small(self):
+        assert 0.01 < DDR4_2933.refresh_overhead_fraction() < 0.1
+
+    def test_transfer_time_scales(self):
+        t = DDR4_2933
+        assert t.transfer_time_ns(128) == pytest.approx(
+            2 * t.transfer_time_ns(64))
+
+    def test_transfer_time_rounds_up_to_lines(self):
+        t = DDR4_2933
+        assert t.transfer_time_ns(65) == pytest.approx(t.transfer_time_ns(128))
+
+    def test_custom_timing(self):
+        slow = DramTiming(clock_mhz=800.0)
+        assert slow.channel_peak_bandwidth_gbs < \
+            DDR4_2933.channel_peak_bandwidth_gbs

@@ -1,0 +1,140 @@
+"""Tests for the host cache hierarchy simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.host.caches import (CacheHierarchy, CacheLevel, CacheLevelConfig,
+                               PAPER_CACHE_LEVELS)
+from repro.units import CACHELINE_BYTES, KIB, MIB
+
+
+def tiny_hierarchy():
+    """A hierarchy small enough to force evictions quickly."""
+    return CacheHierarchy((
+        CacheLevelConfig("L1", 4 * CACHELINE_BYTES, 2),
+        CacheLevelConfig("L2", 16 * CACHELINE_BYTES, 2),
+    ))
+
+
+class TestLevelConfig:
+    def test_paper_table3(self):
+        l1, l2, llc = PAPER_CACHE_LEVELS
+        assert (l1.size_bytes, l1.ways) == (32 * KIB, 8)
+        assert (l2.size_bytes, l2.ways) == (1 * MIB, 8)
+        assert (llc.size_bytes, llc.ways) == (8 * MIB, 16)
+
+    def test_num_sets(self):
+        assert PAPER_CACHE_LEVELS[0].num_sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelConfig("bad", 100, 3)
+
+
+class TestCacheLevel:
+    def test_hit_after_fill(self):
+        level = CacheLevel(CacheLevelConfig("L1", 4 * 64, 2))
+        level.fill(10, dirty=False)
+        assert level.access(10, is_write=False)
+        assert level.stats.hits == 1
+
+    def test_dirty_eviction_counts_writeback(self):
+        level = CacheLevel(CacheLevelConfig("L1", 2 * 64, 2))
+        level.fill(0, dirty=True)
+        level.fill(2, dirty=False)
+        victim = level.fill(4, dirty=False)  # evicts line 0 (dirty)
+        assert victim == (0, True)
+        assert level.stats.writebacks == 1
+
+    def test_write_sets_dirty(self):
+        level = CacheLevel(CacheLevelConfig("L1", 2 * 64, 2))
+        level.fill(0, dirty=False)
+        level.access(0, is_write=True)
+        _, dirty = level.invalidate(0)
+        assert dirty
+
+    def test_invalidate_missing(self):
+        level = CacheLevel(CacheLevelConfig("L1", 2 * 64, 2))
+        assert level.invalidate(5) == (False, False)
+
+
+class TestHierarchy:
+    def test_first_access_misses_to_memory(self):
+        hierarchy = tiny_hierarchy()
+        requests = hierarchy.access(0, is_write=False)
+        assert len(requests) == 1
+        assert not requests[0].is_write
+
+    def test_second_access_filtered(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, is_write=False)
+        assert hierarchy.access(0, is_write=False) == []
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = tiny_hierarchy()
+        # L1 has 2 sets x 2 ways; lines 0, 2, 4 collide in set 0.
+        for line in (0, 2, 4):
+            hierarchy.access(line * 64, is_write=False)
+        requests = hierarchy.access(0, is_write=False)
+        assert requests == []  # still in L2
+
+    def test_dirty_llc_eviction_writes_back(self):
+        hierarchy = CacheHierarchy((
+            CacheLevelConfig("L1", 2 * 64, 2),
+            CacheLevelConfig("LLC", 2 * 64, 2),
+        ))
+        hierarchy.access(0, is_write=True)
+        writebacks = []
+        # Touch enough conflicting lines to force line 0 out of the LLC.
+        for line in (2, 4, 6, 8):
+            writebacks += [r for r in hierarchy.access(line * 64, False)
+                           if r.is_write]
+        assert any(r.line_addr == 0 for r in writebacks)
+
+    def test_inclusion_back_invalidates(self):
+        hierarchy = CacheHierarchy((
+            CacheLevelConfig("L1", 4 * 64, 4),
+            CacheLevelConfig("LLC", 2 * 64, 2),
+        ))
+        hierarchy.access(0, is_write=False)
+        # Evict line 0 from the (smaller) LLC; inclusion forces it out of L1.
+        hierarchy.access(2 * 64, is_write=False)
+        hierarchy.access(4 * 64, is_write=False)
+        assert len(hierarchy.levels[0]._sets[0]) <= 2
+        requests = hierarchy.access(0, is_write=False)
+        assert len(requests) == 1  # full miss: line really left L1 too
+
+    def test_memory_request_address(self):
+        hierarchy = tiny_hierarchy()
+        requests = hierarchy.access(3 * 64 + 17, is_write=False)
+        assert requests[0].address == 3 * 64
+
+    def test_stats_by_name(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, is_write=False)
+        stats = hierarchy.stats()
+        assert stats["L1"].misses == 1
+        assert stats["L2"].misses == 1
+
+    def test_llc_miss_ratio(self):
+        hierarchy = tiny_hierarchy()
+        hierarchy.access(0, is_write=False)
+        hierarchy.access(0, is_write=False)
+        assert hierarchy.llc_miss_ratio() == pytest.approx(1.0)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(())
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
+                    min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_filtering_never_amplifies_reads(self, accesses):
+        """Post-cache demand-read traffic never exceeds host reads."""
+        hierarchy = tiny_hierarchy()
+        demand = 0
+        for line, is_write in accesses:
+            requests = hierarchy.access(line * 64, is_write)
+            demand += sum(1 for r in requests if not r.is_write)
+        assert demand <= len(accesses)

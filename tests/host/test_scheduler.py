@@ -1,0 +1,109 @@
+"""Tests for the VM scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.host.scheduler import SchedulerConfig, VmScheduler
+from repro.host.vm import VmEvent, VmSpec
+from repro.units import GIB
+
+
+def spec(name, vcpus=2, mem_gib=8, lifetime_s=600.0, arrival_s=0.0):
+    return VmSpec(vm_name=name, vcpus=vcpus, memory_bytes=mem_gib * GIB,
+                  lifetime_s=lifetime_s, arrival_s=arrival_s)
+
+
+@pytest.fixture
+def scheduler():
+    return VmScheduler(SchedulerConfig(vcpus=8, memory_bytes=32 * GIB,
+                                       duration_s=3600.0))
+
+
+class TestAdmission:
+    def test_admits_fitting_vms(self, scheduler):
+        result = scheduler.run([spec("a"), spec("b")])
+        assert result.admitted == 2
+        assert result.rejected == 0
+
+    def test_rejects_oversized_vm(self, scheduler):
+        result = scheduler.run([spec("huge", vcpus=64)])
+        assert result.rejected == 1
+        assert result.admitted == 0
+
+    def test_queues_when_full(self, scheduler):
+        # Two 16 GiB VMs fill memory; the third waits for a departure.
+        specs = [spec("a", mem_gib=16, lifetime_s=600),
+                 spec("b", mem_gib=16, lifetime_s=600),
+                 spec("c", mem_gib=16, lifetime_s=600, arrival_s=60)]
+        result = scheduler.run(specs)
+        assert result.admitted == 3
+        starts = {e.spec.vm_name: e.time_s for e in result.events
+                  if e.kind == "start"}
+        assert starts["c"] >= 600.0
+
+    def test_fifo_pending_order(self, scheduler):
+        specs = [spec("a", mem_gib=32, lifetime_s=600),
+                 spec("b", mem_gib=16, lifetime_s=300, arrival_s=10),
+                 spec("c", mem_gib=4, lifetime_s=300, arrival_s=20)]
+        result = scheduler.run(specs)
+        starts = {e.spec.vm_name: e.time_s for e in result.events
+                  if e.kind == "start"}
+        # c fits immediately but must not jump the FIFO queue ahead of b.
+        assert starts["b"] <= starts["c"]
+
+
+class TestCapacityInvariant:
+    @given(st.lists(st.tuples(st.integers(1, 8), st.integers(1, 16),
+                              st.integers(1, 6), st.floats(0, 3000)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_usage_never_exceeds_capacity(self, raw):
+        config = SchedulerConfig(vcpus=8, memory_bytes=32 * GIB,
+                                 duration_s=3600.0)
+        specs = [VmSpec(vm_name=f"vm{i}", vcpus=v, memory_bytes=m * GIB,
+                        lifetime_s=300.0 * l, arrival_s=a)
+                 for i, (v, m, l, a) in enumerate(raw)]
+        result = VmScheduler(config).run(specs)
+        for sample in result.samples:
+            assert sample.memory_bytes <= config.memory_bytes
+            assert sample.vcpus <= config.vcpus
+
+
+class TestSamplesAndEvents:
+    def test_sample_count(self, scheduler):
+        result = scheduler.run([])
+        assert len(result.samples) == 13  # 0..3600 every 300 s
+
+    def test_events_sorted(self, scheduler):
+        result = scheduler.run([spec(f"v{i}", lifetime_s=300.0 * (i + 1),
+                                     arrival_s=100.0 * i)
+                                for i in range(5)])
+        times = [event.time_s for event in result.events]
+        assert times == sorted(times)
+
+    def test_stop_events_balance_starts(self, scheduler):
+        result = scheduler.run([spec("a", lifetime_s=300)])
+        kinds = [event.kind for event in result.events]
+        assert kinds.count("start") == 1
+        assert kinds.count("stop") == 1
+
+    def test_mean_memory_fraction(self, scheduler):
+        result = scheduler.run([spec("a", mem_gib=16, lifetime_s=10_000.0)])
+        assert result.mean_memory_fraction() == pytest.approx(0.5, abs=0.05)
+
+    def test_peak_memory_fraction(self, scheduler):
+        result = scheduler.run([spec("a", mem_gib=16, lifetime_s=600.0)])
+        assert result.peak_memory_fraction() == pytest.approx(0.5)
+
+
+class TestVmTypes:
+    def test_spec_properties(self):
+        s = spec("x", mem_gib=4, lifetime_s=900, arrival_s=100)
+        assert s.memory_gib == 4.0
+        assert s.departure_s == 1000.0
+
+    def test_event_ordering_stops_first(self):
+        s = spec("x")
+        stop = VmEvent(time_s=10.0, kind="stop", spec=s)
+        start = VmEvent(time_s=10.0, kind="start", spec=s)
+        assert stop < start

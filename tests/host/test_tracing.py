@@ -1,0 +1,82 @@
+"""Tests for the post-cache trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.host.caches import CacheHierarchy, CacheLevelConfig
+from repro.host.tracing import TraceRecorder
+from repro.workloads.cloudsuite import make_trace
+from repro.workloads.trace import Trace
+
+
+def tiny_recorder():
+    return TraceRecorder(hierarchy=CacheHierarchy((
+        CacheLevelConfig("L1", 4 * 64, 2),
+        CacheLevelConfig("LLC", 16 * 64, 2),
+    )))
+
+
+class TestRecording:
+    def test_first_access_survives(self):
+        recorder = tiny_recorder()
+        assert recorder.record(0, instructions_since_last=100) == 1
+        trace = recorder.finish()
+        assert len(trace) == 1
+        assert trace.instr_deltas[0] == 100
+
+    def test_cached_access_filtered(self):
+        recorder = tiny_recorder()
+        recorder.record(0)
+        assert recorder.record(0) == 0
+        assert recorder.filter_ratio == pytest.approx(0.5)
+
+    def test_instruction_counts_accumulate_across_hits(self):
+        """Instructions retired during filtered accesses attach to the
+        next post-cache request, preserving the instruction clock."""
+        recorder = tiny_recorder()
+        recorder.record(0, instructions_since_last=100)
+        recorder.record(0, instructions_since_last=50)   # filtered
+        recorder.record(0, instructions_since_last=50)   # filtered
+        recorder.record(4096, instructions_since_last=25)
+        trace = recorder.finish()
+        assert trace.instr_deltas.tolist() == [100, 125]
+        assert trace.total_instructions == 225
+
+    def test_record_whole_trace(self):
+        recorder = tiny_recorder()
+        source = make_trace("data-serving", 2_000,
+                            footprint_bytes=64 * 2 ** 20, seed=0)
+        survivors = recorder.record_trace(source)
+        post = recorder.finish()
+        assert len(post) == survivors
+        # Demand misses are bounded by the input; writebacks can add more.
+        demand = int((~post.is_write).sum())
+        assert 0 < demand <= len(source)
+
+    def test_line_granular_addresses(self):
+        recorder = tiny_recorder()
+        recorder.record(100)  # mid-line address
+        trace = recorder.finish()
+        assert trace.addresses[0] == 64
+
+    def test_empty_recorder(self):
+        recorder = tiny_recorder()
+        assert recorder.filter_ratio == 0.0
+        assert len(recorder.finish()) == 0
+
+    def test_writebacks_appear_as_writes(self):
+        recorder = tiny_recorder()
+        # Dirty line 0, then force it out of the LLC set it maps to
+        # (8 sets x 2 ways: lines 8, 16, 24 collide with line 0).
+        recorder.record(0, is_write=True)
+        for line in (8, 16, 24):
+            recorder.record(line * 64)
+        trace = recorder.finish()
+        assert bool(trace.is_write.any())
+
+
+class TestPaperDefaults:
+    def test_default_hierarchy_is_table3(self):
+        recorder = TraceRecorder()
+        names = [level.config.name for level in recorder.hierarchy.levels]
+        assert names == ["L1-d", "L2", "LLC"]

@@ -1,0 +1,35 @@
+"""Tests for the combined Figure 15 summary."""
+
+import pytest
+
+from repro.sim.combined import CombinedSavings, combined_savings
+
+
+@pytest.fixture(scope="module")
+def point_208():
+    return combined_savings("208gb", duration_s=15.0)
+
+
+class TestCombined:
+    def test_components_sum(self, point_208):
+        assert point_208.total_savings == pytest.approx(
+            point_208.powerdown_savings
+            + point_208.selfrefresh_additional, abs=1e-9)
+
+    def test_six_rank_configuration(self, point_208):
+        assert point_208.active_ranks_per_channel == 6
+        assert point_208.powerdown_savings > 0.1
+
+    def test_row_rendering(self, point_208):
+        text = point_208.row()
+        assert "208gb" in text
+        assert "total" in text
+
+    def test_unknown_point(self):
+        with pytest.raises(KeyError):
+            combined_savings("512gb", duration_s=5.0)
+
+    def test_eight_rank_has_no_powerdown(self):
+        result = combined_savings("304gb", duration_s=10.0)
+        assert result.active_ranks_per_channel == 8
+        assert result.powerdown_savings == pytest.approx(0.0)

@@ -1,0 +1,82 @@
+"""Tests for figure-series extraction and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.figures import (FigureSeries, ascii_chart, figure1_series,
+                               figure2_series, figure11a_series,
+                               figure12a_series, figure14_series)
+from repro.sim.powerdown_sim import PowerDownSimConfig, PowerDownSimulator
+from repro.sim.selfrefresh_sim import SelfRefreshSimConfig, SelfRefreshSimulator
+from repro.units import MIB
+from repro.workloads.azure import AzureTraceConfig
+
+
+class TestSeriesContainer:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            FigureSeries(figure="x", x_label="a", y_label="b",
+                         x=np.arange(3), series={"s": np.arange(2)})
+
+
+class TestExtraction:
+    def test_figure1(self):
+        series = figure1_series(seed=0)
+        assert len(series.x) == 73  # 6 h at 5-min samples
+        assert series.series["usage"].max() <= 1.0
+
+    def test_figure2(self):
+        series = figure2_series()
+        assert list(series.x) == [8, 6, 4, 2]
+        assert series.series["mean"][0] == 0.0
+
+    def test_figure11a(self):
+        series = figure11a_series()
+        values = series.series["background"]
+        assert values[-1] == pytest.approx(1.0)
+        assert (np.diff(values) > 0).all()
+
+    def test_figure12a(self):
+        config = PowerDownSimConfig(
+            azure=AzureTraceConfig(num_vms=15, duration_s=1200.0),
+            scheduler=SchedulerConfig(duration_s=1200.0))
+        result = PowerDownSimulator(config).run()
+        series = figure12a_series(result)
+        assert set(series.series) == {"total", "background", "migration"}
+        assert len(series.x) == len(result.intervals)
+
+    def test_figure14(self):
+        config = SelfRefreshSimConfig(
+            geometry=DramGeometry(channels=2, ranks_per_channel=4,
+                                  rank_bytes=128 * MIB),
+            allocated_bytes=544 * MIB,
+            workloads=("data-caching",),
+            aggregate_bandwidth_gbs=0.2, duration_s=2.0,
+            au_bytes=32 * MIB, group_granularity=1)
+        result = SelfRefreshSimulator(config).run()
+        series = figure14_series(result)
+        assert "savings" in series.series and "sr_ranks" in series.series
+
+
+class TestAsciiChart:
+    def test_renders(self):
+        series = FigureSeries(figure="t", x_label="x", y_label="y",
+                              x=np.arange(100),
+                              series={"s": np.linspace(0, 1, 100)})
+        chart = ascii_chart(series, width=40, height=6)
+        lines = chart.splitlines()
+        assert len(lines) == 8  # header + 6 rows + axis
+        assert "#" in chart
+
+    def test_empty(self):
+        series = FigureSeries(figure="t", x_label="x", y_label="y",
+                              x=np.array([]), series={"s": np.array([])})
+        assert ascii_chart(series) == "(empty series)"
+
+    def test_flat_series(self):
+        series = FigureSeries(figure="t", x_label="x", y_label="y",
+                              x=np.arange(10),
+                              series={"s": np.full(10, 3.0)})
+        assert "#" in ascii_chart(series)

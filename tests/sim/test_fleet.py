@@ -1,0 +1,50 @@
+"""Tests for the fleet-level study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tco import TcoModel
+from repro.sim.fleet import FleetConfig, FleetSimulator, quick_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return quick_fleet(num_nodes=3, duration_s=1800.0, num_vms=30)
+
+
+class TestFleet:
+    def test_all_nodes_simulated(self, fleet):
+        assert len(fleet.nodes) == 3
+        assert [node.seed for node in fleet.nodes] == [0, 1, 2]
+
+    def test_nodes_are_heterogeneous(self, fleet):
+        savings = fleet.per_node_savings
+        assert len(np.unique(np.round(savings, 4))) > 1
+
+    def test_fleet_savings_is_energy_weighted(self, fleet):
+        baseline = sum(node.baseline.total_energy for node in fleet.nodes)
+        dtl = sum(node.dtl.total_energy for node in fleet.nodes)
+        assert fleet.fleet_savings == pytest.approx(1 - dtl / baseline)
+
+    def test_fleet_saves_energy(self, fleet):
+        assert fleet.fleet_savings > 0.1
+
+    def test_fleet_savings_within_node_range(self, fleet):
+        savings = fleet.per_node_savings
+        assert savings.min() - 1e-9 <= fleet.fleet_savings \
+            <= savings.max() + 1e-9
+
+    def test_tco_rollup(self, fleet):
+        report = fleet.tco_report()
+        assert report["dram_savings"] == pytest.approx(fleet.fleet_savings)
+        assert report["annual_cost_saved_usd"] > 0
+
+    def test_summary_rows(self, fleet):
+        rows = fleet.summary_rows()
+        assert len(rows) == 4
+        assert rows[-1][0] == "fleet"
+
+    def test_custom_tco_model(self):
+        config = FleetConfig(num_nodes=1, tco=TcoModel(num_servers=100))
+        simulator = FleetSimulator(config)
+        assert simulator.config.tco.num_servers == 100

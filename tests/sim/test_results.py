@@ -1,0 +1,79 @@
+"""Tests for result records, serialisation, and table rendering."""
+
+import json
+
+import pytest
+
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.powerdown_sim import PowerDownSimConfig, PowerDownSimulator
+from repro.sim.results import (ExperimentRecord, flatten_powerdown,
+                               flatten_selfrefresh, load_records,
+                               render_table, save_records)
+from repro.workloads.azure import AzureTraceConfig
+
+
+class TestRecords:
+    def test_roundtrip(self, tmp_path):
+        records = [ExperimentRecord("fig1", {"x": 1.5}, {"x": "<2"}),
+                   ExperimentRecord("fig2", {"y": [1, 2]})]
+        path = save_records(records, tmp_path / "out.json")
+        loaded = load_records(path)
+        assert [r.experiment for r in loaded] == ["fig1", "fig2"]
+        assert loaded[0].metrics == {"x": 1.5}
+        assert loaded[0].paper == {"x": "<2"}
+
+    def test_json_is_valid(self, tmp_path):
+        path = save_records([ExperimentRecord("e", {"a": 1})],
+                            tmp_path / "r.json")
+        parsed = json.loads(path.read_text())
+        assert parsed[0]["experiment"] == "e"
+
+
+class TestFlattening:
+    def test_flatten_powerdown(self):
+        config = PowerDownSimConfig(
+            azure=AzureTraceConfig(num_vms=10, duration_s=1200.0),
+            scheduler=SchedulerConfig(duration_s=1200.0))
+        result = PowerDownSimulator(config).run()
+        flat = flatten_powerdown(result)
+        assert flat["intervals"] == 4
+        assert flat["total_energy_rsu_s"] > 0
+        json.dumps(flat)  # everything is JSON-serialisable
+
+    def test_flatten_selfrefresh_keys(self):
+        from repro.dram.geometry import DramGeometry
+        from repro.sim.selfrefresh_sim import (SelfRefreshSimConfig,
+                                               SelfRefreshSimulator)
+        from repro.units import MIB
+        config = SelfRefreshSimConfig(
+            geometry=DramGeometry(channels=2, ranks_per_channel=4,
+                                  rank_bytes=128 * MIB),
+            allocated_bytes=544 * MIB,
+            workloads=("data-caching",),
+            aggregate_bandwidth_gbs=0.2, duration_s=2.0,
+            au_bytes=32 * MIB, group_granularity=1)
+        flat = flatten_selfrefresh(SelfRefreshSimulator(config).run())
+        assert {"stable_savings", "warmup_s", "sr_entries"} <= set(flat)
+        json.dumps(flat)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table([("a", "1"), ("long", "22")],
+                            header=("k", "v"))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len({len(line) for line in lines}) == 1  # equal width
+
+    def test_markdown(self):
+        text = render_table([("a", "1")], header=("k", "v"), markdown=True)
+        lines = text.splitlines()
+        assert lines[0].startswith("|")
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_empty(self):
+        assert render_table([]) == ""
+
+    def test_ragged_rows_padded(self):
+        text = render_table([("a",), ("b", "c")])
+        assert "c" in text

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.seed == 0
+        assert not args.quick
+        assert args.duration == 60.0
+
+
+class TestFastCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "mean usage" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "slowdown" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "CXL memory" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "Table 6" in out and "AMAT" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "records.json"
+        assert main(["fig2", "--output", str(path)]) == 0
+        records = json.loads(path.read_text())
+        assert records[0]["experiment"] == "fig2"
+        assert "slowdown_2ranks" in records[0]["metrics"]
+
+
+class TestSimCommands:
+    def test_fig14_single_point_short(self, capsys):
+        assert main(["fig14", "--point", "208gb", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "208gb" in out
+
+    def test_seed_changes_fig1(self, capsys):
+        main(["fig1", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["fig1", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestPlotFlag:
+    def test_fig1_plot(self, capsys):
+        from repro.cli import main
+        assert main(["fig1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1: usage" in out
+        assert "#" in out
+
+    def test_fleet_quick(self, capsys):
+        from repro.cli import main
+        assert main(["fleet", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet-level DRAM savings" in out
+        assert "annual cost" in out
+
+    def test_validate(self, capsys):
+        from repro.cli import main
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload calibration" in out
+        assert "within calibration tolerances" in out

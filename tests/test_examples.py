@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Final rank census" in result.stdout
+
+    def test_capacity_planning(self):
+        result = run_example("capacity_planning.py", "256")
+        assert result.returncode == 0, result.stderr
+        assert "Controller @7nm" in result.stdout
+
+    def test_pooled_rack(self):
+        result = run_example("pooled_rack.py")
+        assert result.returncode == 0, result.stderr
+        assert "verified reachable" in result.stdout
+
+    @pytest.mark.slow
+    def test_vm_consolidation_quick(self):
+        result = run_example("vm_consolidation.py", "--quick",
+                             timeout=500.0)
+        assert result.returncode == 0, result.stderr
+        assert "DRAM energy savings" in result.stdout
+
+    @pytest.mark.slow
+    def test_hotness_selfrefresh(self):
+        result = run_example("hotness_selfrefresh.py", "208gb",
+                             timeout=500.0)
+        assert result.returncode == 0, result.stderr
+        assert "Stable-phase savings" in result.stdout
+
+    @pytest.mark.slow
+    def test_datacenter_tco(self):
+        result = run_example("datacenter_tco.py", "2", timeout=500.0)
+        assert result.returncode == 0, result.stderr
+        assert "annual cost saved" in result.stdout

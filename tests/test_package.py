@@ -1,0 +1,53 @@
+"""Package-surface tests: exports, errors, versioning."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        assert callable(repro.DtlController)
+        assert callable(repro.CxlMemoryDevice)
+        assert callable(repro.DtlConfig)
+        assert callable(repro.DramGeometry)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("module_name", [
+        "repro.core", "repro.dram", "repro.cxl", "repro.host",
+        "repro.workloads", "repro.sim", "repro.analysis", "repro.baselines",
+    ])
+    def test_all_lists_resolve(self, module_name):
+        import importlib
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, \
+                f"{module_name}.{name} missing"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error_type", [
+        errors.ConfigurationError, errors.AddressError,
+        errors.TranslationError, errors.AllocationError,
+        errors.MigrationError, errors.PowerStateError,
+    ])
+    def test_all_inherit_repro_error(self, error_type):
+        assert issubclass(error_type, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise error_type("boom")
+
+    def test_consistency_error_in_hierarchy(self):
+        from repro.core.checker import ConsistencyError
+        assert issubclass(ConsistencyError, errors.ReproError)
+
+    def test_catchable_as_exception(self):
+        assert issubclass(errors.ReproError, Exception)

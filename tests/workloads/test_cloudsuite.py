@@ -1,0 +1,166 @@
+"""Tests for the CloudSuite-like workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB
+from repro.workloads.cloudsuite import (PROFILES, SEGMENT_BYTES,
+                                        STRIDE_BUCKET_EDGES,
+                                        TRACED_BENCHMARKS, TraceGenerator,
+                                        WorkloadProfile, make_trace)
+
+#: Table 4 reference MAPKI values.
+PAPER_MAPKI = {
+    "data-analytics": 1.9, "data-caching": 1.5, "data-serving": 4.2,
+    "django-workload": 0.8, "fb-oss-performance": 3.6,
+    "graph-analytics": 6.5, "in-memory-analytics": 2.5,
+    "media-streaming": 4.6, "web-search": 0.7, "web-serving": 0.7,
+}
+
+
+class TestProfiles:
+    def test_all_ten_benchmarks_present(self):
+        assert set(PROFILES) == set(PAPER_MAPKI)
+
+    def test_mapki_matches_table4(self):
+        for name, profile in PROFILES.items():
+            assert profile.mapki == PAPER_MAPKI[name]
+
+    def test_stride_probs_normalised(self):
+        for profile in PROFILES.values():
+            assert sum(profile.stride_probs) == pytest.approx(1.0)
+
+    def test_narrow_stride_benchmarks(self):
+        """Figure 9: three benchmarks have narrow standalone strides."""
+        for name in ("data-serving", "media-streaming", "web-serving"):
+            assert PROFILES[name].stride_probs[-1] < 0.3
+        for name in ("graph-analytics", "fb-oss-performance"):
+            assert PROFILES[name].stride_probs[-1] > 0.5
+
+    def test_traced_benchmarks_subset(self):
+        assert set(TRACED_BENCHMARKS) <= set(PROFILES)
+        assert len(TRACED_BENCHMARKS) == 8
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="bad", mapki=1.0,
+                            stride_probs=(0.5, 0.5), hot_segment_fraction=0.3)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(name="bad", mapki=1.0,
+                            stride_probs=(0.2,) * 5,
+                            hot_segment_fraction=0.0)
+
+    def test_bandwidth_model(self):
+        profile = PROFILES["graph-analytics"]
+        assert profile.bandwidth_gbs(4) == pytest.approx(
+            2 * profile.bandwidth_gbs(2))
+        assert profile.bandwidth_gbs(1) > \
+            PROFILES["web-search"].bandwidth_gbs(1)
+
+
+class TestGeneratorStructure:
+    @pytest.fixture
+    def generator(self):
+        return TraceGenerator(PROFILES["data-caching"],
+                              footprint_bytes=1 * GIB, seed=0)
+
+    def test_tier_partition(self, generator):
+        """Hot, warm, and frozen tiers partition the footprint."""
+        total = (len(generator.hot_segments) + len(generator.warm_segments)
+                 + len(generator.frozen_segments))
+        assert total == generator.num_segments
+        hot = set(generator.hot_segments.tolist())
+        warm = set(generator.warm_segments.tolist())
+        frozen = set(generator.frozen_segments.tolist())
+        assert not (hot & warm) and not (hot & frozen) and not (warm & frozen)
+
+    def test_frozen_subtiers(self, generator):
+        deep = set(generator.deep_cold_segments.tolist())
+        shallow = set(generator.shallow_frozen_segments.tolist())
+        assert deep | shallow == set(generator.frozen_segments.tolist())
+        assert not deep & shallow
+
+    def test_hot_fraction_respected(self, generator):
+        fraction = len(generator.hot_segments) / generator.num_segments
+        assert fraction == pytest.approx(
+            PROFILES["data-caching"].hot_segment_fraction, abs=0.01)
+
+    def test_rates_sum_to_one(self, generator):
+        rates = generator.segment_access_rates()
+        assert rates.sum() == pytest.approx(1.0)
+        assert (rates >= 0).all()
+
+    def test_frozen_rates_zero(self, generator):
+        rates = generator.segment_access_rates()
+        assert rates[generator.frozen_segments].sum() == pytest.approx(0.0)
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(PROFILES["data-caching"],
+                           footprint_bytes=SEGMENT_BYTES)
+
+
+class TestGeneratedTraces:
+    def test_mapki_emerges(self):
+        trace = make_trace("graph-analytics", 100_000, seed=1)
+        assert trace.mapki == pytest.approx(6.5, rel=0.05)
+
+    def test_addresses_within_footprint(self):
+        footprint = 512 * MIB
+        trace = make_trace("data-serving", 20_000,
+                           footprint_bytes=footprint, seed=2)
+        assert int(trace.addresses.max()) < footprint
+
+    def test_deterministic_given_seed(self):
+        a = make_trace("web-search", 5_000, seed=3)
+        b = make_trace("web-search", 5_000, seed=3)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_different_seeds_differ(self):
+        a = make_trace("web-search", 5_000, seed=3)
+        b = make_trace("web-search", 5_000, seed=4)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_write_fraction(self):
+        trace = make_trace("data-caching", 50_000, seed=5)
+        assert trace.write_fraction == pytest.approx(
+            PROFILES["data-caching"].write_fraction, abs=0.02)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            make_trace("no-such-benchmark", 100)
+
+    def test_large_stride_share_emerges(self):
+        trace = make_trace("graph-analytics", 100_000, seed=6)
+        dist = trace.stride_distribution()
+        assert dist[">=4194304"] == pytest.approx(
+            PROFILES["graph-analytics"].stride_probs[-1], abs=0.05)
+
+    def test_no_zero_strides(self):
+        trace = make_trace("graph-analytics", 50_000, seed=7)
+        strides = np.abs(np.diff(trace.addresses.astype(np.int64)))
+        assert (strides == 0).mean() < 0.01
+
+    def test_cold_fraction_2mb_near_figure10(self):
+        """Averaged over the traced benchmarks: ~61.5 % cold at 2 MB."""
+        fractions = []
+        for index, name in enumerate(TRACED_BENCHMARKS[:4]):
+            generator = TraceGenerator(PROFILES[name],
+                                       footprint_bytes=2 * GIB, seed=index)
+            n = int(20e6 * PROFILES[name].mapki / 1000 * 10)
+            trace = generator.generate(n)
+            fractions.append(trace.cold_segment_fraction(
+                SEGMENT_BYTES, total_segments=generator.num_segments))
+        assert 0.5 < float(np.mean(fractions)) < 0.75
+
+    def test_cold_fraction_shrinks_at_4mb(self):
+        """Figure 10: coarser remapping granularity loses cold segments."""
+        generator = TraceGenerator(PROFILES["data-caching"],
+                                   footprint_bytes=2 * GIB, seed=0)
+        trace = generator.generate(300_000)
+        cold_2mb = trace.cold_segment_fraction(
+            SEGMENT_BYTES, total_segments=generator.num_segments)
+        cold_4mb = trace.cold_segment_fraction(
+            2 * SEGMENT_BYTES, total_segments=generator.num_segments // 2)
+        assert cold_4mb < cold_2mb

@@ -1,0 +1,82 @@
+"""Tests for hot-set drift."""
+
+import numpy as np
+import pytest
+
+from repro.units import GIB
+from repro.workloads.cloudsuite import PROFILES, TraceGenerator
+from repro.workloads.drift import DriftConfig, DriftingWorkload
+
+
+@pytest.fixture
+def workload():
+    return DriftingWorkload(PROFILES["data-caching"],
+                            footprint_bytes=1 * GIB,
+                            drift=DriftConfig(period_s=10.0, fraction=0.2),
+                            seed=0)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftConfig(period_s=0.0)
+        with pytest.raises(ValueError):
+            DriftConfig(fraction=1.5)
+
+
+class TestDriftMechanics:
+    def test_no_drift_before_period(self, workload):
+        assert workload.advance_to(9.9) == 0
+        assert workload.drift_events == 0
+
+    def test_single_event(self, workload):
+        assert workload.advance_to(10.0) == 1
+
+    def test_catches_up_multiple_periods(self, workload):
+        assert workload.advance_to(35.0) == 3
+
+    def test_tier_sizes_preserved(self, workload):
+        generator = workload.generator
+        sizes = (len(generator.hot_segments), len(generator.warm_segments),
+                 len(generator.frozen_segments))
+        workload.advance_to(50.0)
+        assert (len(generator.hot_segments), len(generator.warm_segments),
+                len(generator.frozen_segments)) == sizes
+
+    def test_membership_actually_rotates(self, workload):
+        before = set(workload.generator.hot_segments.tolist())
+        workload.advance_to(10.0)
+        after = set(workload.generator.hot_segments.tolist())
+        assert before != after
+        expected_moved = round(0.2 * len(before))
+        assert len(before - after) == expected_moved
+
+    def test_tiers_stay_disjoint(self, workload):
+        workload.advance_to(100.0)
+        generator = workload.generator
+        hot = set(generator.hot_segments.tolist())
+        warm = set(generator.warm_segments.tolist())
+        frozen = set(generator.frozen_segments.tolist())
+        assert not hot & warm and not hot & frozen and not warm & frozen
+        deep = set(generator.deep_cold_segments.tolist())
+        shallow = set(generator.shallow_frozen_segments.tolist())
+        assert deep | shallow == frozen
+
+    def test_rates_follow_membership(self, workload):
+        workload.advance_to(10.0)
+        rates = workload.segment_access_rates()
+        assert rates.sum() == pytest.approx(1.0)
+        hot_rates = rates[workload.generator.hot_segments]
+        frozen_rates = rates[workload.generator.frozen_segments]
+        assert hot_rates.min() > 0
+        assert frozen_rates.max() == 0.0
+
+    def test_wrap_reuses_generator(self):
+        generator = TraceGenerator(PROFILES["web-search"],
+                                   footprint_bytes=1 * GIB, seed=1)
+        wrapped = DriftingWorkload.wrap(generator,
+                                        DriftConfig(period_s=1.0),
+                                        np.random.default_rng(0))
+        assert wrapped.generator is generator
+        wrapped.advance_to(1.0)
+        assert wrapped.drift_events == 1

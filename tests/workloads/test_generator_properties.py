@@ -1,0 +1,86 @@
+"""Property-based tests on the trace generator's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.units import MIB
+from repro.workloads.cloudsuite import (PROFILES, SEGMENT_BYTES,
+                                        TraceGenerator)
+
+PROFILE_NAMES = sorted(PROFILES)
+
+
+@st.composite
+def generator_params(draw):
+    name = draw(st.sampled_from(PROFILE_NAMES))
+    footprint_mib = draw(st.sampled_from([8, 32, 128, 512]))
+    seed = draw(st.integers(0, 2 ** 16))
+    return name, footprint_mib * MIB, seed
+
+
+class TestGeneratorInvariants:
+    @given(generator_params())
+    @settings(max_examples=30, deadline=None)
+    def test_tiers_partition_footprint(self, params):
+        name, footprint, seed = params
+        generator = TraceGenerator(PROFILES[name], footprint_bytes=footprint,
+                                   seed=seed)
+        hot = set(generator.hot_segments.tolist())
+        warm = set(generator.warm_segments.tolist())
+        frozen = set(generator.frozen_segments.tolist())
+        assert len(hot) + len(warm) + len(frozen) == generator.num_segments
+        assert hot | warm | frozen == set(range(generator.num_segments))
+        deep = set(generator.deep_cold_segments.tolist())
+        shallow = set(generator.shallow_frozen_segments.tolist())
+        assert deep | shallow == frozen and not deep & shallow
+
+    @given(generator_params(), st.integers(100, 3000))
+    @settings(max_examples=20, deadline=None)
+    def test_trace_structural_bounds(self, params, accesses):
+        name, footprint, seed = params
+        generator = TraceGenerator(PROFILES[name], footprint_bytes=footprint,
+                                   seed=seed)
+        trace = generator.generate(accesses)
+        assert len(trace) == accesses
+        assert int(trace.addresses.max()) < footprint
+        assert int(trace.addresses.min()) >= 0
+        # Cacheline aligned.
+        assert (trace.addresses % 64 == 0).all()
+        # Positive instruction deltas (geometric >= 1).
+        assert (trace.instr_deltas >= 1).all()
+
+    @given(generator_params())
+    @settings(max_examples=20, deadline=None)
+    def test_rates_are_a_distribution(self, params):
+        name, footprint, seed = params
+        generator = TraceGenerator(PROFILES[name], footprint_bytes=footprint,
+                                   seed=seed)
+        rates = generator.segment_access_rates()
+        assert len(rates) == generator.num_segments
+        assert rates.sum() == pytest.approx(1.0)
+        assert (rates >= 0).all()
+        # Frozen segments carry no steady-state rate.
+        assert rates[generator.frozen_segments].sum() == 0.0
+
+    @given(st.integers(0, 2 ** 16))
+    @settings(max_examples=15, deadline=None)
+    def test_determinism(self, seed):
+        a = TraceGenerator(PROFILES["data-caching"],
+                           footprint_bytes=64 * MIB, seed=seed).generate(500)
+        b = TraceGenerator(PROFILES["data-caching"],
+                           footprint_bytes=64 * MIB, seed=seed).generate(500)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.instr_deltas, b.instr_deltas)
+
+    @given(generator_params())
+    @settings(max_examples=15, deadline=None)
+    def test_hot_set_receives_most_accesses(self, params):
+        name, footprint, seed = params
+        generator = TraceGenerator(PROFILES[name], footprint_bytes=footprint,
+                                   seed=seed)
+        trace = generator.generate(3000)
+        segments = trace.segments(SEGMENT_BYTES)
+        hot = set(generator.hot_segments.tolist())
+        hot_share = float(np.mean([int(s) in hot for s in segments]))
+        assert hot_share > 0.8

@@ -1,0 +1,143 @@
+"""Tests for the trace container and its analyses."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace, concatenate, mix
+
+
+def make_trace(addresses, is_write=None, deltas=None, name="t"):
+    n = len(addresses)
+    return Trace(
+        addresses=np.asarray(addresses, dtype=np.uint64),
+        is_write=np.asarray(is_write if is_write is not None
+                            else [False] * n),
+        instr_deltas=np.asarray(deltas if deltas is not None else [100] * n,
+                                dtype=np.uint32),
+        name=name)
+
+
+class TestBasics:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(addresses=np.zeros(2, dtype=np.uint64),
+                  is_write=np.zeros(3, dtype=bool),
+                  instr_deltas=np.zeros(2, dtype=np.uint32))
+
+    def test_mapki(self):
+        trace = make_trace([0, 64, 128], deltas=[500, 500, 500])
+        assert trace.mapki == pytest.approx(2.0)
+
+    def test_mapki_empty_instructions(self):
+        trace = make_trace([0], deltas=[0])
+        assert trace.mapki == 0.0
+
+    def test_write_fraction(self):
+        trace = make_trace([0, 64], is_write=[True, False])
+        assert trace.write_fraction == pytest.approx(0.5)
+
+    def test_footprint(self):
+        trace = make_trace([0, 10, 64, 4096])
+        assert trace.footprint_bytes() == 3 * 64
+
+    def test_segments(self):
+        trace = make_trace([0, 2 * 2 ** 21 + 5])
+        assert list(trace.segments(2 ** 21)) == [0, 2]
+
+
+class TestTransforms:
+    def test_rebase(self):
+        trace = make_trace([0, 64]).rebase(1 << 30)
+        assert trace.addresses[0] == 1 << 30
+
+    def test_slice(self):
+        trace = make_trace([0, 64, 128]).slice(1, 3)
+        assert len(trace) == 2
+        assert trace.addresses[0] == 64
+
+    def test_concatenate(self):
+        combined = concatenate([make_trace([0]), make_trace([64])])
+        assert len(combined) == 2
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+
+class TestMix:
+    def test_mix_preserves_length_and_multiset(self):
+        rng = np.random.default_rng(0)
+        a = make_trace([1, 2, 3], name="a")
+        b = make_trace([10, 20], name="b")
+        mixed = mix([a, b], rng)
+        assert len(mixed) == 5
+        assert sorted(mixed.addresses.tolist()) == [1, 2, 3, 10, 20]
+
+    def test_mix_preserves_per_trace_order(self):
+        rng = np.random.default_rng(1)
+        a = make_trace([1, 2, 3, 4], name="a")
+        b = make_trace([100, 200, 300], name="b")
+        mixed = mix([a, b], rng)
+        a_positions = [list(mixed.addresses).index(x) for x in (1, 2, 3, 4)]
+        assert a_positions == sorted(a_positions)
+
+    def test_mix_deterministic_given_seed(self):
+        a = make_trace([1, 2, 3])
+        b = make_trace([10, 20])
+        m1 = mix([a, b], np.random.default_rng(7))
+        m2 = mix([a, b], np.random.default_rng(7))
+        assert np.array_equal(m1.addresses, m2.addresses)
+
+
+class TestStrideDistribution:
+    def test_buckets_sum_to_one(self):
+        trace = make_trace([0, 64, 8192, 1 << 23, (1 << 23) + 64])
+        dist = trace.stride_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_large_stride_classified(self):
+        trace = make_trace([0, 1 << 23])
+        dist = trace.stride_distribution()
+        assert dist[">=4194304"] == pytest.approx(1.0)
+
+    def test_short_trace(self):
+        assert make_trace([0]).stride_distribution() == {}
+
+
+class TestColdSegments:
+    SEG = 1 << 21
+
+    def test_burst_does_not_heat_segment(self):
+        """Consecutive accesses to the same segment form one visit."""
+        trace = make_trace([0, 64, 128], deltas=[100, 100, 100])
+        assert trace.cold_segment_fraction(self.SEG) == 1.0
+
+    def test_fast_revisit_is_hot(self):
+        trace = make_trace([0, self.SEG, 0], deltas=[100, 100, 100])
+        # Segment 0 revisited after 200 instructions: hot at threshold 250.
+        assert trace.cold_segment_fraction(
+            self.SEG, threshold_instructions=250) == pytest.approx(0.5)
+
+    def test_slow_revisit_is_cold(self):
+        trace = make_trace([0, self.SEG, 0],
+                           deltas=[100, 20_000_000, 100])
+        assert trace.cold_segment_fraction(self.SEG) == 1.0
+
+    def test_total_segments_denominator(self):
+        trace = make_trace([0], deltas=[100])
+        assert trace.cold_segment_fraction(
+            self.SEG, total_segments=10) == pytest.approx(1.0)
+        trace_hot = make_trace([0, self.SEG, 0], deltas=[100, 100, 100])
+        assert trace_hot.cold_segment_fraction(
+            self.SEG, threshold_instructions=250,
+            total_segments=10) == pytest.approx(0.9)
+
+    def test_denominator_validation(self):
+        trace = make_trace([0, self.SEG])
+        with pytest.raises(ValueError):
+            trace.cold_segment_fraction(self.SEG, total_segments=1)
+
+    def test_reuse_distances(self):
+        trace = make_trace([0, self.SEG, 0], deltas=[10, 20, 30])
+        distances = trace.segment_reuse_distances(self.SEG)
+        assert distances.tolist() == [50]

@@ -1,0 +1,62 @@
+"""Tests for the workload calibration validator."""
+
+import pytest
+
+from repro.units import GIB
+from repro.workloads.cloudsuite import PROFILES
+from repro.workloads.validation import (NARROW_STRIDE_BENCHMARKS,
+                                        ValidationReport, WorkloadCheck,
+                                        check_workload, validate_workloads)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return validate_workloads(("data-caching", "graph-analytics",
+                               "media-streaming", "web-search"),
+                              footprint_bytes=1 * GIB,
+                              target_instructions=40e6)
+
+
+class TestSingleWorkload:
+    def test_check_fields(self):
+        check = check_workload(PROFILES["data-caching"],
+                               footprint_bytes=1 * GIB,
+                               target_instructions=20e6)
+        assert check.name == "data-caching"
+        assert check.mapki_error < 0.1
+        assert 0.0 <= check.cold_2mb <= 1.0
+        assert check.cold_4mb <= check.cold_2mb
+
+
+class TestReport:
+    def test_all_workloads_checked(self, report):
+        assert len(report.checks) == 4
+
+    def test_mapki_within_tolerance(self, report):
+        assert report.max_mapki_error < 0.10
+
+    def test_cold_fraction_averages(self, report):
+        # Small sample: wide band, but the ordering must hold.
+        assert report.mean_cold_2mb > report.mean_cold_4mb
+        assert 0.4 < report.mean_cold_2mb < 0.8
+
+    def test_calibrated_profiles_have_no_problems(self, report):
+        # With a 4-workload sample the cold-fraction band is loose.
+        assert report.problems(cold_band=0.2) == []
+
+    def test_problem_detection(self):
+        bad = ValidationReport(checks=[WorkloadCheck(
+            name="data-caching", mapki=3.0, mapki_target=1.5,
+            large_stride_share=0.9, cold_2mb=0.2, cold_4mb=0.1)])
+        problems = bad.problems()
+        assert any("MAPKI" in problem for problem in problems)
+        # data-caching is wide-stride, so 0.9 is fine; cold fractions are
+        # off though.
+        assert any("cold@2MB" in problem for problem in problems)
+
+    def test_narrow_stride_misclassification_detected(self):
+        bad = ValidationReport(checks=[WorkloadCheck(
+            name=NARROW_STRIDE_BENCHMARKS[0], mapki=4.2, mapki_target=4.2,
+            large_stride_share=0.9, cold_2mb=0.6, cold_4mb=0.35)])
+        assert any("narrow-stride" in problem
+                   for problem in bad.problems(cold_band=0.2))
