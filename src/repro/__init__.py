@@ -10,11 +10,14 @@ Public entry points:
 * :mod:`repro.sim` -- the power-down and self-refresh experiment simulators.
 * :mod:`repro.analysis` -- AMAT, structure-sizing, and controller area/power
   models (paper Sections 6.1, 6.5, 6.6).
+* :mod:`repro.telemetry` -- metrics registry, event trace, and snapshot
+  export shared by every subsystem (see ``docs/TELEMETRY.md``).
 """
 
 from repro.core import DtlConfig, DtlController
 from repro.cxl import CxlLinkConfig, CxlMemoryDevice
 from repro.dram import DramGeometry, PowerState
+from repro.telemetry import EventKind, EventTrace, MetricsRegistry, Snapshot
 
 __version__ = "1.0.0"
 
@@ -25,5 +28,9 @@ __all__ = [
     "CxlMemoryDevice",
     "DramGeometry",
     "PowerState",
+    "EventKind",
+    "EventTrace",
+    "MetricsRegistry",
+    "Snapshot",
     "__version__",
 ]

@@ -10,6 +10,7 @@ Usage::
     python -m repro fig15 [--duration 45]
     python -m repro fleet [--quick]     # multi-node fleet + TCO roll-up
     python -m repro tables              # Tables 5 and 6 + Section 6.1
+    python -m repro stats [--json]      # telemetry snapshot of a short run
     python -m repro all [--quick]       # everything, JSON to --output
 
 Each subcommand prints a paper-vs-measured table; ``--output results.json``
@@ -36,8 +37,8 @@ from repro.sim.powerdown_sim import (PowerDownSimConfig,
                                      background_power_savings, energy_savings,
                                      power_savings, run_comparison)
 from repro.sim.results import (ExperimentRecord, flatten_powerdown,
-                               flatten_selfrefresh, render_table,
-                               save_records)
+                               flatten_selfrefresh, flatten_telemetry,
+                               render_table, save_records)
 from repro.sim.selfrefresh_sim import (PAPER_CAPACITY_POINTS,
                                        SelfRefreshSimulator, config_for_point)
 from repro.units import GIB, format_bytes
@@ -197,6 +198,55 @@ def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
         **{f"tco_{key}": value for key, value in tco.items()}})]
 
 
+def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Run the quickstart scenario and dump the telemetry snapshot."""
+    from repro.core.config import DtlConfig
+    from repro.core.controller import DtlController
+    from repro.dram.geometry import DramGeometry
+    from repro.units import MIB
+
+    controller = DtlController(DtlConfig(
+        geometry=DramGeometry(rank_bytes=1 * GIB), au_bytes=512 * MIB))
+    vm_a = controller.allocate_vm(0, 4 * GIB, now_s=0.0)
+    vm_b = controller.allocate_vm(1, 2 * GIB, now_s=1.0)
+    # One cold streaming pass, then a hot working set (SMC hits).
+    for au_id in vm_a.au_ids:
+        for offset in range(16):
+            controller.access(0, controller.hpa_of(au_id, offset),
+                              is_write=(offset % 4 == 0))
+    hot = [controller.hpa_of(vm_b.au_ids[0], offset)
+           for offset in range(16)]
+    for _ in range(4):
+        for hpa in hot:
+            controller.access(1, hpa)
+    controller.deallocate_vm(vm_a, now_s=100.0)
+    controller.end_window()
+    snapshot = controller.telemetry_snapshot(now_s=200.0)
+    if args.json:
+        print(snapshot.to_json(indent=2))
+    else:
+        data = snapshot.to_dict()
+        rows = [(name, f"{value:g}")
+                for name, value in sorted(data["counters"].items())]
+        _print("Telemetry counters", rows, header=("counter", "value"))
+        gauges = [(name, f"{value:.4g}")
+                  for name, value in sorted(data["gauges"].items())
+                  if not name.startswith("dram.rank.")]
+        _print("Gauges", gauges, header=("gauge", "value"))
+        residency = data["detail"]["rank_residency_s"]
+        rank_rows = [(key, *(f"{states.get(state, 0.0):.1f}"
+                             for state in ("standby", "mpsm",
+                                           "self_refresh")))
+                     for key, states in sorted(residency.items())]
+        _print("Per-rank residency (s)", rank_rows,
+               header=("rank", "standby", "mpsm", "self_refresh"))
+        events = [(kind, str(count))
+                  for kind, count in sorted(data["events"].items())]
+        _print("Trace events", events, header=("event", "count"))
+    return [ExperimentRecord("stats", flatten_telemetry(
+        snapshot.to_dict()))]
+
+
 def cmd_tables(args: argparse.Namespace) -> list[ExperimentRecord]:
     rows = [(name, format_bytes(size))
             for name, size in MODEL_384GB.report().items()]
@@ -252,7 +302,7 @@ def cmd_validate(args: argparse.Namespace) -> list[ExperimentRecord]:
 def cmd_all(args: argparse.Namespace) -> list[ExperimentRecord]:
     records = []
     for command in (cmd_fig1, cmd_fig2, cmd_fig5, cmd_fig12, cmd_fig14,
-                    cmd_fig15, cmd_tables):
+                    cmd_fig15, cmd_tables, cmd_stats):
         records.extend(command(args))
     return records
 
@@ -268,6 +318,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "fleet": cmd_fleet,
     "validate": cmd_validate,
     "tables": cmd_tables,
+    "stats": cmd_stats,
     "all": cmd_all,
 }
 
@@ -290,6 +341,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig14/fig15 simulated seconds (default 60)")
     parser.add_argument("--plot", action="store_true",
                         help="render ASCII charts for timeseries figures")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the stats snapshot as raw JSON")
     parser.add_argument("--output", default=None,
                         help="write JSON records to this path")
     return parser

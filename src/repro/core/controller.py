@@ -33,6 +33,8 @@ from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
 from repro.dram.timing import CXL_MEMORY_LATENCY_NS
 from repro.errors import AllocationError
+from repro.telemetry import (EventKind, EventTrace, MetricsRegistry,
+                             Snapshot)
 from repro.units import CACHELINE_BYTES
 
 
@@ -71,24 +73,31 @@ class DtlController:
         geometry = self.config.geometry
         self.geometry = geometry
         self.cxl_latency_ns = cxl_latency_ns
+        # One registry + one event trace shared by every subsystem below.
+        self.metrics = MetricsRegistry()
+        self.trace = EventTrace()
         self.host_layout = HostAddressLayout(
             geometry, au_bytes=self.config.au_bytes,
             max_hosts=self.config.max_hosts)
         self.device_layout = DeviceAddressLayout(geometry)
         self.device = DramDevice(geometry=geometry)
+        self.device.attach_telemetry(self.metrics, self.trace)
         self.tables = TranslationTables(self.host_layout)
         self.translation = TranslationEngine(
-            self.host_layout, self.tables, cache_config=self.config.cache)
+            self.host_layout, self.tables, cache_config=self.config.cache,
+            registry=self.metrics, trace=self.trace)
         self.allocator = SegmentAllocator(geometry)
         self.migration = MigrationEngine(
-            geometry, on_complete=self._on_migration_complete)
+            geometry, on_complete=self._on_migration_complete,
+            registry=self.metrics, trace=self.trace)
         self.power_down: RankPowerDownPolicy | None = None
         if self.config.enable_power_down:
             self.power_down = RankPowerDownPolicy(
                 self.device, self.allocator, self.tables, self.migration,
                 group_granularity=self.config.group_granularity,
                 min_active_groups=self.config.min_active_groups,
-                background_migration=self.config.background_migration)
+                background_migration=self.config.background_migration,
+                registry=self.metrics, trace=self.trace)
         self.self_refresh: HotnessSelfRefreshPolicy | None = None
         if self.config.enable_self_refresh:
             self.self_refresh = HotnessSelfRefreshPolicy(
@@ -97,7 +106,8 @@ class DtlController:
                 profiling_threshold_ns=self.config.profiling_threshold_ns,
                 tsp_scan_limit=self.config.tsp_scan_limit,
                 victim_granularity=self.config.sr_victim_granularity,
-                enable_planning=self.config.sr_planning)
+                enable_planning=self.config.sr_planning,
+                registry=self.metrics, trace=self.trace)
         self.retirement: RankRetirementManager | None = None
         if self.power_down is not None:
             self.retirement = RankRetirementManager(
@@ -107,7 +117,19 @@ class DtlController:
         self._vms: dict[int, VmHandle] = {}
         # Per-host free-AU queues (Table 5 lists a "free AU queue").
         self._free_au_ids: dict[int, deque[int]] = {}
-        self.access_count = 0
+        self._accesses = self.metrics.counter("dtl.accesses")
+        self._writes = self.metrics.counter("dtl.writes")
+        self._redirects = self.metrics.counter("dtl.redirected_writes")
+        self._access_latency = self.metrics.histogram("dtl.access_latency_ns")
+
+    @property
+    def access_count(self) -> int:
+        """Total host accesses served (registry counter view)."""
+        return self._accesses.value
+
+    @access_count.setter
+    def access_count(self, value: int) -> None:
+        self._accesses.set(value)
 
     # -- VM lifecycle -----------------------------------------------------------
 
@@ -152,6 +174,13 @@ class DtlController:
                     hsn = self.host_layout.pack_hsn(host_id, au_id, au_offset)
                     self.tables.map_segment(hsn, dsn)
         except AllocationError:
+            # Unwind every AU this call touched: segments mapped for the
+            # AUs that completed (and the AU-table slice of the one that
+            # failed partway) must be freed, or they leak forever.
+            touched = set(self.tables.au_ids(host_id)) & set(au_ids)
+            for au_id in touched:
+                dsns = self.tables.free_au(host_id, au_id)
+                self.allocator.free(dsns)
             for au_id in au_ids:
                 free_aus.appendleft(au_id)
             raise
@@ -219,11 +248,19 @@ class DtlController:
         location = self.device_layout.unpack_dsn(dsn)
         dpa = self.device_layout.dpa_of(
             dsn, self.host_layout.offset_of_hpa(hpa))
-        self.access_count += 1
+        latency_ns = self.cxl_latency_ns + xlat_ns + wake_ns
+        self._accesses.inc()
+        if is_write:
+            self._writes.inc()
+        if routed_new:
+            self._redirects.inc()
+        self._access_latency.observe(latency_ns)
+        self.trace.record(EventKind.ACCESS, time=now_ns, hsn=hsn, dsn=dsn,
+                          write=is_write, latency_ns=latency_ns)
         return AccessResult(
             hpa=hpa, dsn=dsn, dpa=dpa, channel=location.channel,
             rank=location.rank,
-            latency_ns=self.cxl_latency_ns + xlat_ns + wake_ns,
+            latency_ns=latency_ns,
             smc_l1_hit=l1_hit, smc_l2_hit=l2_hit, wake_penalty_ns=wake_ns,
             routed_to_new_dsn=routed_new)
 
@@ -287,11 +324,39 @@ class DtlController:
         """Close the self-refresh access-count window (call every 0.5 ms)."""
         if self.self_refresh is not None:
             self.self_refresh.end_window()
+        self.trace.record(EventKind.WINDOW_CLOSE)
 
     def tick(self, now_ns: float) -> None:
         """Advance self-refresh timers; may trigger migrations + SR entry."""
         if self.self_refresh is not None:
             self.self_refresh.tick(now_ns)
+
+    # -- telemetry -------------------------------------------------------------------
+
+    def telemetry_snapshot(self, now_s: float | None = None) -> Snapshot:
+        """Export every subsystem's metrics as one JSON-ready snapshot.
+
+        Args:
+            now_s: When given, per-rank power-state residency includes the
+                open interval up to this simulated time.
+        """
+        smc = self.translation.smc
+        self.metrics.gauge("smc.l1.hit_ratio").set(smc.l1.stats.hit_ratio)
+        self.metrics.gauge("smc.l2.hit_ratio").set(smc.l2.stats.hit_ratio)
+        residency = self.device.residency_by_rank(now_s)
+        totals: dict[str, float] = {}
+        for rank_key, states in residency.items():
+            for state, seconds in states.items():
+                totals[state] = totals.get(state, 0.0) + seconds
+                self.metrics.gauge(
+                    f"dram.rank.{rank_key}.residency_s.{state}").set(seconds)
+        for state, seconds in totals.items():
+            self.metrics.gauge(f"dram.residency_s.{state}").set(seconds)
+        return self.metrics.snapshot(
+            events=self.trace.counts_by_kind(),
+            detail={"rank_residency_s": residency,
+                    "trace": {"recorded": self.trace.recorded,
+                              "dropped": self.trace.dropped}})
 
     # -- internals -------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from typing import Callable
 from repro.core.addressing import DeviceAddressLayout
 from repro.dram.geometry import DramGeometry
 from repro.errors import MigrationError
+from repro.telemetry import EventKind, EventTrace, MetricsRegistry
 from repro.units import CACHELINE_BYTES
 
 DEFAULT_MAX_RETRIES = 3
@@ -77,20 +78,53 @@ class MigrationRequest:
         self.completion = False
 
 
-@dataclass
 class MigrationStats:
-    """Aggregate counters for the engine."""
+    """Aggregate counters for the engine.
 
-    segments_migrated: int = 0
-    lines_copied: int = 0
-    aborts: int = 0
-    requeues: int = 0
-    foreground_redirects: int = 0
+    A thin view over registry-backed counters (see
+    :class:`~repro.core.segment_cache.CacheStats` for the pattern): the
+    public attribute names are unchanged, but the numbers live in a
+    :class:`~repro.telemetry.MetricsRegistry` so the controller's snapshot
+    sees the same values.
+    """
+
+    _FIELDS = ("segments_migrated", "lines_copied", "aborts", "requeues",
+               "foreground_redirects")
+
+    def __init__(self, segments_migrated: int = 0, lines_copied: int = 0,
+                 aborts: int = 0, requeues: int = 0,
+                 foreground_redirects: int = 0,
+                 registry: MetricsRegistry | None = None,
+                 prefix: str = "migration"):
+        registry = registry if registry is not None else MetricsRegistry()
+        initial = (segments_migrated, lines_copied, aborts, requeues,
+                   foreground_redirects)
+        for name, value in zip(self._FIELDS, initial):
+            counter = registry.counter(f"{prefix}.{name}")
+            if value:
+                counter.inc(value)
+            object.__setattr__(self, f"_{name}", counter)
+
+    def __getattr__(self, name: str):
+        if name in MigrationStats._FIELDS:
+            return getattr(self, f"_{name}").value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in self._FIELDS:
+            getattr(self, f"_{name}").set(value)
+        else:
+            object.__setattr__(self, name, value)
 
     @property
     def bytes_copied(self) -> int:
         """Total bytes moved (including aborted partial copies)."""
         return self.lines_copied * CACHELINE_BYTES
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)}"
+                           for name in self._FIELDS)
+        return f"MigrationStats({fields})"
 
 
 #: Callback invoked when a request's copy and mapping update complete:
@@ -103,7 +137,9 @@ class MigrationEngine:
 
     def __init__(self, geometry: DramGeometry,
                  on_complete: CompletionCallback | None = None,
-                 max_retries: int = DEFAULT_MAX_RETRIES):
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 registry: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
         self.geometry = geometry
         self.layout = DeviceAddressLayout(geometry)
         self.max_retries = max_retries
@@ -117,7 +153,8 @@ class MigrationEngine:
             channel: None for channel in range(geometry.channels)}
         # old_dsn -> request, for O(1) foreground conflict checks.
         self._by_old_dsn: dict[int, MigrationRequest] = {}
-        self.stats = MigrationStats()
+        self._trace = trace
+        self.stats = MigrationStats(registry=registry)
 
     # -- submission --------------------------------------------------------------
 
@@ -141,6 +178,10 @@ class MigrationEngine:
                                    lines_total=self.lines_per_segment)
         self._queues[src_channel].append(request)
         self._by_old_dsn[old_dsn] = request
+        if self._trace is not None:
+            self._trace.record(EventKind.MIGRATION_SUBMIT, hsn=hsn,
+                               old_dsn=old_dsn, new_dsn=new_dsn,
+                               channel=src_channel)
         return request
 
     def pending_count(self) -> int:
@@ -183,6 +224,10 @@ class MigrationEngine:
         request.reset_progress()
         request.retries += 1
         self.stats.aborts += 1
+        if self._trace is not None:
+            self._trace.record(EventKind.MIGRATION_ABORT, hsn=request.hsn,
+                               old_dsn=request.old_dsn,
+                               retries=request.retries)
         if request.retries > self.max_retries:
             # Move to the tail of its channel's migration queue.
             channel = self.channel_of(request.old_dsn)
@@ -197,6 +242,11 @@ class MigrationEngine:
             request.requeues += 1
             self.stats.requeues += 1
             self._queues[channel].append(request)
+            if self._trace is not None:
+                self._trace.record(EventKind.MIGRATION_REQUEUE,
+                                   hsn=request.hsn, old_dsn=request.old_dsn,
+                                   requeues=request.requeues,
+                                   channel=channel)
 
     # -- progress --------------------------------------------------------------------
 
@@ -206,6 +256,13 @@ class MigrationEngine:
 
         Migration only uses idle bandwidth: nothing happens when
         ``foreground_busy`` is True.
+
+        Retirement is a separate step from the copy: when the last line of
+        a request lands, only its completion bit is set and the step ends.
+        The mapping update (:meth:`_retire`) happens at the start of the
+        *next* step on this channel.  This is the Section 4.2 window in
+        which a foreground write sees "completion bit set, mapping update
+        pending" and must be routed to the new DSN.
 
         Returns:
             Number of lines actually copied.
@@ -220,6 +277,10 @@ class MigrationEngine:
                     break
                 request = self._queues[channel].popleft()
                 self._inflight[channel] = request
+            if request.completion:
+                # Deferred from the step that copied the last line.
+                self._retire(channel, request)
+                continue
             remaining = request.lines_total - request.lines_done
             take = min(lines - copied, remaining)
             request.lines_done += take
@@ -227,7 +288,7 @@ class MigrationEngine:
             self.stats.lines_copied += take
             if request.lines_done == request.lines_total:
                 request.completion = True
-                self._retire(channel, request)
+                break
         return copied
 
     def step_all(self, busy_channels: set[int] | None = None,
@@ -253,6 +314,10 @@ class MigrationEngine:
         self._inflight[channel] = None
         del self._by_old_dsn[request.old_dsn]
         self.stats.segments_migrated += 1
+        if self._trace is not None:
+            self._trace.record(EventKind.MIGRATION_RETIRE, hsn=request.hsn,
+                               old_dsn=request.old_dsn,
+                               new_dsn=request.new_dsn, channel=channel)
         if self.on_complete is not None:
             self.on_complete(request)
 

@@ -28,6 +28,7 @@ from repro.core.tables import TranslationTables
 from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
 from repro.errors import AllocationError
+from repro.telemetry import EventTrace, MetricsRegistry
 
 
 @dataclass
@@ -64,7 +65,9 @@ class RankPowerDownPolicy:
                  tables: TranslationTables, migration: MigrationEngine,
                  group_granularity: int = 1,
                  min_active_groups: int = 1,
-                 background_migration: bool = False):
+                 background_migration: bool = False,
+                 registry: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
         geometry = device.geometry
         if geometry.ranks_per_channel % group_granularity:
             raise ValueError("group_granularity must divide ranks_per_channel")
@@ -88,6 +91,14 @@ class RankPowerDownPolicy:
         self.background_migration = background_migration
         self._pending: list[PendingPowerDown] = []
         self.transitions: list[PowerTransition] = []
+        registry = registry if registry is not None else MetricsRegistry()
+        self._trace = trace
+        self._mpsm_entries = registry.counter("power.mpsm_entries")
+        self._reactivations = registry.counter("power.reactivations")
+        self._consolidated_segments = registry.counter(
+            "power.consolidated_segments")
+        self._consolidated_bytes = registry.counter(
+            "power.consolidated_bytes")
 
     # -- queries --------------------------------------------------------------
 
@@ -216,6 +227,7 @@ class RankPowerDownPolicy:
             migrated_segments=total_live, migrated_bytes=migrated_bytes,
             exit_penalty_ns=penalty)
         self.transitions.append(transition)
+        self._mpsm_entries.inc(len(victims))
         return transition
 
     def _consolidate(self, live: dict[RankId, list[int]],
@@ -235,6 +247,8 @@ class RankPowerDownPolicy:
                 hsn = self.tables.hsn_of_dsn(old_dsn)
                 self.migration.submit(hsn, old_dsn, new_dsn)
                 migrated_bytes += self.geometry.segment_bytes
+                self._consolidated_segments.inc()
+        self._consolidated_bytes.inc(migrated_bytes)
         if not self.background_migration:
             self.migration.drain()
         return migrated_bytes
@@ -317,6 +331,8 @@ class RankPowerDownPolicy:
             migrated_segments=pending.migrated_segments,
             migrated_bytes=pending.migrated_bytes,
             exit_penalty_ns=penalty))
+        self._mpsm_entries.inc(
+            sum(len(ranks) for ranks in per_channel.values()))
 
     def pending_power_downs(self) -> list[PendingPowerDown]:
         """Consolidations still copying in the background."""
@@ -390,6 +406,7 @@ class RankPowerDownPolicy:
             new_state=PowerState.STANDBY, migrated_segments=0,
             migrated_bytes=0, exit_penalty_ns=penalty)
         self.transitions.append(transition)
+        self._reactivations.inc(len(woken))
         return transition
 
 

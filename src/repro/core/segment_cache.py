@@ -9,14 +9,24 @@ The DTL fronts its translation tables with a TLB-like cache hierarchy
 Both map an HSN to its DSN.  A hit in L1 costs one controller cycle; an L1
 miss that hits in L2 costs seven cycles; a full miss walks the three-level
 table path (two SRAM accesses plus one DRAM access, Section 6.1).
+
+The hierarchy is **inclusive**: every L1 entry is also present in L2, so
+a single L2 invalidation (plus the back-invalidate it triggers) is enough
+to purge a stale mapping.  :meth:`SegmentMappingCache.fill` enforces this
+by back-invalidating L1 whenever an entry is evicted from L2.
+
+Counters live in a :class:`~repro.telemetry.MetricsRegistry`;
+:class:`CacheStats` is a thin view over those registry counters so legacy
+callers keep reading ``cache.stats.hits`` unchanged.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.telemetry import EventKind, EventTrace, MetricsRegistry
 
 CONTROLLER_CLOCK_GHZ = 1.5
 L1_SMC_HIT_CYCLES = 1
@@ -28,13 +38,56 @@ def cycles_to_ns(cycles: float, clock_ghz: float = CONTROLLER_CLOCK_GHZ) -> floa
     return cycles / clock_ghz
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss counters for one cache level."""
+    """Hit/miss counters for one cache level.
 
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
+    A thin view over registry-backed counters: constructing one without a
+    registry gives it a private registry, so standalone use keeps working,
+    while the controller passes its shared registry + a name prefix and the
+    same numbers become visible in the telemetry snapshot.
+    """
+
+    def __init__(self, hits: int = 0, misses: int = 0,
+                 invalidations: int = 0,
+                 registry: MetricsRegistry | None = None,
+                 prefix: str = "cache"):
+        registry = registry if registry is not None else MetricsRegistry()
+        self._hits = registry.counter(f"{prefix}.hits")
+        self._misses = registry.counter(f"{prefix}.misses")
+        self._invalidations = registry.counter(f"{prefix}.invalidations")
+        if hits:
+            self._hits.inc(hits)
+        if misses:
+            self._misses.inc(misses)
+        if invalidations:
+            self._invalidations.inc(invalidations)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served by this level."""
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.set(value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups this level could not serve."""
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.set(value)
+
+    @property
+    def invalidations(self) -> int:
+        """Entries dropped by invalidate calls."""
+        return self._invalidations.value
+
+    @invalidations.setter
+    def invalidations(self, value: int) -> None:
+        self._invalidations.set(value)
 
     @property
     def accesses(self) -> int:
@@ -51,16 +104,20 @@ class CacheStats:
         """Misses / accesses (0.0 when never accessed)."""
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def __repr__(self) -> str:
+        return (f"CacheStats(hits={self.hits}, misses={self.misses}, "
+                f"invalidations={self.invalidations})")
+
 
 class FullyAssociativeCache:
     """Fully-associative LRU cache of HSN -> DSN mappings."""
 
-    def __init__(self, entries: int):
+    def __init__(self, entries: int, stats: CacheStats | None = None):
         if entries <= 0:
             raise ConfigurationError("cache must have at least one entry")
         self.entries = entries
         self._data: OrderedDict[int, int] = OrderedDict()
-        self.stats = CacheStats()
+        self.stats = stats if stats is not None else CacheStats()
 
     def lookup(self, hsn: int) -> int | None:
         """Return the cached DSN for ``hsn`` or ``None`` on a miss."""
@@ -88,6 +145,10 @@ class FullyAssociativeCache:
             return True
         return False
 
+    def hsns(self) -> list[int]:
+        """HSNs currently cached (LRU first)."""
+        return list(self._data)
+
     def __contains__(self, hsn: int) -> bool:
         return hsn in self._data
 
@@ -98,7 +159,8 @@ class FullyAssociativeCache:
 class SetAssociativeCache:
     """Set-associative LRU cache of HSN -> DSN mappings."""
 
-    def __init__(self, entries: int, ways: int):
+    def __init__(self, entries: int, ways: int,
+                 stats: CacheStats | None = None):
         if entries <= 0 or ways <= 0:
             raise ConfigurationError("entries and ways must be positive")
         if entries % ways:
@@ -109,7 +171,7 @@ class SetAssociativeCache:
         self.sets = entries // ways
         self._sets: list[OrderedDict[int, int]] = [
             OrderedDict() for _ in range(self.sets)]
-        self.stats = CacheStats()
+        self.stats = stats if stats is not None else CacheStats()
 
     def _set_for(self, hsn: int) -> OrderedDict[int, int]:
         return self._sets[hsn % self.sets]
@@ -143,6 +205,10 @@ class SetAssociativeCache:
             return True
         return False
 
+    def hsns(self) -> list[int]:
+        """HSNs currently cached (set by set, LRU first within a set)."""
+        return [hsn for cache_set in self._sets for hsn in cache_set]
+
     def __contains__(self, hsn: int) -> bool:
         return hsn in self._set_for(hsn)
 
@@ -171,6 +237,16 @@ class SegmentCacheConfig:
         """L2 SMC hit latency in nanoseconds."""
         return cycles_to_ns(self.l2_hit_cycles, self.clock_ghz)
 
+    @property
+    def miss_probe_ns(self) -> float:
+        """Cache-side cost of a full miss: both levels probed, no hit.
+
+        The table-walk penalty (2 SRAM + 1 DRAM access) is charged
+        separately by the translation engine; keeping the probe cost here
+        and the walk cost there is what prevents double counting.
+        """
+        return self.l1_hit_ns + self.l2_hit_ns
+
 
 @dataclass
 class LookupResult:
@@ -187,13 +263,31 @@ class LookupResult:
 
 
 class SegmentMappingCache:
-    """The two-level SMC: inclusive L1 over L2, both LRU."""
+    """The two-level SMC: inclusive L1 over L2, both LRU.
 
-    def __init__(self, config: SegmentCacheConfig | None = None):
+    Inclusion is enforced on the only path that can break it: when
+    :meth:`fill` evicts an entry from L2, the same HSN is back-invalidated
+    from L1, so no L1 entry ever outlives its L2 copy.
+    """
+
+    def __init__(self, config: SegmentCacheConfig | None = None,
+                 registry: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
         self.config = config or SegmentCacheConfig()
-        self.l1 = FullyAssociativeCache(self.config.l1_entries)
-        self.l2 = SetAssociativeCache(self.config.l2_entries,
-                                      self.config.l2_ways)
+        registry = registry if registry is not None else MetricsRegistry()
+        self._trace = trace
+        self.l1 = FullyAssociativeCache(
+            self.config.l1_entries,
+            stats=CacheStats(registry=registry, prefix="smc.l1"))
+        self.l2 = SetAssociativeCache(
+            self.config.l2_entries, self.config.l2_ways,
+            stats=CacheStats(registry=registry, prefix="smc.l2"))
+        self._back_invalidations = registry.counter("smc.back_invalidations")
+
+    @property
+    def back_invalidations(self) -> int:
+        """L1 entries purged because their L2 copy was evicted."""
+        return self._back_invalidations.value
 
     def lookup(self, hsn: int) -> LookupResult:
         """Look up ``hsn`` in L1 then L2, promoting L2 hits into L1."""
@@ -202,26 +296,49 @@ class SegmentMappingCache:
             return LookupResult(dsn=dsn, l1_hit=True, l2_hit=False)
         dsn = self.l2.lookup(hsn)
         if dsn is not None:
+            # Promotion keeps inclusion: the entry is (still) in L2 here,
+            # and any L1 eviction it causes only shrinks L1.
             self.l1.insert(hsn, dsn)
             return LookupResult(dsn=dsn, l1_hit=False, l2_hit=True)
         return LookupResult(dsn=None, l1_hit=False, l2_hit=False)
 
     def fill(self, hsn: int, dsn: int) -> None:
         """Install a mapping fetched from the tables into both levels."""
-        self.l2.insert(hsn, dsn)
+        evicted = self.l2.insert(hsn, dsn)
+        if evicted is not None:
+            # Back-invalidate: the L2 victim must not survive in L1, or a
+            # later migration invalidating L2 would leave a stale L1 hit.
+            if self.l1.invalidate(evicted[0]):
+                self._back_invalidations.inc()
+            if self._trace is not None:
+                self._trace.record(EventKind.SMC_EVICT, hsn=evicted[0],
+                                   dsn=evicted[1], level="l2")
         self.l1.insert(hsn, dsn)
+        if self._trace is not None:
+            self._trace.record(EventKind.SMC_FILL, hsn=hsn, dsn=dsn)
 
     def invalidate(self, hsn: int) -> bool:
         """Drop a mapping from both levels (used after migration)."""
         in_l1 = self.l1.invalidate(hsn)
         in_l2 = self.l2.invalidate(hsn)
+        if (in_l1 or in_l2) and self._trace is not None:
+            self._trace.record(EventKind.SMC_INVALIDATE, hsn=hsn)
         return in_l1 or in_l2
 
     def hit_latency_ns(self, result: LookupResult) -> float:
         """Latency contribution of the cache portion of a lookup."""
         if result.l1_hit:
             return self.config.l1_hit_ns
-        return self.config.l1_hit_ns + self.config.l2_hit_ns
+        if result.l2_hit:
+            return self.config.l1_hit_ns + self.config.l2_hit_ns
+        # Full miss: both levels were probed and neither hit; the table
+        # walk itself is charged by TranslationEngine.miss_penalty_ns.
+        return self.config.miss_probe_ns
+
+    def check_inclusion(self) -> list[int]:
+        """HSNs present in L1 but missing from L2 (empty when inclusive)."""
+        l2_hsns = set(self.l2.hsns())
+        return [hsn for hsn in self.l1.hsns() if hsn not in l2_hsns]
 
 
 __all__ = [

@@ -42,6 +42,7 @@ from repro.core.tables import TranslationTables
 from repro.core.translation import TranslationEngine
 from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
+from repro.telemetry import EventKind, EventTrace, MetricsRegistry
 from repro.units import NS_PER_MS
 
 DEFAULT_WINDOW_NS = 0.5 * NS_PER_MS
@@ -102,7 +103,9 @@ class HotnessSelfRefreshPolicy:
                  tsp_scan_limit: int = DEFAULT_TSP_SCAN_LIMIT,
                  revisit_delay_ns: float | None = None,
                  victim_granularity: int = 1,
-                 enable_planning: bool = True):
+                 enable_planning: bool = True,
+                 registry: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
         self.device = device
         self.geometry = device.geometry
         self.layout = DeviceAddressLayout(self.geometry)
@@ -135,8 +138,32 @@ class HotnessSelfRefreshPolicy:
         self._channels = {channel: _ChannelState()
                           for channel in range(self.geometry.channels)}
         self.events: list[SelfRefreshEvent] = []
-        self.exit_penalty_total_ns = 0.0
-        self.migrated_bytes_total = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._trace = trace
+        self._sr_entries = registry.counter("sr.entries")
+        self._sr_exits = registry.counter("sr.exits")
+        self._victim_selections = registry.counter("sr.victim_selections")
+        self._swaps_executed = registry.counter("sr.swaps")
+        self._exit_penalty_ns = registry.counter("sr.exit_penalty_total_ns")
+        self._migrated_bytes = registry.counter("sr.migrated_bytes")
+
+    @property
+    def exit_penalty_total_ns(self) -> float:
+        """Cumulative SR exit penalty (registry counter view)."""
+        return self._exit_penalty_ns.value
+
+    @exit_penalty_total_ns.setter
+    def exit_penalty_total_ns(self, value: float) -> None:
+        self._exit_penalty_ns.set(value)
+
+    @property
+    def migrated_bytes_total(self) -> int:
+        """Bytes moved by executed swap plans (registry counter view)."""
+        return self._migrated_bytes.value
+
+    @migrated_bytes_total.setter
+    def migrated_bytes_total(self, value: int) -> None:
+        self._migrated_bytes.set(value)
 
     # -- address helpers ---------------------------------------------------------
 
@@ -210,6 +237,7 @@ class HotnessSelfRefreshPolicy:
         self.events.append(SelfRefreshEvent(
             time_ns=now_ns, channel=channel, kind="victim_selected",
             victim_rank=victim))
+        self._victim_selections.inc()
         return victim
 
     # -- access path -------------------------------------------------------------------
@@ -303,7 +331,11 @@ class HotnessSelfRefreshPolicy:
             self.events.append(SelfRefreshEvent(
                 time_ns=now_ns, channel=channel, kind="exit_sr",
                 victim_rank=member))
-        self.exit_penalty_total_ns += penalty
+            self._sr_exits.inc()
+            if self._trace is not None:
+                self._trace.record(EventKind.SR_EXIT, time=now_ns,
+                                   channel=channel, rank=member)
+        self._exit_penalty_ns.inc(penalty)
         # Re-profile: the freshly woken block has the fewest recent accesses
         # so it is re-selected as the victim, and the few segments that woke
         # it are planned out — the paper's cheap re-entry path.
@@ -442,12 +474,19 @@ class HotnessSelfRefreshPolicy:
             self.device.set_rank_state((channel, rank),
                                        PowerState.SELF_REFRESH, now_ns / 1e9)
         state.phase = ChannelPhase.SELF_REFRESH
-        self.migrated_bytes_total += migrated_bytes
+        self._migrated_bytes.inc(migrated_bytes)
+        self._sr_entries.inc(len(state.victim_ranks))
+        self._swaps_executed.inc(len(swaps))
         event = SelfRefreshEvent(
             time_ns=now_ns, channel=channel, kind="enter_sr",
             victim_rank=victim, swaps=len(swaps),
             migrated_bytes=migrated_bytes)
         self.events.append(event)
+        if self._trace is not None:
+            self._trace.record(EventKind.SR_ENTER, time=now_ns,
+                               channel=channel, rank=victim,
+                               swaps=len(swaps),
+                               migrated_bytes=migrated_bytes)
         state.last_sr_entry_ns = now_ns
         return event
 

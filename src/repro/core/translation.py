@@ -20,6 +20,7 @@ from repro.core.segment_cache import (SegmentCacheConfig, SegmentMappingCache,
                                       cycles_to_ns)
 from repro.core.tables import TranslationTables
 from repro.dram.timing import NATIVE_DRAM_LATENCY_NS
+from repro.telemetry import EventTrace, MetricsRegistry
 
 SRAM_ACCESS_CYCLES = 1
 
@@ -48,13 +49,42 @@ class TranslationEngine:
     def __init__(self, layout: HostAddressLayout,
                  tables: TranslationTables | None = None,
                  cache_config: SegmentCacheConfig | None = None,
-                 table_dram_latency_ns: float = NATIVE_DRAM_LATENCY_NS):
+                 table_dram_latency_ns: float = NATIVE_DRAM_LATENCY_NS,
+                 registry: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
         self.layout = layout
         self.tables = tables if tables is not None else TranslationTables(layout)
-        self.smc = SegmentMappingCache(cache_config)
+        registry = registry if registry is not None else MetricsRegistry()
+        self.smc = SegmentMappingCache(cache_config, registry=registry,
+                                       trace=trace)
         self.table_dram_latency_ns = table_dram_latency_ns
-        self.translation_count = 0
-        self.total_latency_ns = 0.0
+        self._translations = registry.counter("translation.count")
+        self._table_walks = registry.counter("translation.table_walks")
+        self._latency_total = registry.counter("translation.latency_total_ns")
+        self._latency_hist = registry.histogram("translation.latency_ns")
+
+    @property
+    def translation_count(self) -> int:
+        """Translations performed (registry counter view)."""
+        return self._translations.value
+
+    @translation_count.setter
+    def translation_count(self, value: int) -> None:
+        self._translations.set(value)
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Cumulative translation latency (registry counter view)."""
+        return self._latency_total.value
+
+    @total_latency_ns.setter
+    def total_latency_ns(self, value: float) -> None:
+        self._latency_total.set(value)
+
+    @property
+    def table_walks(self) -> int:
+        """Full three-level walks taken (== SMC full misses)."""
+        return self._table_walks.value
 
     @property
     def miss_penalty_ns(self) -> float:
@@ -66,6 +96,8 @@ class TranslationEngine:
     def translate_hsn(self, hsn: int) -> tuple[int, float, bool, bool]:
         """Translate one HSN; returns ``(dsn, latency_ns, l1_hit, l2_hit)``."""
         result = self.smc.lookup(hsn)
+        # hit_latency_ns charges only the SMC probes; the table-walk
+        # penalty is added exactly once, below, on a full miss.
         latency_ns = self.smc.hit_latency_ns(result)
         if result.dsn is not None:
             dsn = result.dsn
@@ -74,8 +106,10 @@ class TranslationEngine:
             dsn = walk.dsn
             latency_ns += self.miss_penalty_ns
             self.smc.fill(hsn, dsn)
-        self.translation_count += 1
-        self.total_latency_ns += latency_ns
+            self._table_walks.inc()
+        self._translations.inc()
+        self._latency_total.inc(latency_ns)
+        self._latency_hist.observe(latency_ns)
         return dsn, latency_ns, result.l1_hit, result.l2_hit
 
     def translate(self, hpa: int) -> Translation:

@@ -15,8 +15,14 @@ from repro.dram.power import DramPowerModel, PowerState
 from repro.dram.rank import Rank
 from repro.dram.timing import DDR4_2933, DramTiming
 from repro.errors import PowerStateError
+from repro.telemetry import EventKind, EventTrace, MetricsRegistry
 
 RankId = tuple[int, int]
+
+
+def rank_key(rank_id: RankId) -> str:
+    """Metric-name-safe label for a rank, e.g. ``ch0r1``."""
+    return f"ch{rank_id[0]}r{rank_id[1]}"
 
 
 @dataclass
@@ -34,6 +40,8 @@ class DramDevice:
     power_model: DramPowerModel = None  # type: ignore[assignment]
     timing: DramTiming = DDR4_2933
     ranks: dict[RankId, Rank] = field(default_factory=dict)
+    _registry: MetricsRegistry | None = field(default=None, repr=False)
+    _trace: EventTrace | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.power_model is None:
@@ -78,12 +86,49 @@ class DramDevice:
         return sum(1 for rank in self.ranks_in_channel(channel)
                    if rank.state is PowerState.STANDBY)
 
+    # -- telemetry -----------------------------------------------------------
+
+    def attach_telemetry(self, registry: MetricsRegistry,
+                         trace: EventTrace | None = None) -> None:
+        """Route power transitions into a shared registry + event trace."""
+        self._registry = registry
+        self._trace = trace
+
+    def _transition(self, rank: Rank, state: PowerState,
+                    now_s: float) -> float:
+        """Apply one rank transition, recording telemetry when attached."""
+        old_state = rank.state
+        penalty_ns = rank.set_state(state, now_s)
+        if old_state is state:
+            return penalty_ns
+        if self._registry is not None:
+            self._registry.counter("dram.power_transitions").inc()
+            self._registry.counter(
+                f"dram.power_transitions.to_{state.name.lower()}").inc()
+        if self._trace is not None:
+            self._trace.record(EventKind.POWER_TRANSITION, time=now_s,
+                               rank=rank_key(rank.rank_id),
+                               from_state=old_state.name.lower(),
+                               to_state=state.name.lower(),
+                               penalty_ns=penalty_ns)
+        return penalty_ns
+
+    def residency_by_rank(self, now_s: float | None = None,
+                          ) -> dict[str, dict[str, float]]:
+        """Per-rank power-state residency seconds, keyed like ``ch0r1``.
+
+        With ``now_s`` the open interval of each rank's current state is
+        included (the ranks themselves are not mutated).
+        """
+        return {rank_key(rank_id): rank.residency_snapshot(now_s)
+                for rank_id, rank in sorted(self.ranks.items())}
+
     # -- transitions ---------------------------------------------------------
 
     def set_rank_state(self, rank_id: RankId, state: PowerState,
                        now_s: float) -> float:
         """Transition a single rank; returns exit penalty in ns."""
-        return self.ranks[rank_id].set_state(state, now_s)
+        return self._transition(self.ranks[rank_id], state, now_s)
 
     def set_rank_group_state(self, group_index: int, state: PowerState,
                              now_s: float) -> float:
@@ -92,7 +137,7 @@ class DramDevice:
         The paper transitions power state at rank-group granularity
         (Section 3.3) so channel bandwidth stays balanced.
         """
-        penalties = [rank.set_state(state, now_s)
+        penalties = [self._transition(rank, state, now_s)
                      for rank in self.rank_group(group_index)]
         return max(penalties)
 
@@ -112,7 +157,7 @@ class DramDevice:
             raise PowerStateError(
                 "virtual rank-group must contain exactly one rank per channel, "
                 f"got channels {channels}")
-        penalties = [self.ranks[rank_id].set_state(state, now_s)
+        penalties = [self._transition(self.ranks[rank_id], state, now_s)
                      for rank_id in rank_ids]
         return max(penalties)
 
@@ -141,4 +186,4 @@ class DramDevice:
                    for rank in self.ranks.values())
 
 
-__all__ = ["DramDevice", "RankId"]
+__all__ = ["DramDevice", "RankId", "rank_key"]

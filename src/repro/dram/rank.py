@@ -83,6 +83,26 @@ class Rank:
         self.residency_s[self.state] += now_s - self._state_entered_at_s
         self._state_entered_at_s = now_s
 
+    def residency_snapshot(self, now_s: float | None = None,
+                           ) -> dict[str, float]:
+        """Seconds spent per power state, without mutating the rank.
+
+        Args:
+            now_s: When given, the still-open interval for the current
+                state is counted up to this time (it must not precede the
+                state entry time).
+        """
+        snapshot = {state.name.lower(): seconds
+                    for state, seconds in self.residency_s.items()}
+        if now_s is not None:
+            if now_s < self._state_entered_at_s:
+                raise PowerStateError(
+                    f"time moved backwards: {now_s} < "
+                    f"{self._state_entered_at_s}")
+            snapshot[self.state.name.lower()] += (
+                now_s - self._state_entered_at_s)
+        return snapshot
+
     def background_energy(self, state_power: dict[PowerState, float]) -> float:
         """Background energy over recorded residencies (power-units x s)."""
         return sum(state_power[state] * seconds

@@ -79,6 +79,20 @@ class FleetResult:
         """Datacenter-level roll-up through the TCO model."""
         return self.config.tco.report(self.fleet_savings)
 
+    def telemetry_totals(self) -> dict[str, float]:
+        """Fleet-wide sums of every node's DTL telemetry counters.
+
+        Counters (accesses, SMC hits, migrated segments, power
+        transitions, ...) add across nodes; gauges and residency do not,
+        so only counters are aggregated here.
+        """
+        totals: dict[str, float] = {}
+        for node in self.nodes:
+            for name, value in node.dtl.telemetry.get(
+                    "counters", {}).items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
     def summary_rows(self) -> list[tuple]:
         """Per-node + fleet rows for reporting."""
         rows = [(f"node {node.seed}", f"{node.energy_savings:.1%}",

@@ -86,6 +86,8 @@ class PowerDownResult:
     power_transitions: int
     execution_time_factor: float
     mean_active_ranks: float
+    telemetry: dict = field(default_factory=dict)
+    window_snapshots: list[dict] = field(default_factory=list)
 
     @property
     def total_energy(self) -> float:
@@ -153,6 +155,7 @@ class PowerDownSimulator:
         migrated_bytes_total = 0
         migration_time_total = 0.0
         intervals: list[IntervalRecord] = []
+        window_snapshots: list[dict] = []
         energy = EnergyAccumulator()
         active_rank_samples: list[int] = []
         # Pending migration work spills into the interval it occurred in.
@@ -213,6 +216,10 @@ class PowerDownSimulator:
                 background_power=background, active_power=active,
                 migration_power=migration_power,
                 bandwidth_gbs=bandwidth_gbs))
+            controller.end_window()
+            window_snapshots.append({
+                "time_s": interval_end,
+                "counters": controller.metrics.counter_values()})
             time_s = interval_end
 
         mean_active = float(np.mean(active_rank_samples))
@@ -220,13 +227,16 @@ class PowerDownSimulator:
         transitions = 0
         if controller.power_down is not None:
             transitions = len(controller.power_down.transitions)
+        telemetry = controller.telemetry_snapshot(now_s=end_s).to_dict()
         return PowerDownResult(
             config=config, intervals=intervals, energy=energy,
             migrated_bytes=migrated_bytes_total,
             migration_time_s=migration_time_total,
             power_transitions=transitions,
             execution_time_factor=execution_factor,
-            mean_active_ranks=mean_active)
+            mean_active_ranks=mean_active,
+            telemetry=telemetry,
+            window_snapshots=window_snapshots)
 
     def _execution_time_factor(self, mean_active_ranks: float) -> float:
         """Section 5.1 post-processing of the execution time.

@@ -43,7 +43,33 @@ def flatten_powerdown(result: PowerDownResult) -> dict[str, Any]:
         "migration_time_s": result.migration_time_s,
         "power_transitions": result.power_transitions,
         "intervals": len(result.intervals),
+        "smc_l1_hit_ratio": result.telemetry.get("gauges", {}).get(
+            "smc.l1.hit_ratio"),
+        "segments_migrated": result.telemetry.get("counters", {}).get(
+            "migration.segments_migrated"),
     }
+
+
+def flatten_telemetry(telemetry: dict[str, Any],
+                      prefix: str = "") -> dict[str, Any]:
+    """Flatten a telemetry snapshot dict into plain scalar metrics.
+
+    Takes the output of ``Snapshot.to_dict()`` (or the ``telemetry``
+    field of a :class:`PowerDownResult`) and merges its counters and
+    gauges into one flat namespace; histograms contribute their count
+    and mean, events get an ``event.`` prefix.
+    """
+    flat: dict[str, Any] = {}
+    for name, value in telemetry.get("counters", {}).items():
+        flat[f"{prefix}{name}"] = value
+    for name, value in telemetry.get("gauges", {}).items():
+        flat[f"{prefix}{name}"] = value
+    for name, hist in telemetry.get("histograms", {}).items():
+        flat[f"{prefix}{name}.count"] = hist.get("count", 0)
+        flat[f"{prefix}{name}.mean"] = hist.get("mean", 0.0)
+    for kind, count in telemetry.get("events", {}).items():
+        flat[f"{prefix}event.{kind}"] = count
+    return flat
 
 
 def flatten_selfrefresh(result: SelfRefreshResult) -> dict[str, Any]:
@@ -110,6 +136,7 @@ __all__ = [
     "ExperimentRecord",
     "flatten_powerdown",
     "flatten_selfrefresh",
+    "flatten_telemetry",
     "save_records",
     "load_records",
     "render_table",

@@ -1,0 +1,31 @@
+"""Telemetry: the DTL's metrics + event-tracing subsystem.
+
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  latency histograms shared by every DTL subsystem.
+* :class:`EventTrace` — a bounded ring buffer of typed datapath events
+  (:class:`EventKind`).
+* :class:`Snapshot` — a JSON-ready export of everything at once.
+
+The controller owns one registry and one trace and hands them to each
+subsystem; see ``docs/TELEMETRY.md`` for the metric names and the
+snapshot schema.
+"""
+
+from repro.telemetry.events import (DEFAULT_TRACE_CAPACITY, EventKind,
+                                    EventTrace, TraceEvent)
+from repro.telemetry.registry import (DEFAULT_LATENCY_BUCKETS_NS, Counter,
+                                      Gauge, Histogram, MetricsRegistry,
+                                      Snapshot)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_TRACE_CAPACITY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Snapshot",
+    "EventKind",
+    "TraceEvent",
+    "EventTrace",
+]

@@ -89,6 +89,44 @@ class TestDeferredPowerDown:
         check(controller, balance_tolerance=10 ** 9)
 
 
+class TestCompletionWindow:
+    def test_write_during_completion_window_routes_to_new_dsn(self,
+                                                              controller):
+        """Regression (Section 4.2): after the last line is copied the
+        request sits one pump with its completion bit set and the mapping
+        update pending; a foreground write in that window must reach the
+        new DSN through the *live* access path."""
+        force_consolidation(controller)
+        engine = controller.migration
+        request = None
+        for channel in range(controller.geometry.channels):
+            if engine._queues[channel]:
+                request = engine._queues[channel][0]
+                break
+        if request is None:
+            pytest.skip("this layout needed no live-segment migration")
+        channel = engine.channel_of(request.old_dsn)
+        engine.step_channel(channel, lines=request.lines_total)
+        assert request.completion
+        assert engine.request_for(request.old_dsn) is request
+        host_id, au_id, au_offset = controller.host_layout.unpack_hsn(
+            request.hsn)
+        hpa = controller.hpa_of(au_id, au_offset)
+        write = controller.access(host_id, hpa, is_write=True)
+        assert write.routed_to_new_dsn
+        assert write.dsn == request.new_dsn
+        assert engine.stats.foreground_redirects == 1
+        # The next pumps retire the request and update the mapping.
+        for _ in range(10_000):
+            if not controller.power_down.pending_power_downs():
+                break
+            controller.pump_migrations(now_s=3.0, lines=4096)
+        read = controller.access(host_id, hpa)
+        assert read.dsn == request.new_dsn
+        assert not read.routed_to_new_dsn
+        check(controller, balance_tolerance=10 ** 9)
+
+
 class TestSynchronousDefault:
     def test_default_mode_drains_inline(self):
         controller = DtlController(DtlConfig(

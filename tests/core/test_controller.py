@@ -76,6 +76,53 @@ class TestVmLifecycle:
         with pytest.raises(AllocationError):
             controller.allocate_vm(0, 5 * GIB)
 
+    def test_deallocate_unknown_handle_rejected(self, controller):
+        from repro.core.controller import VmHandle
+
+        controller.allocate_vm(0, 64 * MIB)
+        allocated = controller.allocator.allocated_count()
+        ghost = VmHandle(vm_id=999, host_id=0, au_ids=(0,),
+                         reserved_bytes=64 * MIB)
+        with pytest.raises(AllocationError):
+            controller.deallocate_vm(ghost)
+        # The failed deallocation must not disturb live state.
+        assert controller.allocator.allocated_count() == allocated
+        assert len(controller.live_vms) == 1
+
+
+class TestAllocationRollback:
+    @pytest.fixture
+    def controller(self):
+        # No power-down: its up-front capacity check would short-circuit
+        # the mid-loop exhaustion this test needs to reach.
+        return DtlController(DtlConfig(
+            geometry=DramGeometry(rank_bytes=256 * MIB), au_bytes=64 * MIB,
+            enable_power_down=False, enable_self_refresh=False))
+
+    def test_mid_loop_exhaustion_leaks_nothing(self, controller):
+        """Regression: a partial allocate_vm failure must unwind segments
+        and AU-table entries of the AUs that had already completed."""
+        # Host 1 fills all but one AU of device capacity; host 0 still has
+        # a full range of free AU IDs, so the failure happens mid-loop.
+        controller.allocate_vm(1, 127 * 64 * MIB)
+        allocated_before = controller.allocator.allocated_count()
+        aus_before = controller.tables.au_ids(0)
+        free_ids_before = len(controller._free_aus(0))
+        with pytest.raises(AllocationError):
+            controller.allocate_vm(0, 128 * MIB)  # 2 AUs, only 1 fits
+        assert controller.allocator.allocated_count() == allocated_before
+        assert controller.tables.au_ids(0) == aus_before
+        assert len(controller._free_aus(0)) == free_ids_before
+        # The surviving capacity is still allocatable afterwards.
+        vm = controller.allocate_vm(0, 64 * MIB)
+        assert vm.reserved_bytes == 64 * MIB
+
+    def test_failed_allocation_leaves_no_live_vm(self, controller):
+        controller.allocate_vm(1, 127 * 64 * MIB)
+        with pytest.raises(AllocationError):
+            controller.allocate_vm(0, 192 * MIB)
+        assert [vm.host_id for vm in controller.live_vms] == [1]
+
 
 class TestPowerIntegration:
     def test_deallocation_powers_down(self, controller):

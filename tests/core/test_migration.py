@@ -70,11 +70,36 @@ class TestProgress:
     def test_completion_fires_callback(self, geometry, layout):
         completed = []
         engine = MigrationEngine(geometry, on_complete=completed.append)
-        engine.submit(7, dsn_at(layout, 0, 0, 0), dsn_at(layout, 0, 1, 0))
+        request = engine.submit(7, dsn_at(layout, 0, 0, 0),
+                                dsn_at(layout, 0, 1, 0))
         engine.step_channel(0, lines=engine.lines_per_segment)
+        # Copy finished: completion bit set, mapping update still pending
+        # (Section 4.2 window).  Retirement happens on the next step.
+        assert request.completion
+        assert not completed
+        engine.step_channel(0, lines=1)
         assert len(completed) == 1
         assert completed[0].hsn == 7
         assert completed[0].completion
+
+    def test_completion_window_routes_writes_to_new_dsn(self, geometry,
+                                                        layout):
+        """Regression: the completion->retirement window must be reachable
+        in the live path (not only by hand-setting the completion bit)."""
+        completed = []
+        engine = MigrationEngine(geometry, on_complete=completed.append)
+        src = dsn_at(layout, 0, 0, 0)
+        dst = dsn_at(layout, 0, 1, 0)
+        engine.submit(7, src, dst)
+        engine.step_channel(0, lines=engine.lines_per_segment)
+        # A foreground write arriving in the window goes to the new copy.
+        assert engine.on_foreground_write(src, 3) is WriteRouting.NEW_DSN
+        assert engine.stats.foreground_redirects == 1
+        assert not completed
+        engine.step_channel(0, lines=1)
+        assert len(completed) == 1
+        # After retirement the old DSN no longer matches any request.
+        assert engine.on_foreground_write(src, 3) is WriteRouting.OLD_DSN
 
     def test_drain_completes_everything(self, engine, layout):
         for index in range(3):
@@ -161,6 +186,49 @@ class TestWriteConflictProtocol:
         engine.drain()
         assert request.completion
         assert engine.stats.segments_migrated == 1
+
+
+class TestAbortRequeue:
+    """Requeue behaviour when retries exceed ``max_retries`` (Section 4.2),
+    for both an in-flight and a still-queued request."""
+
+    def test_requeue_while_inflight_clears_register(self, engine, layout):
+        src = dsn_at(layout, 0, 0, 0)
+        request = engine.submit(1, src, dsn_at(layout, 0, 1, 0))
+        engine.step_channel(0, lines=10)  # now in-flight
+        request.retries = engine.max_retries
+        engine.on_foreground_write(src, 5)  # abort pushes past the limit
+        assert engine._inflight[0] is None
+        assert engine._queues[0][-1] is request
+        assert request.retries == 0
+        assert request.requeues == 1
+        assert engine.stats.requeues == 1
+        assert engine.drain() == 1
+
+    def test_requeue_while_queued_moves_to_tail_once(self, engine, layout):
+        first = engine.submit(1, dsn_at(layout, 0, 0, 0),
+                              dsn_at(layout, 0, 1, 0))
+        second = engine.submit(2, dsn_at(layout, 0, 0, 1),
+                               dsn_at(layout, 0, 1, 1))
+        third = engine.submit(3, dsn_at(layout, 0, 0, 2),
+                              dsn_at(layout, 0, 1, 2))
+        engine.step_channel(0, lines=10)  # first becomes in-flight
+        second.retries = engine.max_retries
+        engine._abort(second)
+        # Removed from its queue position and re-appended exactly once.
+        assert list(engine._queues[0]) == [third, second]
+        assert engine._inflight[0] is first
+        assert second.requeues == 1
+        assert second.retries == 0
+        assert engine.drain() == 3
+
+    def test_retries_below_limit_keep_request_in_place(self, engine, layout):
+        src = dsn_at(layout, 0, 0, 0)
+        request = engine.submit(1, src, dsn_at(layout, 0, 1, 0))
+        engine.step_channel(0, lines=10)
+        engine.on_foreground_write(src, 5)  # first abort: retries=1
+        assert engine._inflight[0] is request
+        assert engine.stats.requeues == 0
 
 
 class TestCostModel:

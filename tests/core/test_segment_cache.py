@@ -150,6 +150,17 @@ class TestTwoLevel:
         assert smc.hit_latency_ns(l2) == pytest.approx(
             smc.config.l1_hit_ns + smc.config.l2_hit_ns)
 
+    def test_full_miss_latency_is_probe_cost_only(self, smc):
+        """Regression: the full-miss branch is explicit and charges the two
+        probe latencies, never the table-walk penalty (that belongs to the
+        translation engine)."""
+        miss = smc.lookup(99)
+        assert miss.full_miss
+        assert smc.hit_latency_ns(miss) == pytest.approx(
+            smc.config.miss_probe_ns)
+        assert smc.config.miss_probe_ns == pytest.approx(
+            smc.config.l1_hit_ns + smc.config.l2_hit_ns)
+
     @given(st.lists(st.integers(0, 50), min_size=1, max_size=200))
     def test_lookup_after_fill_always_hits(self, keys):
         """An immediately repeated lookup never misses (LRU keeps MRU)."""
@@ -161,3 +172,58 @@ class TestTwoLevel:
             result = smc.lookup(key)
             assert result.dsn == key * 10
             assert result.l1_hit
+
+
+class TestInclusion:
+    def test_l2_eviction_back_invalidates_l1(self):
+        # 2 sets x 2 ways: even HSNs all land in set 0.
+        smc = SegmentMappingCache(SegmentCacheConfig(l1_entries=4,
+                                                     l2_entries=4,
+                                                     l2_ways=2))
+        smc.fill(0, 10)
+        smc.fill(2, 12)
+        smc.fill(4, 14)  # evicts HSN 0 from L2 set 0
+        assert 0 not in smc.l2
+        assert 0 not in smc.l1, "L1 entry outlived its L2 copy"
+        assert smc.back_invalidations == 1
+        assert smc.check_inclusion() == []
+
+    def test_inclusion_holds_over_long_walk(self):
+        """Regression (Table 3 geometry): walk more HSNs than L2 holds
+        while keeping one entry hot in L1 *without* touching L2 (L1 hits
+        never refresh L2's LRU), so its L2 copy ages out.  Every L1 entry
+        must still be present in L2 afterwards."""
+        smc = SegmentMappingCache()
+        hot = 0
+        smc.fill(hot, 1234)
+        for hsn in range(1, 1500):
+            smc.fill(hsn, hsn + 10)
+            smc.lookup(hot)
+        assert smc.back_invalidations >= 1
+        assert smc.check_inclusion() == []
+        assert set(smc.l1.hsns()) <= set(smc.l2.hsns())
+
+    def test_promotion_cannot_break_inclusion(self):
+        smc = SegmentMappingCache(SegmentCacheConfig(l1_entries=2,
+                                                     l2_entries=8,
+                                                     l2_ways=2))
+        for hsn in range(6):
+            smc.fill(hsn, hsn * 10)
+        for hsn in range(6):
+            smc.lookup(hsn)  # promotions churn L1
+        assert smc.check_inclusion() == []
+
+
+class TestRegistryBackedStats:
+    def test_shared_registry_sees_cache_counters(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        smc = SegmentMappingCache(registry=registry)
+        smc.fill(1, 10)
+        smc.lookup(1)
+        smc.lookup(99)
+        counters = registry.counter_values()
+        assert counters["smc.l1.hits"] == smc.l1.stats.hits == 1
+        assert counters["smc.l1.misses"] == smc.l1.stats.misses == 1
+        assert counters["smc.l2.misses"] == smc.l2.stats.misses == 1

@@ -48,6 +48,20 @@ class TestLatencyAccounting:
         assert engine.translation_count == 2
         assert engine.mean_observed_latency_ns() > 0
 
+    def test_table_walk_probe_cycles_not_double_counted(self, engine):
+        """Regression: a full miss charges the SMC probes once (via
+        ``miss_probe_ns``) plus the walk penalty once — nothing twice."""
+        hsn = engine.layout.pack_hsn(0, 0, 2)
+        _, latency, l1, l2 = engine.translate_hsn(hsn)
+        assert not l1 and not l2
+        assert latency == pytest.approx(
+            engine.smc.config.miss_probe_ns + engine.miss_penalty_ns)
+        assert engine.total_latency_ns == pytest.approx(latency)
+        assert engine.table_walks == 1
+        # The L2-hit path must stay strictly cheaper than a full miss.
+        assert engine.smc.config.miss_probe_ns + engine.miss_penalty_ns \
+            > engine.smc.config.l1_hit_ns + engine.smc.config.l2_hit_ns
+
 
 class TestTranslateFullAddress:
     def test_translation_fields(self, engine):

@@ -66,6 +66,33 @@ class TestSimCommands:
         assert first != second
 
 
+class TestStatsCommand:
+    def test_stats_table(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry counters" in out
+        assert "smc.l1.hits" in out
+        assert "Per-rank residency" in out
+
+    def test_stats_json_is_parseable(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        # SMC hit ratios, migration counters, per-rank residency.
+        assert 0.0 <= data["gauges"]["smc.l1.hit_ratio"] <= 1.0
+        assert "migration.segments_migrated" in data["counters"]
+        assert "ch0r0" in data["detail"]["rank_residency_s"]
+        assert data["counters"]["dtl.accesses"] > 0
+
+    def test_stats_records(self, capsys):
+        from repro.cli import cmd_stats
+
+        args = build_parser().parse_args(["stats"])
+        records = cmd_stats(args)
+        assert records[0].experiment == "stats"
+        assert records[0].metrics["dtl.accesses"] > 0
+        assert "smc.l1.hit_ratio" in records[0].metrics
+
+
 class TestPlotFlag:
     def test_fig1_plot(self, capsys):
         from repro.cli import main

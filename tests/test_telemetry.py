@@ -1,0 +1,261 @@
+"""Tests for the telemetry subsystem and its integration with the DTL.
+
+Covers the registry primitives (counters, gauges, histograms), the event
+trace ring buffer, snapshot export, and — most importantly — that the
+registry-backed counters always agree with the legacy stats views the
+subsystems still expose.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import DtlConfig
+from repro.core.controller import DtlController
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigurationError
+from repro.telemetry import (DEFAULT_TRACE_CAPACITY, EventKind, EventTrace,
+                             Histogram, MetricsRegistry, Snapshot)
+from repro.units import GIB, MIB
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("a.b") is counter
+        assert registry.counter_values() == {"a.b": 4}
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(2.5)
+        registry.gauge("g").set(1.0)
+        assert registry.gauge_values() == {"g": 1.0}
+
+    def test_cross_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_values_are_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        assert list(registry.counter_values()) == ["a", "z"]
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        hist = Histogram("lat", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        data = hist.to_dict()
+        assert data["count"] == 4
+        assert data["buckets"] == {"le_1": 2, "le_10": 1, "overflow": 1}
+        assert data["mean"] == pytest.approx(26.625)
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", bounds=(10.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("empty", bounds=())
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestEventTrace:
+    def test_record_and_filter(self):
+        trace = EventTrace()
+        trace.record(EventKind.ACCESS, hsn=1)
+        trace.record(EventKind.SMC_FILL, hsn=1, dsn=10)
+        trace.record(EventKind.ACCESS, hsn=2)
+        assert len(trace) == 3
+        assert len(trace.events(EventKind.ACCESS)) == 2
+        assert trace.events(EventKind.SMC_FILL)[0].data["dsn"] == 10
+
+    def test_ring_buffer_drops_oldest(self):
+        trace = EventTrace(capacity=4)
+        for index in range(10):
+            trace.record(EventKind.ACCESS, hsn=index)
+        assert len(trace) == 4
+        assert trace.recorded == 10
+        assert trace.dropped == 6
+        assert [event.data["hsn"] for event in trace] == [6, 7, 8, 9]
+
+    def test_counts_survive_drops_and_clear(self):
+        trace = EventTrace(capacity=2)
+        for _ in range(5):
+            trace.record(EventKind.MIGRATION_ABORT)
+        trace.clear()
+        assert trace.counts_by_kind() == {"migration_abort": 5}
+        assert len(trace) == 0
+
+    def test_default_capacity(self):
+        assert EventTrace().capacity == DEFAULT_TRACE_CAPACITY
+
+
+class TestSnapshot:
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.snapshot(events={"access": 7},
+                                     detail={"extra": [1, 2]})
+        data = json.loads(snapshot.to_json())
+        assert data["counters"] == {"c": 2}
+        assert data["gauges"] == {"g": 0.5}
+        assert data["histograms"]["h"]["count"] == 1
+        assert data["events"] == {"access": 7}
+        assert data["detail"] == {"extra": [1, 2]}
+
+    def test_empty_snapshot(self):
+        snapshot = Snapshot()
+        assert snapshot.to_dict() == {"counters": {}, "gauges": {},
+                                      "histograms": {}, "events": {},
+                                      "detail": {}}
+
+
+@pytest.fixture
+def controller():
+    return DtlController(DtlConfig(
+        geometry=DramGeometry(rank_bytes=256 * MIB), au_bytes=64 * MIB))
+
+
+def exercise(controller):
+    """Allocate, touch memory, deallocate: generates telemetry."""
+    vm_a = controller.allocate_vm(0, 1 * GIB, now_s=0.0)
+    vm_b = controller.allocate_vm(1, 256 * MIB, now_s=1.0)
+    for au_id in vm_a.au_ids[:4]:
+        for offset in range(8):
+            controller.access(0, controller.hpa_of(au_id, offset),
+                              is_write=(offset % 2 == 0))
+    for offset in range(8):
+        controller.access(1, controller.hpa_of(vm_b.au_ids[0], offset))
+    controller.deallocate_vm(vm_a, now_s=50.0)
+    controller.end_window()
+    return vm_b
+
+
+class TestControllerIntegration:
+    """The registry is the single source of truth: every legacy stats
+    view must agree with the counters it is backed by."""
+
+    def test_smc_counters_agree_with_stats_views(self, controller):
+        exercise(controller)
+        counters = controller.metrics.counter_values()
+        smc = controller.translation.smc
+        assert counters["smc.l1.hits"] == smc.l1.stats.hits
+        assert counters["smc.l1.misses"] == smc.l1.stats.misses
+        assert counters["smc.l2.hits"] == smc.l2.stats.hits
+        assert counters["smc.l2.misses"] == smc.l2.stats.misses
+        assert counters["smc.l1.invalidations"] == smc.l1.stats.invalidations
+        assert smc.l1.stats.hits + smc.l1.stats.misses > 0
+
+    def test_migration_counters_agree_with_stats_view(self, controller):
+        exercise(controller)
+        counters = controller.metrics.counter_values()
+        stats = controller.migration.stats
+        assert counters["migration.segments_migrated"] == \
+            stats.segments_migrated
+        assert counters["migration.lines_copied"] == stats.lines_copied
+        assert counters["migration.aborts"] == stats.aborts
+        assert counters["migration.requeues"] == stats.requeues
+
+    def test_translation_counters_agree_with_views(self, controller):
+        exercise(controller)
+        counters = controller.metrics.counter_values()
+        assert counters["translation.count"] == \
+            controller.translation.translation_count
+        assert counters["translation.latency_total_ns"] == pytest.approx(
+            controller.translation.total_latency_ns)
+        assert counters["dtl.accesses"] == controller.access_count
+
+    def test_access_histogram_counts_every_access(self, controller):
+        exercise(controller)
+        hist = controller.metrics.histogram_values()["dtl.access_latency_ns"]
+        assert hist["count"] == controller.access_count
+
+    def test_trace_records_datapath_events(self, controller):
+        exercise(controller)
+        events = controller.trace.counts_by_kind()
+        assert events["access"] == controller.access_count
+        assert events["smc_fill"] > 0
+        assert events["window_close"] == 1
+        assert "power_transition" in events  # deallocation -> MPSM
+
+    def test_snapshot_contains_required_sections(self, controller):
+        exercise(controller)
+        snapshot = controller.telemetry_snapshot(now_s=100.0)
+        data = snapshot.to_dict()
+        # SMC hit ratios.
+        assert 0.0 <= data["gauges"]["smc.l1.hit_ratio"] <= 1.0
+        assert 0.0 <= data["gauges"]["smc.l2.hit_ratio"] <= 1.0
+        # Migration counters.
+        assert "migration.segments_migrated" in data["counters"]
+        # Per-rank power-state residency, plus aggregates.
+        residency = data["detail"]["rank_residency_s"]
+        geometry = controller.geometry
+        assert len(residency) == geometry.channels \
+            * geometry.ranks_per_channel
+        assert "ch0r0" in residency
+        assert data["gauges"]["dram.rank.ch0r0.residency_s.standby"] >= 0.0
+        total = sum(sum(states.values()) for states in residency.values())
+        assert total == pytest.approx(100.0 * len(residency))
+
+    def test_snapshot_is_json_serialisable(self, controller):
+        exercise(controller)
+        text = controller.telemetry_snapshot(now_s=100.0).to_json(indent=2)
+        assert json.loads(text)["counters"]["dtl.accesses"] \
+            == controller.access_count
+
+    def test_power_transitions_counted(self, controller):
+        exercise(controller)
+        counters = controller.metrics.counter_values()
+        assert counters.get("dram.power_transitions", 0) > 0
+        per_state = sum(value for name, value in counters.items()
+                        if name.startswith("dram.power_transitions.to_"))
+        assert per_state == counters["dram.power_transitions"]
+
+
+class TestSimulationSurface:
+    def test_powerdown_result_carries_telemetry(self):
+        from repro.host.scheduler import SchedulerConfig
+        from repro.sim.powerdown_sim import (PowerDownSimConfig,
+                                             PowerDownSimulator)
+        from repro.sim.results import flatten_telemetry
+        from repro.workloads.azure import AzureTraceConfig
+
+        duration = 1800.0
+        config = PowerDownSimConfig(
+            azure=AzureTraceConfig(num_vms=20, duration_s=duration),
+            scheduler=SchedulerConfig(duration_s=duration))
+        result = PowerDownSimulator(config).run()
+        assert result.telemetry["counters"]
+        assert len(result.window_snapshots) == len(result.intervals)
+        assert result.window_snapshots[-1]["time_s"] == duration
+        # Per-window counters are monotonic prefixes of the final state.
+        final = result.telemetry["counters"]
+        for snapshot in result.window_snapshots:
+            for name, value in snapshot["counters"].items():
+                assert value <= final.get(name, 0) or value == 0
+        flat = flatten_telemetry(result.telemetry)
+        assert flat["migration.segments_migrated"] \
+            == final["migration.segments_migrated"]
+        assert "event.window_close" in flat
+
+    def test_fleet_telemetry_totals_sum_nodes(self):
+        from repro.sim.fleet import quick_fleet
+
+        fleet = quick_fleet(num_nodes=2, duration_s=1800.0, num_vms=15)
+        totals = fleet.telemetry_totals()
+        assert totals
+        expected = sum(node.dtl.telemetry["counters"].get(
+            "migration.segments_migrated", 0.0) for node in fleet.nodes)
+        assert totals["migration.segments_migrated"] == expected
