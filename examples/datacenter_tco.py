@@ -5,17 +5,27 @@ pool nodes, then pushes the fleet-level DRAM saving through the TCO
 model the paper's introduction motivates (DRAM ~38 % of server power).
 
 Run:  python examples/datacenter_tco.py [num_nodes]
+
+``REPRO_EXEC_WORKERS=N`` (or an explicit ``ExecConfig``) runs the nodes
+on a process pool; the result is bit-identical either way.
 """
 
 import sys
 
 from repro.analysis.tco import TcoModel
-from repro.sim.fleet import quick_fleet
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.fleet import FleetConfig, FleetSimulator
+from repro.sim.powerdown_sim import PowerDownSimConfig
+from repro.workloads.azure import AzureTraceConfig
 
 def main() -> None:
     num_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     print(f"Simulating {num_nodes} pool nodes (1-hour schedules)...\n")
-    fleet = quick_fleet(num_nodes=num_nodes)
+    node = PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=60, duration_s=3600.0),
+        scheduler=SchedulerConfig(duration_s=3600.0))
+    fleet = FleetSimulator(FleetConfig(num_nodes=num_nodes,
+                                       node=node)).run()
 
     print(f"{'node':<8s} {'DRAM savings':>13s} {'mean ranks/ch':>14s}")
     for row in fleet.summary_rows():

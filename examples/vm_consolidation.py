@@ -13,9 +13,9 @@ Run:  python examples/vm_consolidation.py            (full 6 h schedule)
 import sys
 
 from repro.host.scheduler import SchedulerConfig
+from repro.sim.experiments import run_experiment
 from repro.sim.powerdown_sim import (PowerDownSimConfig, background_power_savings,
-                                     energy_savings, power_savings,
-                                     run_comparison)
+                                     energy_savings, power_savings)
 from repro.units import GIB
 from repro.workloads.azure import AzureTraceConfig
 
@@ -30,7 +30,8 @@ def main() -> None:
 
     print("Scheduling the VM trace through the DTL (this replays every "
           "allocation, migration, and power transition)...")
-    baseline, dtl = run_comparison(config)
+    pair = run_experiment("powerdown_comparison", config)
+    baseline, dtl = pair.baseline, pair.dtl
 
     print(f"\n{'time':>6s} {'VMs':>4s} {'resv GiB':>9s} {'ranks/ch':>9s} "
           f"{'power RSU':>10s} {'migration':>10s}")

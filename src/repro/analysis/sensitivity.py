@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dram.power import STATE_POWER, PowerState
+from repro.exec import ExecConfig, TaskSpec, run_tasks
 from repro.sim.powerdown_sim import PowerDownResult
 
 
@@ -73,22 +74,38 @@ def _reference_active_coefficient() -> float:
         "active_power_per_gbs"].default
 
 
+def _grid_point(baseline: PowerDownResult, dtl: PowerDownResult,
+                fixed: float, coefficient: float) -> SensitivityPoint:
+    """One grid cell (module-level: picklable for the executor)."""
+    return SensitivityPoint(
+        channel_fixed_overhead=fixed,
+        active_power_per_gbs=coefficient,
+        energy_savings=recompute_savings(baseline, dtl, fixed, coefficient))
+
+
 def sensitivity_grid(baseline: PowerDownResult, dtl: PowerDownResult,
                      fixed_overheads: tuple[float, ...] = (
                          0.0, 1.2, 2.4, 3.6, 4.8),
                      active_coefficients: tuple[float, ...] = (
                          0.05, 0.125, 0.25, 0.5),
+                     exec_config: ExecConfig | None = None,
                      ) -> list[SensitivityPoint]:
-    """Savings across the constants grid."""
-    points = []
-    for fixed in fixed_overheads:
-        for coefficient in active_coefficients:
-            points.append(SensitivityPoint(
-                channel_fixed_overhead=fixed,
-                active_power_per_gbs=coefficient,
-                energy_savings=recompute_savings(baseline, dtl, fixed,
-                                                 coefficient)))
-    return points
+    """Savings across the constants grid.
+
+    The cells are independent re-evaluations of the recorded intervals,
+    so they fan out through :mod:`repro.exec` (serial unless the exec
+    config or ``REPRO_EXEC_WORKERS`` asks for workers); cell order is
+    row-major over ``(fixed_overheads, active_coefficients)`` either
+    way.
+    """
+    pairs = [(fixed, coefficient) for fixed in fixed_overheads
+             for coefficient in active_coefficients]
+    outcomes = run_tasks(
+        [TaskSpec(fn=_grid_point, args=(baseline, dtl, fixed, coefficient),
+                  label=f"sensitivity-{fixed}-{coefficient}")
+         for fixed, coefficient in pairs],
+        config=exec_config)
+    return [outcome.unwrap() for outcome in outcomes]
 
 
 def savings_range(points: list[SensitivityPoint]) -> tuple[float, float]:

@@ -9,46 +9,79 @@ Usage::
     python -m repro fig14 [--point 208gb] [--duration 60]
     python -m repro fig15 [--duration 45]
     python -m repro fleet [--quick]     # multi-node fleet + TCO roll-up
+    python -m repro exp --list          # unified experiment registry
     python -m repro tables              # Tables 5 and 6 + Section 6.1
     python -m repro stats [--json]      # telemetry snapshot of a short run
     python -m repro all [--quick]       # everything, JSON to --output
 
 Each subcommand prints a paper-vs-measured table; ``--output results.json``
 additionally writes machine-readable records.
+
+The heavy simulations dispatch through the unified experiment registry
+(:mod:`repro.sim.experiments`) and the parallel executor
+(:mod:`repro.exec`): ``--workers N`` (or ``REPRO_EXEC_WORKERS``) fans
+multi-point commands out over processes, and a per-invocation result
+cache keeps ``repro all`` from simulating the same capacity point twice
+(fig14 and fig15 share their self-refresh runs).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.analysis import (AmatModel, CONTROLLER_384GB, CONTROLLER_4TB,
                             MODEL_384GB, MODEL_4TB)
+from repro.exec import ExecConfig, ResultCache
 from repro.host.scheduler import SchedulerConfig, VmScheduler
 from repro.sim.combined import figure15_summary
-from repro.sim.fleet import quick_fleet
+from repro.sim.experiments import EXPERIMENTS, run_experiments
+from repro.sim.fleet import FleetConfig, FleetSimulator
 from repro.sim.figures import (ascii_chart, figure1_series,
                                figure12a_series, figure14_series)
 from repro.sim.perf_model import PerformanceModel
 from repro.sim.powerdown_sim import (PowerDownSimConfig,
                                      background_power_savings, energy_savings,
-                                     power_savings, run_comparison)
+                                     power_savings)
 from repro.sim.results import (ExperimentRecord, flatten_powerdown,
                                flatten_selfrefresh, flatten_telemetry,
                                render_table, save_records)
-from repro.sim.selfrefresh_sim import (PAPER_CAPACITY_POINTS,
-                                       SelfRefreshSimulator, config_for_point)
+from repro.sim.selfrefresh_sim import PAPER_CAPACITY_POINTS, config_for_point
 from repro.units import GIB, format_bytes
 from repro.workloads.azure import AzureTraceConfig, generate_vm_trace
 from repro.workloads.validation import validate_workloads
+
+#: Results computed earlier in this invocation (e.g. ``repro all``
+#: warming every heavy simulation in parallel before the subcommands
+#: format them; fig15 reusing fig14's self-refresh runs).
+_SESSION_CACHE = ResultCache()
 
 
 def _print(title: str, rows: list[tuple], header: tuple = ()) -> None:
     print(f"\n=== {title} ===")
     print(render_table(rows, header))
+
+
+def _exec_config(args: argparse.Namespace) -> ExecConfig:
+    """The executor config the CLI flags ask for."""
+    return ExecConfig(workers=getattr(args, "workers", None))
+
+
+def _run_experiments(requests: list[tuple[str, Any]],
+                     args: argparse.Namespace) -> list[Any]:
+    """Registry dispatch with the session cache; raises on failure."""
+    outcomes = run_experiments(requests, exec_config=_exec_config(args),
+                               cache=_SESSION_CACHE)
+    return [outcome.unwrap() for outcome in outcomes]
+
+
+def _run_experiment(name: str, config: Any,
+                    args: argparse.Namespace) -> Any:
+    """One cached experiment run."""
+    return _run_experiments([(name, config)], args)[0]
 
 
 # -- subcommands -----------------------------------------------------------------
@@ -99,16 +132,29 @@ def cmd_fig5(args: argparse.Namespace) -> list[ExperimentRecord]:
                              {"local": 0.017, "cxl": 0.014})]
 
 
-def cmd_fig12(args: argparse.Namespace) -> list[ExperimentRecord]:
+def _fig12_config(args: argparse.Namespace) -> PowerDownSimConfig:
     if args.quick:
-        config = PowerDownSimConfig(
+        return PowerDownSimConfig(
             azure=AzureTraceConfig(num_vms=80, duration_s=3600.0),
             scheduler=SchedulerConfig(duration_s=3600.0), seed=args.seed)
-    else:
-        config = PowerDownSimConfig(seed=args.seed)
+    return PowerDownSimConfig(seed=args.seed)
+
+
+def _fig14_points(args: argparse.Namespace) -> list[str]:
+    return [args.point] if args.point else sorted(PAPER_CAPACITY_POINTS)
+
+
+def _fig14_config(point: str, args: argparse.Namespace):
+    return config_for_point(point, seed=args.seed,
+                            duration_s=args.duration)
+
+
+def cmd_fig12(args: argparse.Namespace) -> list[ExperimentRecord]:
+    config = _fig12_config(args)
     print("Running the VM-schedule power-down simulation "
           f"({'1h quick' if args.quick else 'full 6h'})...")
-    baseline, dtl = run_comparison(config)
+    pair = _run_experiment("powerdown_comparison", config, args)
+    baseline, dtl = pair.baseline, pair.dtl
     _print("Figures 12-13: rank-level power-down",
            [("energy savings", f"{energy_savings(baseline, dtl):.1%}",
              "31.6%"),
@@ -136,17 +182,18 @@ def cmd_fig12(args: argparse.Namespace) -> list[ExperimentRecord]:
 
 
 def cmd_fig14(args: argparse.Namespace) -> list[ExperimentRecord]:
-    points = ([args.point] if args.point
-              else sorted(PAPER_CAPACITY_POINTS))
-    records = []
-    rows = []
+    points = _fig14_points(args)
     paper = {"208gb": "20.3%", "224gb": "mixed", "240gb": "fails",
              "304gb": "14.9%"}
-    for point in points:
-        print(f"Simulating {point} ({args.duration:.0f}s replay)...")
-        config = config_for_point(point, seed=args.seed,
-                                  duration_s=args.duration)
-        result = SelfRefreshSimulator(config).run()
+    workers = _exec_config(args).resolved_workers()
+    print(f"Simulating {len(points)} capacity point(s) "
+          f"({args.duration:.0f}s replay, {workers} worker(s))...")
+    results = _run_experiments(
+        [("selfrefresh", _fig14_config(point, args)) for point in points],
+        args)
+    records = []
+    rows = []
+    for point, result in zip(points, results):
         warmup = (f"{result.warmup_s:.1f}s" if result.ever_stable
                   else "never")
         rows.append((point, f"{result.stable_savings:.1%}", warmup,
@@ -164,7 +211,9 @@ def cmd_fig14(args: argparse.Namespace) -> list[ExperimentRecord]:
 
 def cmd_fig15(args: argparse.Namespace) -> list[ExperimentRecord]:
     print("Computing the combined Figure 15 summary...")
-    summary = figure15_summary(seed=args.seed, duration_s=args.duration)
+    summary = figure15_summary(
+        seed=args.seed, duration_s=args.duration,
+        run=lambda config: _run_experiment("selfrefresh", config, args))
     rows = [(entry.point, f"{entry.powerdown_savings:.1%}",
              f"{entry.selfrefresh_additional:.1%}",
              f"{entry.total_savings:.1%}") for entry in summary]
@@ -178,10 +227,20 @@ def cmd_fig15(args: argparse.Namespace) -> list[ExperimentRecord]:
          "total": entry.total_savings}) for entry in summary]
 
 
-def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
+def _fleet_config(args: argparse.Namespace) -> FleetConfig:
     nodes = 2 if args.quick else 6
-    print(f"Simulating a {nodes}-node fleet (1-hour schedules each)...")
-    fleet = quick_fleet(num_nodes=nodes, base_seed=args.seed)
+    node = PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=60, duration_s=3600.0),
+        scheduler=SchedulerConfig(duration_s=3600.0))
+    return FleetConfig(num_nodes=nodes, node=node, base_seed=args.seed)
+
+
+def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
+    config = _fleet_config(args)
+    workers = _exec_config(args).resolved_workers()
+    print(f"Simulating a {config.num_nodes}-node fleet "
+          f"(1-hour schedules each, {workers} worker(s))...")
+    fleet = FleetSimulator(config, exec_config=_exec_config(args)).run()
     rows = fleet.summary_rows()
     _print("Fleet-level DRAM savings", rows,
            header=("node", "savings", "mean ranks/ch"))
@@ -192,10 +251,7 @@ def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
         ("facility power", f"{tco['fleet_power_saved_kw']:.0f} kW", ""),
         ("annual cost", f"${tco['annual_cost_saved_usd']:,.0f}", ""),
     ], header=("metric", "value", "note"))
-    return [ExperimentRecord("fleet", {
-        "fleet_savings": fleet.fleet_savings,
-        "per_node": fleet.per_node_savings.tolist(),
-        **{f"tco_{key}": value for key, value in tco.items()}})]
+    return [fleet.to_record()]
 
 
 def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
@@ -299,7 +355,40 @@ def cmd_validate(args: argparse.Namespace) -> list[ExperimentRecord]:
         "problems": problems})]
 
 
+def cmd_exp(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Run a registered experiment by name (on its smoke-test config)."""
+    if args.list or not args.name:
+        rows = [(spec.name, spec.config_type.__name__, spec.summary)
+                for spec in EXPERIMENTS.values()]
+        _print("Experiment registry", sorted(rows),
+               header=("name", "config", "summary"))
+        return []
+    spec = EXPERIMENTS.get(args.name)
+    if spec is None:
+        raise SystemExit(f"unknown experiment {args.name!r}; "
+                         f"choices: {sorted(EXPERIMENTS)}")
+    print(f"Running {spec.name} on its smoke-test config...")
+    result = _run_experiment(spec.name, spec.tiny_config(), args)
+    record = result.to_record()
+    rows = [(key, f"{value:.6g}" if isinstance(value, float) else str(value))
+            for key, value in sorted(record.metrics.items())]
+    _print(f"Experiment: {spec.name}", rows, header=("metric", "value"))
+    return [record]
+
+
 def cmd_all(args: argparse.Namespace) -> list[ExperimentRecord]:
+    # Warm the session cache: every heavy simulation the subcommands
+    # below will ask for, fanned out in one executor batch.  The
+    # subcommands then format cache hits; fig15 additionally reuses
+    # fig14's self-refresh runs outright.
+    heavy: list[tuple[str, Any]] = [
+        ("powerdown_comparison", _fig12_config(args))]
+    heavy.extend(("selfrefresh", _fig14_config(point, args))
+                 for point in _fig14_points(args))
+    workers = _exec_config(args).resolved_workers()
+    print(f"Precomputing {len(heavy)} simulations ({workers} worker(s))...")
+    run_experiments(heavy, exec_config=_exec_config(args),
+                    cache=_SESSION_CACHE)  # failures resurface below
     records = []
     for command in (cmd_fig1, cmd_fig2, cmd_fig5, cmd_fig12, cmd_fig14,
                     cmd_fig15, cmd_tables, cmd_stats):
@@ -316,6 +405,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "fig14": cmd_fig14,
     "fig15": cmd_fig15,
     "fleet": cmd_fleet,
+    "exp": cmd_exp,
     "validate": cmd_validate,
     "tables": cmd_tables,
     "stats": cmd_stats,
@@ -341,6 +431,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig14/fig15 simulated seconds (default 60)")
     parser.add_argument("--plot", action="store_true",
                         help="render ASCII charts for timeseries figures")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="executor processes (default: "
+                             "REPRO_EXEC_WORKERS, else serial)")
+    parser.add_argument("--name", choices=sorted(EXPERIMENTS), default=None,
+                        help="experiment to run with 'exp'")
+    parser.add_argument("--list", action="store_true",
+                        help="list the experiment registry with 'exp'")
     parser.add_argument("--json", action="store_true",
                         help="emit the stats snapshot as raw JSON")
     parser.add_argument("--output", default=None,

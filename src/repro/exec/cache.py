@@ -1,0 +1,99 @@
+"""On-disk (and in-memory) cache of experiment results.
+
+Results are keyed by :func:`repro.exec.hashing.task_key` — a stable hash
+of the experiment name plus its whole config dataclass — so a cache hit
+is only possible for a bit-identical configuration.  Entries are pickled
+result objects; a corrupt or unreadable entry degrades to a miss, never
+an error.
+
+The default directory comes from ``REPRO_EXEC_CACHE_DIR``; when unset
+the cache is memory-only (it still deduplicates work within one
+process, e.g. across the ``repro all`` subcommands).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+_MISS = object()
+
+#: Environment variable naming the on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_EXEC_CACHE_DIR"
+
+
+class ResultCache:
+    """Two-level result store: a dict in front of an optional directory."""
+
+    def __init__(self, directory: str | Path | None = None):
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or None
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """Look up ``key``; returns ``(hit, value)``."""
+        if key in self._memory:
+            self.hits += 1
+            return True, self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                pass  # missing or corrupt entry -> miss
+            else:
+                self._memory[key] = value
+                self.hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (memory, then disk if enabled)."""
+        self._memory[key] = value
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so readers never see a partial pickle.
+        fd, temp_name = tempfile.mkstemp(dir=self.directory,
+                                         suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, self._path(key))
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk)."""
+        self._memory.clear()
+        if self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        known = set(self._memory)
+        if self.directory is not None and self.directory.is_dir():
+            known.update(path.stem for path in self.directory.glob("*.pkl"))
+        return len(known)
+
+
+__all__ = ["ResultCache", "CACHE_DIR_ENV"]

@@ -1,0 +1,324 @@
+"""Parallel experiment execution on a process pool.
+
+:func:`run_tasks` is the single entry point: it takes an ordered list of
+:class:`TaskSpec` (a picklable function plus arguments, optionally a
+cache key) and returns one :class:`TaskOutcome` per task, in submission
+order, regardless of completion order — so callers that require
+determinism (fleet fan-out, rank sweeps) get bit-identical results
+whether the batch ran serially or on workers.
+
+Execution model:
+
+* ``workers`` resolves from the :class:`ExecConfig`, falling back to the
+  ``REPRO_EXEC_WORKERS`` environment variable, falling back to 1.
+* ``workers <= 1`` (or a single pending task) runs everything in-process
+  — the serial path is the parallel path minus the pool, not a separate
+  code path for results.
+* Worker processes are marked via an initializer so nested ``run_tasks``
+  calls inside a worker (e.g. a fleet task whose nodes would themselves
+  fan out) degrade to serial instead of forking grandchild pools.
+* A task that raises is retried up to ``retries`` times; a task that
+  exceeds ``timeout_s`` is resubmitted (bounded by the same budget) and
+  finally reported as a timeout error.  The per-task clock starts when
+  the runner begins waiting on that task, so queueing behind earlier
+  tasks does not count against it.
+* If the pool cannot be created or breaks mid-batch (a worker died, the
+  platform lacks working process support), the unfinished tasks fall
+  back to serial execution.
+
+Accounting goes to a :class:`~repro.telemetry.registry.MetricsRegistry`
+(the module-level :data:`EXEC_METRICS` by default): per-task wall time
+as a histogram, plus counters for completions, failures, retries,
+timeouts, cache hits, and serial fallbacks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exec.cache import ResultCache
+from repro.telemetry import MetricsRegistry
+
+#: Environment variable giving the default worker count.
+WORKERS_ENV = "REPRO_EXEC_WORKERS"
+
+#: Set in worker processes so nested batches run serially.
+NESTED_ENV = "REPRO_EXEC_NESTED"
+
+#: Wall-time histogram bounds (seconds): a cache-warm no-op through a
+#: full six-hour schedule simulation.
+TASK_WALL_BUCKETS_S = (0.001, 0.01, 0.05, 0.25, 1.0, 5.0, 15.0, 60.0,
+                       300.0, 1800.0)
+
+#: Default registry receiving executor accounting.
+EXEC_METRICS = MetricsRegistry()
+
+
+def default_workers() -> int:
+    """Worker count from the environment (1 when unset or nested)."""
+    if os.environ.get(NESTED_ENV):
+        return 1
+    raw = os.environ.get(WORKERS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How a batch of tasks should execute.
+
+    Attributes:
+        workers: Process count; ``None`` defers to ``REPRO_EXEC_WORKERS``.
+        timeout_s: Per-task wall-clock budget on the parallel path
+            (``None`` = unlimited; the serial path cannot interrupt a
+            running task and ignores it).
+        retries: Extra attempts after a failure or timeout.
+        fallback_serial: Run leftover tasks in-process when the pool
+            cannot be created or breaks.
+    """
+
+    workers: int | None = None
+    timeout_s: float | None = None
+    retries: int = 1
+    fallback_serial: bool = True
+
+    def resolved_workers(self) -> int:
+        """The effective worker count for this config."""
+        if self.workers is None:
+            return default_workers()
+        return max(1, int(self.workers))
+
+
+@dataclass
+class TaskSpec:
+    """One unit of work: a picklable callable plus its arguments.
+
+    ``key`` (optional) makes the task cacheable: a
+    :class:`~repro.exec.cache.ResultCache` hit skips execution entirely.
+    On the parallel path ``fn`` and its arguments must be picklable —
+    module-level functions, not lambdas.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    key: str | None = None
+    label: str = ""
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task."""
+
+    label: str
+    value: Any = None
+    error: str | None = None
+    wall_time_s: float = 0.0
+    attempts: int = 0
+    from_cache: bool = False
+    worker_pid: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a value (run or cache)."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The task's value, or ``RuntimeError`` if it failed."""
+        if self.error is not None:
+            raise RuntimeError(f"task {self.label or '<unnamed>'} failed: "
+                               f"{self.error}")
+        return self.value
+
+
+class _Meter:
+    """None-safe facade over the metrics registry."""
+
+    def __init__(self, metrics: MetricsRegistry):
+        self.metrics = metrics
+
+    def count(self, name: str, amount: float = 1) -> None:
+        self.metrics.counter(f"exec.{name}").inc(amount)
+
+    def task_done(self, wall_s: float) -> None:
+        self.count("tasks.completed")
+        self.metrics.histogram(
+            "exec.task_wall_s", bounds=TASK_WALL_BUCKETS_S).observe(wall_s)
+        self.metrics.counter("exec.wall_time_s").inc(wall_s)
+
+
+def _worker_init() -> None:
+    """Mark the process so nested batches stay serial."""
+    os.environ[NESTED_ENV] = "1"
+
+
+def _invoke(fn: Callable[..., Any], args: tuple,
+            kwargs: dict) -> tuple[Any, float, int]:
+    """Run one task, timing it; executes in the worker (or in-process)."""
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start, os.getpid()
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_one_serial(task: TaskSpec, config: ExecConfig,
+                    meter: _Meter) -> TaskOutcome:
+    """In-process execution with the retry budget (no timeout)."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            value, wall_s, pid = _invoke(task.fn, task.args, task.kwargs)
+        except Exception as exc:
+            if attempts <= config.retries:
+                meter.count("tasks.retries")
+                continue
+            meter.count("tasks.failed")
+            return TaskOutcome(label=task.label, error=_describe_error(exc),
+                               attempts=attempts)
+        meter.task_done(wall_s)
+        return TaskOutcome(label=task.label, value=value, wall_time_s=wall_s,
+                           attempts=attempts, worker_pid=pid)
+
+
+def _run_pool(tasks: list[TaskSpec], pending: list[int],
+              outcomes: list[TaskOutcome | None], config: ExecConfig,
+              workers: int, meter: _Meter) -> list[int]:
+    """Run ``pending`` task indices on a pool; fill ``outcomes``.
+
+    Returns the indices that still need (serial) execution — empty on a
+    clean run, the unfinished tail when the pool broke.
+    """
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_worker_init)
+    except (OSError, ValueError, NotImplementedError):
+        meter.count("serial_fallbacks")
+        return pending if config.fallback_serial else _mark_failed(
+            tasks, pending, outcomes, meter, "process pool unavailable")
+    attempts = dict.fromkeys(pending, 1)
+    try:
+        futures = {index: executor.submit(_invoke, tasks[index].fn,
+                                          tasks[index].args,
+                                          tasks[index].kwargs)
+                   for index in pending}
+        for index in pending:
+            task = tasks[index]
+            while outcomes[index] is None:
+                try:
+                    value, wall_s, pid = futures[index].result(
+                        timeout=config.timeout_s)
+                except FutureTimeoutError:
+                    meter.count("tasks.timeouts")
+                    futures[index].cancel()
+                    if attempts[index] <= config.retries:
+                        attempts[index] += 1
+                        meter.count("tasks.retries")
+                        futures[index] = executor.submit(
+                            _invoke, task.fn, task.args, task.kwargs)
+                        continue
+                    meter.count("tasks.failed")
+                    outcomes[index] = TaskOutcome(
+                        label=task.label,
+                        error=(f"timeout after {config.timeout_s}s "
+                               f"({attempts[index]} attempts)"),
+                        attempts=attempts[index])
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    if attempts[index] <= config.retries:
+                        attempts[index] += 1
+                        meter.count("tasks.retries")
+                        futures[index] = executor.submit(
+                            _invoke, task.fn, task.args, task.kwargs)
+                        continue
+                    meter.count("tasks.failed")
+                    outcomes[index] = TaskOutcome(
+                        label=task.label, error=_describe_error(exc),
+                        attempts=attempts[index])
+                else:
+                    meter.task_done(wall_s)
+                    outcomes[index] = TaskOutcome(
+                        label=task.label, value=value, wall_time_s=wall_s,
+                        attempts=attempts[index], worker_pid=pid)
+    except BrokenProcessPool:
+        meter.count("serial_fallbacks")
+        leftovers = [index for index in pending if outcomes[index] is None]
+        if config.fallback_serial:
+            return leftovers
+        return _mark_failed(tasks, leftovers, outcomes, meter,
+                            "process pool broke")
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return []
+
+
+def _mark_failed(tasks: list[TaskSpec], indices: list[int],
+                 outcomes: list[TaskOutcome | None], meter: _Meter,
+                 reason: str) -> list[int]:
+    for index in indices:
+        meter.count("tasks.failed")
+        outcomes[index] = TaskOutcome(label=tasks[index].label, error=reason)
+    return []
+
+
+def run_tasks(tasks: list[TaskSpec], config: ExecConfig | None = None,
+              cache: ResultCache | None = None,
+              metrics: MetricsRegistry | None = None) -> list[TaskOutcome]:
+    """Execute ``tasks``; returns outcomes in submission order."""
+    config = config or ExecConfig()
+    meter = _Meter(metrics if metrics is not None else EXEC_METRICS)
+    workers = config.resolved_workers()
+    meter.metrics.gauge("exec.workers").set(workers)
+    batch_start = time.perf_counter()
+
+    outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+    pending: list[int] = []
+    for index, task in enumerate(tasks):
+        if cache is not None and task.key is not None:
+            hit, value = cache.get(task.key)
+            if hit:
+                meter.count("cache.hits")
+                outcomes[index] = TaskOutcome(label=task.label, value=value,
+                                              from_cache=True)
+                continue
+        pending.append(index)
+
+    if workers > 1 and len(pending) > 1:
+        pending = _run_pool(tasks, pending, outcomes, config, workers, meter)
+    for index in pending:
+        outcomes[index] = _run_one_serial(tasks[index], config, meter)
+
+    if cache is not None:
+        for index, outcome in enumerate(outcomes):
+            key = tasks[index].key
+            if key is not None and outcome.ok and not outcome.from_cache:
+                cache.put(key, outcome.value)
+    meter.metrics.gauge("exec.last_batch_wall_s").set(
+        time.perf_counter() - batch_start)
+    return outcomes  # type: ignore[return-value]
+
+
+__all__ = [
+    "ExecConfig",
+    "TaskSpec",
+    "TaskOutcome",
+    "run_tasks",
+    "default_workers",
+    "EXEC_METRICS",
+    "WORKERS_ENV",
+    "NESTED_ENV",
+    "TASK_WALL_BUCKETS_S",
+]

@@ -1,25 +1,35 @@
 """Experiment simulators: performance model, power-down schedule,
-self-refresh replay, and the combined Figure 15 summary."""
+self-refresh replay, and the combined Figure 15 summary.
 
+Every simulator exposes the unified ``run(config) -> Result`` shape
+(:class:`~repro.sim.base.Experiment`) and registers in
+:data:`~repro.sim.experiments.EXPERIMENTS` — the registry both the CLI
+and :mod:`repro.exec` dispatch from."""
+
+from repro.sim.base import Experiment, ExperimentResult, SeededConfig
 from repro.sim.combined import (CombinedSavings, combined_savings,
                                 figure15_summary)
-from repro.sim.comparison import (ComparisonResult, RamzzzSimulator,
-                                  compare_policies)
+from repro.sim.comparison import (ComparisonResult,
+                                  PolicyComparisonExperiment,
+                                  RamzzzSimulator, compare_policies)
 from repro.sim.fleet import (FleetConfig, FleetResult, FleetSimulator,
-                             NodeOutcome, quick_fleet)
+                             NodeFailure, NodeOutcome, quick_fleet)
 from repro.sim.figures import (FigureSeries, ascii_chart, figure1_series,
                                figure2_series, figure11a_series,
                                figure12a_series, figure14_series)
 from repro.sim.perf_model import (INTERLEAVING_OFF_PENALTY_CXL,
                                   PerfModelConfig, PerformanceModel,
                                   TRANSLATION_OVERHEAD)
-from repro.sim.rank_sweep import (RankSweepConfig, RankSweepPoint,
-                                  TraceRankSweep,
+from repro.sim.rank_sweep import (RankSweepConfig, RankSweepExperiment,
+                                  RankSweepPoint, TraceRankSweep,
+                                  TraceRankSweepConfig, TraceRankSweepResult,
                                   mean_trace_driven_slowdown)
 from repro.sim.results import (ExperimentRecord, flatten_powerdown,
                                flatten_selfrefresh, load_records,
                                render_table, save_records)
-from repro.sim.powerdown_sim import (IntervalRecord, PowerDownResult,
+from repro.sim.powerdown_sim import (ComparisonSimulator, IntervalRecord,
+                                     PowerDownComparisonResult,
+                                     PowerDownResult,
                                      PowerDownSimConfig, PowerDownSimulator,
                                      background_power_savings, energy_savings,
                                      power_savings, run_comparison)
@@ -27,14 +37,30 @@ from repro.sim.selfrefresh_sim import (PAPER_CAPACITY_POINTS,
                                        SelfRefreshResult, SelfRefreshSimConfig,
                                        SelfRefreshSimulator, StepRecord,
                                        config_for_point)
+from repro.sim.experiments import (EXPERIMENTS, ExperimentSpec,
+                                   experiment_task, get_spec,
+                                   make_experiment, run_experiment,
+                                   run_experiments)
 
 __all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "SeededConfig",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "experiment_task",
+    "get_spec",
+    "make_experiment",
+    "run_experiment",
+    "run_experiments",
     "ComparisonResult",
+    "PolicyComparisonExperiment",
     "RamzzzSimulator",
     "compare_policies",
     "FleetConfig",
     "FleetResult",
     "FleetSimulator",
+    "NodeFailure",
     "NodeOutcome",
     "quick_fleet",
     "FigureSeries",
@@ -45,8 +71,11 @@ __all__ = [
     "figure12a_series",
     "figure14_series",
     "RankSweepConfig",
+    "RankSweepExperiment",
     "RankSweepPoint",
     "TraceRankSweep",
+    "TraceRankSweepConfig",
+    "TraceRankSweepResult",
     "mean_trace_driven_slowdown",
     "ExperimentRecord",
     "flatten_powerdown",
@@ -61,7 +90,9 @@ __all__ = [
     "PerformanceModel",
     "INTERLEAVING_OFF_PENALTY_CXL",
     "TRANSLATION_OVERHEAD",
+    "ComparisonSimulator",
     "IntervalRecord",
+    "PowerDownComparisonResult",
     "PowerDownResult",
     "PowerDownSimConfig",
     "PowerDownSimulator",

@@ -49,17 +49,25 @@ def _mean_power(result: SelfRefreshResult) -> float:
 
 
 def combined_savings(point: str, seed: int = 0,
-                     duration_s: float = 60.0) -> CombinedSavings:
+                     duration_s: float = 60.0,
+                     run=None) -> CombinedSavings:
     """Run the SR simulation for ``point`` and fold in power-down savings.
 
     The 8-rank baseline has every rank in standby; the power-down
     configuration parks the idle rank-groups in MPSM; the combined
     configuration additionally holds the SR simulation's stable-phase rank
     states.
+
+    ``run`` (optional) overrides how the SR simulation executes — a
+    callable taking the :class:`SelfRefreshSimConfig` and returning a
+    :class:`SelfRefreshResult`.  The CLI passes a cache-backed runner so
+    ``repro all`` computes each capacity point once across fig14/fig15.
     """
     config = config_for_point(point, seed=seed, duration_s=duration_s)
-    simulator = SelfRefreshSimulator(config)
-    result = simulator.run()
+    if run is None:
+        result = SelfRefreshSimulator(config).run()
+    else:
+        result = run(config)
     geometry = config.geometry
     power_model = DramPowerModel(geometry=geometry)
     active = result.active_ranks_per_channel
@@ -91,9 +99,12 @@ def combined_savings(point: str, seed: int = 0,
 def figure15_summary(points: tuple[str, ...] = ("208gb", "224gb", "240gb",
                                                 "304gb"),
                      seed: int = 0,
-                     duration_s: float = 60.0) -> list[CombinedSavings]:
-    """Compute the full Figure 15 table."""
-    return [combined_savings(point, seed=seed, duration_s=duration_s)
+                     duration_s: float = 60.0,
+                     run=None) -> list[CombinedSavings]:
+    """Compute the full Figure 15 table (``run`` as in
+    :func:`combined_savings`)."""
+    return [combined_savings(point, seed=seed, duration_s=duration_s,
+                             run=run)
             for point in points]
 
 

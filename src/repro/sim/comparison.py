@@ -33,6 +33,19 @@ class ComparisonResult:
         """DTL's stable-savings edge (percentage points)."""
         return self.dtl.stable_savings - self.ramzzz.stable_savings
 
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord, flatten_selfrefresh
+        return ExperimentRecord(
+            "ramzzz_comparison",
+            {"advantage": self.advantage(),
+             "ramzzz_demotions": self.ramzzz_demotions,
+             "ramzzz_wakeups": self.ramzzz_wakeups,
+             **{f"dtl_{key}": value for key, value in
+                flatten_selfrefresh(self.dtl).items()},
+             **{f"ramzzz_{key}": value for key, value in
+                flatten_selfrefresh(self.ramzzz).items()}})
+
 
 class RamzzzSimulator:
     """Drives :class:`RamzzzPolicy` with the windowed replay model."""
@@ -133,4 +146,20 @@ def compare_policies(config: SelfRefreshSimConfig,
                             ramzzz_wakeups=policy.wakeups)
 
 
-__all__ = ["ComparisonResult", "RamzzzSimulator", "compare_policies"]
+class PolicyComparisonExperiment:
+    """Registry adapter: DTL-vs-RAMZzz head-to-head from one SR config."""
+
+    name = "ramzzz_comparison"
+
+    def __init__(self, config: SelfRefreshSimConfig | None = None,
+                 ramzzz: RamzzzConfig | None = None):
+        self.config = config or SelfRefreshSimConfig()
+        self.ramzzz = ramzzz
+
+    def run(self) -> ComparisonResult:
+        """Run both policies on the configured experiment."""
+        return compare_policies(self.config, self.ramzzz)
+
+
+__all__ = ["ComparisonResult", "RamzzzSimulator",
+           "PolicyComparisonExperiment", "compare_policies"]

@@ -1,0 +1,187 @@
+"""The single experiment registry behind the CLI and the executor.
+
+Every simulator in :mod:`repro.sim` conforms to the
+:class:`~repro.sim.base.Experiment` protocol — ``name``, ``config``,
+``run()`` returning a result with ``to_record()`` — and registers here
+as an :class:`ExperimentSpec`.  Anything that can name an experiment and
+build (or load) its config dataclass can then run it the same way:
+
+>>> from repro.sim.experiments import EXPERIMENTS, run_experiment
+>>> spec = EXPERIMENTS["selfrefresh"]
+>>> result = run_experiment("selfrefresh", spec.tiny_config())
+>>> record = result.to_record()
+
+:func:`run_experiment` is a module-level function of picklable
+arguments, so an ``(experiment name, config)`` pair is also the natural
+unit of work for :mod:`repro.exec` — :func:`experiment_task` wraps one
+into a cacheable :class:`~repro.exec.runner.TaskSpec`, and
+:func:`run_experiments` fans a batch out with result caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exec import (ExecConfig, ResultCache, TaskOutcome, TaskSpec,
+                        run_tasks, task_key)
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.base import Experiment, ExperimentResult
+from repro.sim.comparison import PolicyComparisonExperiment
+from repro.sim.fleet import FleetConfig, FleetSimulator
+from repro.sim.powerdown_sim import (ComparisonSimulator,
+                                     PowerDownSimConfig, PowerDownSimulator)
+from repro.sim.rank_sweep import RankSweepExperiment, TraceRankSweepConfig
+from repro.sim.selfrefresh_sim import (SelfRefreshSimConfig,
+                                       SelfRefreshSimulator)
+from repro.workloads.azure import AzureTraceConfig
+from repro.workloads.cloudsuite import TRACED_BENCHMARKS
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """How to build one registered experiment.
+
+    Attributes:
+        name: Registry key (also the experiment's ``name`` attribute and
+            the prefix of its cache keys).
+        config_type: The config dataclass the factory accepts.
+        factory: ``config -> Experiment`` constructor.
+        tiny_config: Builds a seconds-scale config for smoke tests and
+            the registry round-trip suite.
+        summary: One-line description for ``repro exp --list``.
+    """
+
+    name: str
+    config_type: type
+    factory: Callable[[Any], Experiment]
+    tiny_config: Callable[[], Any]
+    summary: str
+
+
+#: The registry: experiment name -> spec.
+EXPERIMENTS: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to :data:`EXPERIMENTS` (name must be free)."""
+    if spec.name in EXPERIMENTS:
+        raise ValueError(f"experiment {spec.name!r} already registered")
+    EXPERIMENTS[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up a spec; a helpful ``KeyError`` lists valid names."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"choices: {sorted(EXPERIMENTS)}") from None
+
+
+def make_experiment(name: str, config: Any | None = None) -> Experiment:
+    """Instantiate the named experiment (default config when ``None``)."""
+    spec = get_spec(name)
+    if config is None:
+        config = spec.config_type()
+    return spec.factory(config)
+
+
+def run_experiment(name: str, config: Any | None = None) -> ExperimentResult:
+    """Build and run the named experiment.
+
+    Module-level and fully determined by its (picklable) arguments —
+    this is the function the process-pool workers execute.
+    """
+    return make_experiment(name, config).run()
+
+
+def experiment_task(name: str, config: Any, label: str | None = None,
+                    cacheable: bool = True) -> TaskSpec:
+    """Wrap one ``(name, config)`` pair as an executor task."""
+    get_spec(name)  # fail fast on unknown names, before fan-out
+    return TaskSpec(fn=run_experiment, args=(name, config),
+                    key=task_key(name, config) if cacheable else None,
+                    label=label or name)
+
+
+def run_experiments(requests: list[tuple[str, Any]],
+                    exec_config: ExecConfig | None = None,
+                    cache: ResultCache | None = None) -> list[TaskOutcome]:
+    """Fan a batch of ``(name, config)`` requests out through the executor.
+
+    Returns one :class:`TaskOutcome` per request, in order; failed
+    experiments report through ``outcome.error`` instead of raising, so
+    one bad run cannot sink a batch.
+    """
+    tasks = [experiment_task(name, config) for name, config in requests]
+    return run_tasks(tasks, config=exec_config, cache=cache)
+
+
+# -- registrations -----------------------------------------------------------------
+
+
+def _tiny_powerdown_config() -> PowerDownSimConfig:
+    return PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=8, duration_s=900.0),
+        scheduler=SchedulerConfig(duration_s=900.0))
+
+
+register(ExperimentSpec(
+    name="powerdown",
+    config_type=PowerDownSimConfig,
+    factory=PowerDownSimulator,
+    tiny_config=_tiny_powerdown_config,
+    summary="VM-schedule rank power-down simulation (Figure 12)"))
+
+register(ExperimentSpec(
+    name="powerdown_comparison",
+    config_type=PowerDownSimConfig,
+    factory=ComparisonSimulator,
+    tiny_config=_tiny_powerdown_config,
+    summary="baseline-vs-DTL pair on one VM trace (Figures 12-13)"))
+
+register(ExperimentSpec(
+    name="fleet",
+    config_type=FleetConfig,
+    factory=FleetSimulator,
+    tiny_config=lambda: FleetConfig(num_nodes=2,
+                                    node=_tiny_powerdown_config()),
+    summary="multi-node fleet fan-out with datacenter TCO roll-up"))
+
+register(ExperimentSpec(
+    name="rank_sweep",
+    config_type=TraceRankSweepConfig,
+    factory=RankSweepExperiment,
+    tiny_config=lambda: TraceRankSweepConfig(num_accesses=3_000,
+                                             rank_counts=(8, 2)),
+    summary="trace-driven rank-count sensitivity (Figure 2 cross-check)"))
+
+register(ExperimentSpec(
+    name="selfrefresh",
+    config_type=SelfRefreshSimConfig,
+    factory=SelfRefreshSimulator,
+    tiny_config=lambda: SelfRefreshSimConfig(
+        workloads=TRACED_BENCHMARKS[:3], duration_s=2.0),
+    summary="hotness-aware self-refresh replay (Figure 14)"))
+
+register(ExperimentSpec(
+    name="ramzzz_comparison",
+    config_type=SelfRefreshSimConfig,
+    factory=PolicyComparisonExperiment,
+    tiny_config=lambda: SelfRefreshSimConfig(
+        workloads=TRACED_BENCHMARKS[:3], duration_s=1.0),
+    summary="DTL self-refresh vs the RAMZzz epoch baseline"))
+
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "register",
+    "get_spec",
+    "make_experiment",
+    "run_experiment",
+    "experiment_task",
+    "run_experiments",
+]

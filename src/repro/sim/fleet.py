@@ -9,19 +9,30 @@ savings -> TCO).
 Node heterogeneity comes from independent trace seeds: some nodes run
 hot (little to power down), others sit half-empty — the fleet mean is
 what a capacity planner sees.
+
+The nodes are independent simulations, so the fleet fans out through
+:mod:`repro.exec`: node ``i`` becomes one task running the paired
+baseline/DTL comparison on ``config.node.with_seed(base_seed + i)``.
+Results are ordered by node index and each node is fully determined by
+its seed, so a fleet run is bit-identical whether it executed serially
+or on workers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.tco import TcoModel
+from repro.exec import ExecConfig, TaskSpec, run_tasks, task_key
 from repro.host.scheduler import SchedulerConfig
-from repro.sim.powerdown_sim import (PowerDownResult, PowerDownSimConfig,
-                                     PowerDownSimulator, energy_savings,
-                                     run_comparison)
+from repro.sim.powerdown_sim import (ComparisonSimulator,
+                                     PowerDownComparisonResult,
+                                     PowerDownResult, PowerDownSimConfig,
+                                     energy_savings)
+from repro.telemetry import MetricsRegistry
 from repro.workloads.azure import AzureTraceConfig
 
 
@@ -57,11 +68,23 @@ class NodeOutcome:
 
 
 @dataclass
+class NodeFailure:
+    """A node whose simulation task did not produce a result."""
+
+    seed: int
+    error: str
+
+
+@dataclass
 class FleetResult:
     """Aggregate of every node's outcome."""
 
     config: FleetConfig
     nodes: list[NodeOutcome]
+    failures: list[NodeFailure] = field(default_factory=list)
+    #: Executor accounting for the fan-out (per-task wall times etc.);
+    #: not part of :meth:`to_record` so records stay deterministic.
+    exec_telemetry: dict = field(default_factory=dict)
 
     @property
     def per_node_savings(self) -> np.ndarray:
@@ -85,12 +108,33 @@ class FleetResult:
         Counters (accesses, SMC hits, migrated segments, power
         transitions, ...) add across nodes; gauges and residency do not,
         so only counters are aggregated here.
+
+        A node with no telemetry snapshot (e.g. produced by an older
+        serialised result) is *skipped*, not silently folded in as
+        zeros; the ``fleet.*`` meta-counters make the difference between
+        "no events" and "no data" visible:
+
+        * ``fleet.nodes_reporting`` — nodes whose counters were summed,
+        * ``fleet.nodes_missing_telemetry`` — nodes skipped for lack of
+          a snapshot,
+        * ``fleet.nodes_failed`` — nodes whose simulation task failed
+          outright (they appear in :attr:`failures`, not
+          :attr:`nodes`).
         """
         totals: dict[str, float] = {}
+        reporting = 0
+        missing = 0
         for node in self.nodes:
-            for name, value in node.dtl.telemetry.get(
-                    "counters", {}).items():
+            counters = (node.dtl.telemetry or {}).get("counters")
+            if not counters:
+                missing += 1
+                continue
+            reporting += 1
+            for name, value in counters.items():
                 totals[name] = totals.get(name, 0.0) + value
+        totals["fleet.nodes_reporting"] = float(reporting)
+        totals["fleet.nodes_missing_telemetry"] = float(missing)
+        totals["fleet.nodes_failed"] = float(len(self.failures))
         return totals
 
     def summary_rows(self) -> list[tuple]:
@@ -98,39 +142,85 @@ class FleetResult:
         rows = [(f"node {node.seed}", f"{node.energy_savings:.1%}",
                  f"{node.dtl.mean_active_ranks:.2f}")
                 for node in self.nodes]
+        rows.extend((f"node {failure.seed}", "FAILED", failure.error)
+                    for failure in self.failures)
         rows.append(("fleet", f"{self.fleet_savings:.1%}", ""))
         return rows
+
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord
+        return ExperimentRecord("fleet", {
+            "fleet_savings": self.fleet_savings,
+            "per_node": self.per_node_savings.tolist(),
+            "node_seeds": [node.seed for node in self.nodes],
+            "failed_seeds": [failure.seed for failure in self.failures],
+            **{f"tco_{key}": value
+               for key, value in self.tco_report().items()}})
+
+
+def _run_node(config: PowerDownSimConfig) -> PowerDownComparisonResult:
+    """One fleet node's paired comparison (module-level: picklable)."""
+    return ComparisonSimulator(config).run()
 
 
 class FleetSimulator:
     """Run the node-level comparison across the whole fleet."""
 
-    def __init__(self, config: FleetConfig | None = None):
+    name = "fleet"
+
+    def __init__(self, config: FleetConfig | None = None,
+                 exec_config: ExecConfig | None = None):
         self.config = config or FleetConfig()
+        self.exec_config = exec_config
+
+    def node_configs(self) -> list[PowerDownSimConfig]:
+        """The per-node configs (template + derived seed)."""
+        return [self.config.node.with_seed(self.config.base_seed + index)
+                for index in range(self.config.num_nodes)]
 
     def run(self) -> FleetResult:
-        """Simulate every node; returns the aggregate."""
-        nodes = []
-        template = self.config.node
-        for index in range(self.config.num_nodes):
-            seed = self.config.base_seed + index
-            node_config = PowerDownSimConfig(
-                geometry=template.geometry,
-                scheduler=template.scheduler,
-                azure=template.azure,
-                enable_power_down=template.enable_power_down,
-                group_granularity=template.group_granularity,
-                spare_migration_bandwidth_gbs=
-                template.spare_migration_bandwidth_gbs,
-                seed=seed)
-            baseline, dtl = run_comparison(node_config)
-            nodes.append(NodeOutcome(seed=seed, baseline=baseline, dtl=dtl))
-        return FleetResult(config=self.config, nodes=nodes)
+        """Simulate every node; returns the aggregate.
+
+        Nodes run through :func:`repro.exec.run_tasks` — serially by
+        default, in parallel when the exec config (or
+        ``REPRO_EXEC_WORKERS``) asks for workers.  A node whose task
+        fails after its retry budget lands in ``FleetResult.failures``
+        instead of aborting the surviving nodes.
+        """
+        node_configs = self.node_configs()
+        tasks = [TaskSpec(fn=_run_node, args=(node_config,),
+                          key=task_key("powerdown_comparison", node_config),
+                          label=f"fleet-node-{node_config.seed}")
+                 for node_config in node_configs]
+        metrics = MetricsRegistry()
+        outcomes = run_tasks(tasks, config=self.exec_config, metrics=metrics)
+        nodes: list[NodeOutcome] = []
+        failures: list[NodeFailure] = []
+        for node_config, outcome in zip(node_configs, outcomes):
+            if outcome.ok:
+                pair = outcome.value
+                nodes.append(NodeOutcome(seed=node_config.seed,
+                                         baseline=pair.baseline,
+                                         dtl=pair.dtl))
+            else:
+                failures.append(NodeFailure(seed=node_config.seed,
+                                            error=outcome.error))
+        return FleetResult(config=self.config, nodes=nodes,
+                           failures=failures,
+                           exec_telemetry=metrics.snapshot().to_dict())
 
 
 def quick_fleet(num_nodes: int = 4, duration_s: float = 3600.0,
                 num_vms: int = 60, base_seed: int = 0) -> FleetResult:
-    """A small fleet on one-hour schedules (for tests and examples)."""
+    """Deprecated: build a :class:`FleetConfig` and run
+    :class:`FleetSimulator` directly.
+
+    A small fleet on one-hour schedules (for tests and examples).
+    """
+    warnings.warn("quick_fleet() is deprecated; use "
+                  "FleetSimulator(FleetConfig(...)).run()",
+                  DeprecationWarning, stacklevel=2)
     node = PowerDownSimConfig(
         azure=AzureTraceConfig(num_vms=num_vms, duration_s=duration_s),
         scheduler=SchedulerConfig(duration_s=duration_s))
@@ -141,6 +231,7 @@ def quick_fleet(num_nodes: int = 4, duration_s: float = 3600.0,
 __all__ = [
     "FleetConfig",
     "NodeOutcome",
+    "NodeFailure",
     "FleetResult",
     "FleetSimulator",
     "quick_fleet",

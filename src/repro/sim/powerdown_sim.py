@@ -18,6 +18,8 @@ standby), matching the paper's 8-rank baseline.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +30,7 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.power import EnergyAccumulator, PowerState
 from repro.host.scheduler import SchedulerConfig, VmScheduler
 from repro.host.vm import VmSpec
+from repro.sim.base import SeededConfig
 from repro.sim.perf_model import (INTERLEAVING_OFF_PENALTY_CXL,
                                   PerformanceModel, TRANSLATION_OVERHEAD)
 from repro.units import GIB
@@ -36,7 +39,7 @@ from repro.workloads.cloudsuite import PROFILES
 
 
 @dataclass(frozen=True)
-class PowerDownSimConfig:
+class PowerDownSimConfig(SeededConfig):
     """Parameters of the schedule-level simulation.
 
     The default geometry is a 512 GiB device (4 channels x 8 ranks x
@@ -100,6 +103,11 @@ class PowerDownResult:
         powers = np.array([record.total_power for record in self.intervals])
         return times, powers
 
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord, flatten_powerdown
+        return ExperimentRecord("powerdown", flatten_powerdown(self))
+
 
 def energy_savings(baseline: PowerDownResult, dtl: PowerDownResult) -> float:
     """Fractional DRAM energy saving of ``dtl`` over ``baseline``."""
@@ -119,6 +127,8 @@ def background_power_savings(baseline: PowerDownResult,
 
 class PowerDownSimulator:
     """Replays a VM schedule through the DTL controller."""
+
+    name = "powerdown"
 
     def __init__(self, config: PowerDownSimConfig | None = None):
         self.config = config or PowerDownSimConfig()
@@ -262,31 +272,91 @@ class PowerDownSimulator:
                 + rank_penalty)
 
 
+@dataclass
+class PowerDownComparisonResult:
+    """Paired baseline/DTL runs on the same VM trace."""
+
+    config: PowerDownSimConfig
+    baseline: PowerDownResult
+    dtl: PowerDownResult
+
+    @property
+    def energy_savings(self) -> float:
+        """Fractional DRAM energy saving of the DTL run."""
+        return energy_savings(self.baseline, self.dtl)
+
+    @property
+    def power_savings(self) -> float:
+        """Fractional DRAM power saving (no execution-time stretch)."""
+        return power_savings(self.baseline, self.dtl)
+
+    @property
+    def background_savings(self) -> float:
+        """Fractional background-power saving (Figure 13)."""
+        return background_power_savings(self.baseline, self.dtl)
+
+    def as_tuple(self) -> tuple[PowerDownResult, PowerDownResult]:
+        """The legacy ``(baseline, dtl)`` pair."""
+        return self.baseline, self.dtl
+
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord, flatten_powerdown
+        return ExperimentRecord(
+            "powerdown_comparison",
+            {"energy_savings": self.energy_savings,
+             "power_savings": self.power_savings,
+             "background_savings": self.background_savings,
+             "baseline_total_energy_rsu_s": self.baseline.total_energy,
+             **{f"dtl_{key}": value
+                for key, value in flatten_powerdown(self.dtl).items()}})
+
+
+class ComparisonSimulator:
+    """Baseline-vs-DTL pair on one VM trace — the fleet's unit of work.
+
+    The baseline config is derived with :func:`dataclasses.replace`, so
+    any field added to :class:`PowerDownSimConfig` automatically carries
+    over instead of silently reverting to its default.
+    """
+
+    name = "powerdown_comparison"
+
+    def __init__(self, config: PowerDownSimConfig | None = None):
+        self.config = config or PowerDownSimConfig()
+
+    def run(self) -> PowerDownComparisonResult:
+        """Run both configurations on the same generated VM trace."""
+        config = self.config
+        specs = generate_vm_trace(config.azure, seed=config.seed)
+        baseline_config = dataclasses.replace(config,
+                                              enable_power_down=False)
+        baseline = PowerDownSimulator(baseline_config).run(specs)
+        dtl = PowerDownSimulator(config).run(specs)
+        return PowerDownComparisonResult(config=config, baseline=baseline,
+                                         dtl=dtl)
+
+
 def run_comparison(config: PowerDownSimConfig | None = None,
                    ) -> tuple[PowerDownResult, PowerDownResult]:
-    """Run the DTL and baseline configurations on the same VM trace.
+    """Deprecated: use ``ComparisonSimulator(config).run()``.
 
     Returns:
         ``(baseline_result, dtl_result)``.
     """
-    config = config or PowerDownSimConfig()
-    specs = generate_vm_trace(config.azure, seed=config.seed)
-    baseline_config = PowerDownSimConfig(
-        geometry=config.geometry, scheduler=config.scheduler,
-        azure=config.azure, enable_power_down=False,
-        group_granularity=config.group_granularity,
-        spare_migration_bandwidth_gbs=config.spare_migration_bandwidth_gbs,
-        seed=config.seed)
-    baseline = PowerDownSimulator(baseline_config).run(specs)
-    dtl = PowerDownSimulator(config).run(specs)
-    return baseline, dtl
+    warnings.warn("run_comparison() is deprecated; use "
+                  "ComparisonSimulator(config).run()",
+                  DeprecationWarning, stacklevel=2)
+    return ComparisonSimulator(config).run().as_tuple()
 
 
 __all__ = [
     "PowerDownSimConfig",
     "IntervalRecord",
     "PowerDownResult",
+    "PowerDownComparisonResult",
     "PowerDownSimulator",
+    "ComparisonSimulator",
     "run_comparison",
     "energy_savings",
     "power_savings",

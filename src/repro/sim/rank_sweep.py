@@ -15,13 +15,15 @@ assumptions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.dram.banks import AddressDecoder, BankState
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DDR4_2933, DramTiming, NATIVE_DRAM_LATENCY_NS
+from repro.exec import ExecConfig, TaskSpec, run_tasks
+from repro.sim.base import SeededConfig
 from repro.units import GIB
 from repro.workloads.cloudsuite import PROFILES, TraceGenerator, WorkloadProfile
 from repro.workloads.trace import Trace
@@ -133,38 +135,139 @@ class TraceRankSweep:
             time_per_ki_ns=time_per_ki)
 
     def sweep(self, rank_counts: tuple[int, ...] = (8, 6, 4, 2),
+              exec_config: ExecConfig | None = None,
               ) -> dict[int, RankSweepPoint]:
-        """Measure every rank count (power-of-two counts recommended)."""
+        """Measure every rank count (power-of-two counts recommended).
+
+        The geometry needs powers of two, so odd counts interpolate
+        between their power-of-two neighbours.  Only the deduplicated
+        power-of-two measurements run — through :mod:`repro.exec`, so
+        they fan out over workers when the exec config (or
+        ``REPRO_EXEC_WORKERS``) asks for them; each measurement is a
+        deterministic pure function of the trace, so serial and parallel
+        sweeps are bit-identical.
+        """
+        needed: set[int] = set()
+        for ranks in rank_counts:
+            if ranks & (ranks - 1):
+                needed.add(1 << (ranks.bit_length() - 1))
+                needed.add(1 << ranks.bit_length())
+            else:
+                needed.add(ranks)
+        ordered = sorted(needed)
+        outcomes = run_tasks(
+            [TaskSpec(fn=_measure_task, args=(self, ranks),
+                      label=f"rank-sweep-{ranks}") for ranks in ordered],
+            config=exec_config)
+        measured = {ranks: outcome.unwrap()
+                    for ranks, outcome in zip(ordered, outcomes)}
         points = {}
         for ranks in rank_counts:
             if ranks & (ranks - 1):
-                # Geometry needs powers of two; interpolate odd counts.
-                low = self.measure(1 << (ranks.bit_length() - 1))
-                high = self.measure(1 << ranks.bit_length())
-                frac = (ranks - low.active_ranks) / (
-                    high.active_ranks - low.active_ranks)
-                points[ranks] = RankSweepPoint(
-                    active_ranks=ranks,
-                    row_hit_ratio=low.row_hit_ratio + frac * (
-                        high.row_hit_ratio - low.row_hit_ratio),
-                    mean_service_ns=low.mean_service_ns + frac * (
-                        high.mean_service_ns - low.mean_service_ns),
-                    mean_queue_ns=low.mean_queue_ns + frac * (
-                        high.mean_queue_ns - low.mean_queue_ns),
-                    time_per_ki_ns=low.time_per_ki_ns + frac * (
-                        high.time_per_ki_ns - low.time_per_ki_ns))
+                low = measured[1 << (ranks.bit_length() - 1)]
+                high = measured[1 << ranks.bit_length()]
+                points[ranks] = _interpolate(ranks, low, high)
             else:
-                points[ranks] = self.measure(ranks)
+                points[ranks] = measured[ranks]
         return points
 
     def slowdowns(self, rank_counts: tuple[int, ...] = (8, 6, 4, 2),
-                  baseline_ranks: int = 8) -> dict[int, float]:
+                  baseline_ranks: int = 8,
+                  exec_config: ExecConfig | None = None) -> dict[int, float]:
         """Relative execution-time change vs the baseline rank count."""
         points = self.sweep(tuple(sorted(set(rank_counts)
-                                         | {baseline_ranks})))
+                                         | {baseline_ranks})),
+                            exec_config=exec_config)
         base = points[baseline_ranks].time_per_ki_ns
         return {ranks: points[ranks].time_per_ki_ns / base - 1.0
                 for ranks in rank_counts}
+
+
+def _measure_task(sweep: TraceRankSweep, ranks: int) -> RankSweepPoint:
+    """One rank-count measurement (module-level: picklable)."""
+    return sweep.measure(ranks)
+
+
+def _interpolate(ranks: int, low: RankSweepPoint,
+                 high: RankSweepPoint) -> RankSweepPoint:
+    """Linear interpolation between two measured power-of-two points."""
+    frac = (ranks - low.active_ranks) / (high.active_ranks
+                                         - low.active_ranks)
+    return RankSweepPoint(
+        active_ranks=ranks,
+        row_hit_ratio=low.row_hit_ratio + frac * (
+            high.row_hit_ratio - low.row_hit_ratio),
+        mean_service_ns=low.mean_service_ns + frac * (
+            high.mean_service_ns - low.mean_service_ns),
+        mean_queue_ns=low.mean_queue_ns + frac * (
+            high.mean_queue_ns - low.mean_queue_ns),
+        time_per_ki_ns=low.time_per_ki_ns + frac * (
+            high.time_per_ki_ns - low.time_per_ki_ns))
+
+
+@dataclass(frozen=True)
+class TraceRankSweepConfig(SeededConfig):
+    """Everything one sweep experiment needs, as a single config.
+
+    Wraps the machine parameters (:class:`RankSweepConfig`) together
+    with the workload, trace length, rank counts, and seed that the
+    :class:`TraceRankSweep` constructor used to take positionally — the
+    shape the experiment registry and the result cache key off.
+    """
+
+    workload: str = "graph-analytics"
+    machine: RankSweepConfig = field(default_factory=RankSweepConfig)
+    num_accesses: int = 60_000
+    rank_counts: tuple[int, ...] = (8, 6, 4, 2)
+    baseline_ranks: int = 8
+    seed: int = 0
+
+
+@dataclass
+class TraceRankSweepResult:
+    """Every measured point of one sweep, plus derived slowdowns."""
+
+    config: TraceRankSweepConfig
+    points: dict[int, RankSweepPoint]
+
+    def slowdowns(self) -> dict[int, float]:
+        """Relative execution-time change vs the baseline rank count."""
+        base = self.points[self.config.baseline_ranks].time_per_ki_ns
+        return {ranks: self.points[ranks].time_per_ki_ns / base - 1.0
+                for ranks in self.config.rank_counts}
+
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord
+        metrics: dict = {"workload": self.config.workload}
+        for ranks, slowdown in sorted(self.slowdowns().items()):
+            metrics[f"slowdown_{ranks}ranks"] = slowdown
+        for ranks, point in sorted(self.points.items()):
+            metrics[f"row_hit_ratio_{ranks}ranks"] = point.row_hit_ratio
+            metrics[f"mean_queue_ns_{ranks}ranks"] = point.mean_queue_ns
+        return ExperimentRecord("rank_sweep", metrics)
+
+
+class RankSweepExperiment:
+    """Registry adapter: run a whole trace-driven sweep from one config."""
+
+    name = "rank_sweep"
+
+    def __init__(self, config: TraceRankSweepConfig | None = None,
+                 exec_config: ExecConfig | None = None):
+        self.config = config or TraceRankSweepConfig()
+        self.exec_config = exec_config
+
+    def run(self) -> TraceRankSweepResult:
+        """Generate the trace and measure every configured rank count."""
+        config = self.config
+        sweep = TraceRankSweep(PROFILES[config.workload], config.machine,
+                               num_accesses=config.num_accesses,
+                               seed=config.seed)
+        counts = tuple(sorted(set(config.rank_counts)
+                              | {config.baseline_ranks}))
+        points = sweep.sweep(counts, exec_config=self.exec_config)
+        return TraceRankSweepResult(config=config, points=points)
 
 
 def interleaving_comparison(profile: WorkloadProfile,
@@ -201,23 +304,41 @@ def interleaving_comparison(profile: WorkloadProfile,
     return results
 
 
+def _workload_slowdown(name: str, seed: int, active_ranks: int,
+                       num_accesses: int) -> float:
+    """One workload's Figure 2 slowdown (module-level: picklable)."""
+    sweep = TraceRankSweep(PROFILES[name], num_accesses=num_accesses,
+                           seed=seed)
+    return sweep.slowdowns((active_ranks,))[active_ranks]
+
+
 def mean_trace_driven_slowdown(active_ranks: int,
                                workloads: tuple[str, ...] = (
                                    "graph-analytics", "data-serving",
                                    "data-caching", "web-search"),
-                               num_accesses: int = 30_000) -> float:
-    """Average trace-driven Figure 2 slowdown over a workload sample."""
-    values = []
-    for index, name in enumerate(workloads):
-        sweep = TraceRankSweep(PROFILES[name], num_accesses=num_accesses,
-                               seed=index)
-        values.append(sweep.slowdowns((active_ranks,))[active_ranks])
-    return float(np.mean(values))
+                               num_accesses: int = 30_000,
+                               exec_config: ExecConfig | None = None,
+                               ) -> float:
+    """Average trace-driven Figure 2 slowdown over a workload sample.
+
+    The per-workload sweeps are independent (each builds its own trace),
+    so they fan out through :mod:`repro.exec`.
+    """
+    outcomes = run_tasks(
+        [TaskSpec(fn=_workload_slowdown,
+                  args=(name, index, active_ranks, num_accesses),
+                  label=f"rank-sweep-{name}")
+         for index, name in enumerate(workloads)],
+        config=exec_config)
+    return float(np.mean([outcome.unwrap() for outcome in outcomes]))
 
 
 __all__ = [
     "RankSweepConfig",
     "RankSweepPoint",
     "TraceRankSweep",
+    "TraceRankSweepConfig",
+    "TraceRankSweepResult",
+    "RankSweepExperiment",
     "mean_trace_driven_slowdown",
 ]

@@ -32,13 +32,14 @@ from repro.core.config import DtlConfig
 from repro.core.controller import DtlController, VmHandle
 from repro.dram.geometry import DramGeometry
 from repro.dram.power import PowerState
+from repro.sim.base import SeededConfig
 from repro.units import CACHELINE_BYTES, GIB, MIB, NS_PER_MS, NS_PER_S
 from repro.workloads.cloudsuite import PROFILES, TRACED_BENCHMARKS, TraceGenerator
 from repro.workloads.drift import DriftConfig, DriftingWorkload
 
 
 @dataclass(frozen=True)
-class SelfRefreshSimConfig:
+class SelfRefreshSimConfig(SeededConfig):
     """Scaled self-refresh experiment.
 
     The default geometry is a 32 GiB device (4 channels x 8 ranks x
@@ -119,9 +120,16 @@ class SelfRefreshResult:
                             for step in self.steps])
         return times, savings
 
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord, flatten_selfrefresh
+        return ExperimentRecord("selfrefresh", flatten_selfrefresh(self))
+
 
 class SelfRefreshSimulator:
     """Windowed trace-driven driver for the hotness-aware SR policy."""
+
+    name = "selfrefresh"
 
     def __init__(self, config: SelfRefreshSimConfig | None = None):
         self.config = config or SelfRefreshSimConfig()

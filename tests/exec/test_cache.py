@@ -1,0 +1,60 @@
+"""Result cache: memory/disk round trips and failure degradation."""
+
+from repro.exec.cache import CACHE_DIR_ENV, ResultCache
+
+
+def test_memory_hit_and_miss():
+    cache = ResultCache()
+    hit, value = cache.get("k")
+    assert not hit and value is None
+    cache.put("k", {"x": 1})
+    hit, value = cache.get("k")
+    assert hit and value == {"x": 1}
+    assert cache.hits == 1 and cache.misses == 1
+    assert len(cache) == 1
+
+
+def test_disk_round_trip(tmp_path):
+    writer = ResultCache(tmp_path)
+    writer.put("fleet-abc", [1, 2, 3])
+    assert (tmp_path / "fleet-abc.pkl").exists()
+    # A fresh cache (new process, conceptually) reads the same entry.
+    reader = ResultCache(tmp_path)
+    hit, value = reader.get("fleet-abc")
+    assert hit and value == [1, 2, 3]
+    assert len(reader) == 1
+
+
+def test_directory_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    cache = ResultCache()
+    assert cache.directory == tmp_path
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert ResultCache().directory is None
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    (tmp_path / "bad.pkl").write_bytes(b"this is not a pickle")
+    cache = ResultCache(tmp_path)
+    hit, value = cache.get("bad")
+    assert not hit and value is None
+    cache.put("bad", "fixed")  # overwrite repairs the entry
+    assert ResultCache(tmp_path).get("bad") == (True, "fixed")
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") == (False, None)
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_no_tmp_droppings(tmp_path):
+    cache = ResultCache(tmp_path)
+    for index in range(5):
+        cache.put(f"k{index}", index)
+    assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,174 @@
+"""The task runner: ordering, retries, timeouts, caching, fallback.
+
+The task functions live at module level so the parallel path can pickle
+them; coordination between attempts/processes goes through files in
+``tmp_path`` (shared by fork and spawn alike).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.exec import (EXEC_METRICS, ExecConfig, NESTED_ENV, ResultCache,
+                        TaskSpec, WORKERS_ENV, default_workers, run_tasks)
+from repro.telemetry import MetricsRegistry
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise ValueError("boom")
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _pid():
+    return os.getpid()
+
+
+def _touch_and_count(path):
+    """Append one line per invocation; returns the invocation count."""
+    with open(path, "a") as handle:
+        handle.write("x\n")
+    with open(path) as handle:
+        return len(handle.readlines())
+
+
+def _flaky(marker_path):
+    """Fail on the first attempt, succeed once the marker exists."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w"):
+            pass
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+def test_serial_values_in_submission_order():
+    outcomes = run_tasks([TaskSpec(fn=_square, args=(x,), label=f"sq-{x}")
+                          for x in range(6)])
+    assert [o.value for o in outcomes] == [x * x for x in range(6)]
+    assert all(o.ok and o.attempts == 1 and not o.from_cache
+               for o in outcomes)
+    assert outcomes[0].worker_pid == os.getpid()
+
+
+def test_parallel_matches_serial():
+    tasks = lambda: [TaskSpec(fn=_square, args=(x,)) for x in range(8)]
+    serial = run_tasks(tasks(), config=ExecConfig(workers=1))
+    parallel = run_tasks(tasks(), config=ExecConfig(workers=2))
+    assert [o.value for o in serial] == [o.value for o in parallel]
+
+
+def test_parallel_runs_in_worker_processes():
+    outcomes = run_tasks([TaskSpec(fn=_pid) for _ in range(4)],
+                         config=ExecConfig(workers=2))
+    pids = {o.worker_pid for o in outcomes}
+    assert os.getpid() not in pids
+
+
+def test_retry_recovers_serial(tmp_path):
+    marker = str(tmp_path / "marker")
+    [outcome] = run_tasks([TaskSpec(fn=_flaky, args=(marker,))],
+                          config=ExecConfig(retries=1))
+    assert outcome.ok and outcome.value == "recovered"
+    assert outcome.attempts == 2
+
+
+def test_retry_recovers_parallel(tmp_path):
+    marker = str(tmp_path / "marker")
+    outcomes = run_tasks([TaskSpec(fn=_flaky, args=(marker,)),
+                          TaskSpec(fn=_square, args=(3,))],
+                         config=ExecConfig(workers=2, retries=1))
+    assert outcomes[0].ok and outcomes[0].value == "recovered"
+    assert outcomes[1].value == 9
+
+
+def test_retry_budget_exhausted():
+    [outcome] = run_tasks([TaskSpec(fn=_boom, label="doomed")],
+                          config=ExecConfig(retries=2))
+    assert not outcome.ok
+    assert outcome.attempts == 3
+    assert "ValueError: boom" in outcome.error
+    with pytest.raises(RuntimeError, match="doomed"):
+        outcome.unwrap()
+
+
+def test_timeout_reported(tmp_path):
+    outcomes = run_tasks(
+        [TaskSpec(fn=_sleep, args=(5.0,), label="hang"),
+         TaskSpec(fn=_square, args=(2,))],
+        config=ExecConfig(workers=2, timeout_s=0.2, retries=0))
+    assert not outcomes[0].ok
+    assert "timeout" in outcomes[0].error
+    assert outcomes[1].ok and outcomes[1].value == 4
+
+
+def test_cache_hit_skips_execution(tmp_path):
+    counter = str(tmp_path / "count")
+    cache = ResultCache()
+    task = TaskSpec(fn=_touch_and_count, args=(counter,), key="count-key")
+    [first] = run_tasks([task], cache=cache)
+    [second] = run_tasks([task], cache=cache)
+    assert first.value == 1 and not first.from_cache
+    assert second.value == 1 and second.from_cache  # did not run again
+    assert cache.hits == 1
+
+
+def test_failures_are_not_cached(tmp_path):
+    marker = str(tmp_path / "marker")
+    cache = ResultCache()
+    task = TaskSpec(fn=_flaky, args=(marker,), key="flaky-key")
+    [first] = run_tasks([task], cache=cache, config=ExecConfig(retries=0))
+    assert not first.ok
+    [second] = run_tasks([task], cache=cache, config=ExecConfig(retries=0))
+    assert second.ok and not second.from_cache  # re-ran, marker now exists
+
+
+def test_workers_env_default(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    monkeypatch.delenv(NESTED_ENV, raising=False)
+    assert default_workers() == 1
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    assert default_workers() == 3
+    assert ExecConfig().resolved_workers() == 3
+    assert ExecConfig(workers=2).resolved_workers() == 2
+    monkeypatch.setenv(WORKERS_ENV, "not-a-number")
+    assert default_workers() == 1
+
+
+def test_nested_marker_forces_serial(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "4")
+    monkeypatch.setenv(NESTED_ENV, "1")
+    assert default_workers() == 1
+    assert ExecConfig().resolved_workers() == 1
+
+
+def test_metrics_accounting():
+    metrics = MetricsRegistry()
+    run_tasks([TaskSpec(fn=_square, args=(2,)),
+               TaskSpec(fn=_boom)],
+              config=ExecConfig(retries=1), metrics=metrics)
+    counters = metrics.counter_values()
+    assert counters["exec.tasks.completed"] == 1
+    assert counters["exec.tasks.failed"] == 1
+    assert counters["exec.tasks.retries"] == 1
+    assert metrics.gauge_values()["exec.workers"] == 1
+    assert metrics.gauge_values()["exec.last_batch_wall_s"] >= 0.0
+
+
+def test_default_registry_receives_accounting():
+    before = EXEC_METRICS.counter("exec.tasks.completed").value
+    run_tasks([TaskSpec(fn=_square, args=(5,))])
+    assert EXEC_METRICS.counter("exec.tasks.completed").value == before + 1
+
+
+def test_empty_batch():
+    assert run_tasks([]) == []

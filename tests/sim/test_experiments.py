@@ -1,0 +1,159 @@
+"""The unified experiment registry and its executor integration.
+
+Covers the registry round-trip on every spec's tiny config, the
+serial-vs-parallel determinism guarantee for the fan-out simulators,
+the ``SeededConfig`` helpers, the deprecated wrappers, and the
+``telemetry_totals`` missing/failed accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.exec import ExecConfig
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.base import Experiment, ExperimentResult
+from repro.sim.experiments import (EXPERIMENTS, experiment_task, get_spec,
+                                   make_experiment, run_experiment,
+                                   run_experiments)
+from repro.sim.fleet import (FleetConfig, FleetResult, FleetSimulator,
+                             NodeFailure, quick_fleet)
+from repro.sim.powerdown_sim import PowerDownSimConfig, run_comparison
+from repro.sim.rank_sweep import RankSweepExperiment, TraceRankSweepConfig
+from repro.sim.selfrefresh_sim import SelfRefreshSimConfig
+from repro.workloads.azure import AzureTraceConfig
+
+EXPECTED_NAMES = {"powerdown", "powerdown_comparison", "fleet",
+                  "rank_sweep", "selfrefresh", "ramzzz_comparison"}
+
+
+def _small_node() -> PowerDownSimConfig:
+    return PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=4, duration_s=600.0),
+        scheduler=SchedulerConfig(duration_s=600.0))
+
+
+def _record_json(result) -> str:
+    return json.dumps(result.to_record().to_dict(), sort_keys=True)
+
+
+def test_registry_names():
+    assert EXPECTED_NAMES <= set(EXPERIMENTS)
+
+
+def test_get_spec_unknown_name_lists_choices():
+    with pytest.raises(KeyError, match="rank_sweep"):
+        get_spec("no-such-experiment")
+
+
+def test_specs_conform_to_protocol():
+    for spec in EXPERIMENTS.values():
+        experiment = make_experiment(spec.name, spec.tiny_config())
+        assert isinstance(experiment, Experiment)
+        assert experiment.name == spec.name
+        assert isinstance(experiment.config, spec.config_type)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_registry_round_trip(name):
+    """Every registered experiment runs on its tiny config and records."""
+    spec = get_spec(name)
+    result = run_experiment(name, spec.tiny_config())
+    assert isinstance(result, ExperimentResult)
+    record = result.to_record()
+    assert record.experiment
+    assert record.metrics
+    json.dumps(record.to_dict())  # records must be JSON-serialisable
+
+
+def test_run_experiments_batch_and_cache():
+    spec = get_spec("rank_sweep")
+    config = spec.tiny_config()
+    from repro.exec import ResultCache
+    cache = ResultCache()
+    first = run_experiments([("rank_sweep", config)], cache=cache)
+    second = run_experiments([("rank_sweep", config)], cache=cache)
+    assert first[0].ok and second[0].ok
+    assert not first[0].from_cache and second[0].from_cache
+    assert _record_json(first[0].value) == _record_json(second[0].value)
+
+
+def test_experiment_task_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        experiment_task("nope", None)
+
+
+def test_fleet_serial_parallel_bit_identical():
+    config = FleetConfig(num_nodes=2, node=_small_node())
+    serial = FleetSimulator(config, ExecConfig(workers=1)).run()
+    parallel = FleetSimulator(config, ExecConfig(workers=2)).run()
+    assert _record_json(serial) == _record_json(parallel)
+    assert serial.telemetry_totals() == parallel.telemetry_totals()
+
+
+def test_rank_sweep_serial_parallel_bit_identical():
+    config = TraceRankSweepConfig(num_accesses=2_000, rank_counts=(8, 2))
+    serial = RankSweepExperiment(config, ExecConfig(workers=1)).run()
+    parallel = RankSweepExperiment(config, ExecConfig(workers=2)).run()
+    assert _record_json(serial) == _record_json(parallel)
+
+
+def test_with_seed_and_replace():
+    config = PowerDownSimConfig()
+    reseeded = config.with_seed(7)
+    assert reseeded.seed == 7
+    assert config.seed == 0  # original untouched (frozen dataclass)
+    assert dataclasses.replace(reseeded, seed=0) == config
+    tweaked = config.replace(spare_migration_bandwidth_gbs=9.0)
+    assert tweaked.spare_migration_bandwidth_gbs == 9.0
+    assert tweaked.azure == config.azure  # every other field carried over
+    for config_type in (SelfRefreshSimConfig, TraceRankSweepConfig):
+        assert config_type().with_seed(9).seed == 9
+
+
+def test_node_configs_derive_seeds():
+    simulator = FleetSimulator(FleetConfig(num_nodes=3, node=_small_node(),
+                                           base_seed=10))
+    assert [c.seed for c in simulator.node_configs()] == [10, 11, 12]
+
+
+def _node(counters):
+    telemetry = {"counters": counters} if counters is not None else {}
+    return SimpleNamespace(seed=0, dtl=SimpleNamespace(telemetry=telemetry))
+
+
+def test_telemetry_totals_distinguishes_missing_from_failed():
+    result = FleetResult(
+        config=FleetConfig(num_nodes=4, node=_small_node()),
+        nodes=[_node({"smc.l1.hits": 5.0}), _node({"smc.l1.hits": 7.0}),
+               _node(None)],
+        failures=[NodeFailure(seed=3, error="ValueError: boom")])
+    totals = result.telemetry_totals()
+    assert totals["smc.l1.hits"] == 12.0
+    assert totals["fleet.nodes_reporting"] == 2.0
+    assert totals["fleet.nodes_missing_telemetry"] == 1.0
+    assert totals["fleet.nodes_failed"] == 1.0
+
+
+def test_telemetry_totals_empty_fleet_reports_zeroes():
+    result = FleetResult(config=FleetConfig(num_nodes=0), nodes=[])
+    assert result.telemetry_totals() == {
+        "fleet.nodes_reporting": 0.0,
+        "fleet.nodes_missing_telemetry": 0.0,
+        "fleet.nodes_failed": 0.0,
+    }
+
+
+def test_deprecated_wrappers_warn_and_work():
+    with pytest.warns(DeprecationWarning):
+        baseline, dtl = run_comparison(_small_node())
+    assert not baseline.config.enable_power_down
+    assert dtl.config.enable_power_down
+    assert baseline.intervals and dtl.intervals
+    with pytest.warns(DeprecationWarning):
+        fleet = quick_fleet(num_nodes=1, duration_s=600.0, num_vms=4)
+    assert len(fleet.nodes) == 1
