@@ -1,0 +1,153 @@
+"""Scalar vs batch access-datapath throughput benchmark.
+
+Writes ``BENCH_access.json`` at the repository root comparing the
+per-access ``DtlController.access`` loop against the vectorised
+``access_batch`` on the same zipf-reuse trace:
+
+* **scalar** — the classic loop, full telemetry (the configuration any
+  pre-batch simulation ran under);
+* **batch** — one ``access_batch`` call per chunk on the telemetry fast
+  path (null metrics registry, disabled event trace).
+
+Both run with the power policies off so the number is the pure
+translation datapath (SMC + tables + routing), which is what the batch
+engine vectorises; policy costs are workload-dependent and benchmarked
+by the simulation suites.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_access.py
+
+CI gates on the speedup::
+
+    PYTHONPATH=src python benchmarks/bench_access.py --check-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DtlConfig
+from repro.core.controller import DtlController
+from repro.errors import PerformanceWarning
+from repro.telemetry import EventTrace, MetricsRegistry
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_access.json"
+
+NUM_ACCESSES = 200_000
+NUM_AUS = 4
+WRITE_FRACTION = 0.3
+SEED = 0
+#: Segment-popularity skew.  Cacheline-granular access streams land in
+#: 2 MiB segments, so segment-level reuse is very high in practice; 1.5
+#: keeps the SMC hot (the design point of Table 3) while still forcing
+#: thousands of cold segments through the table-walk path.
+ZIPF_EXPONENT = 1.5
+
+
+def _datapath_config() -> DtlConfig:
+    return DtlConfig(enable_self_refresh=False, enable_power_down=False)
+
+
+def _trace(config: DtlConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Zipf-reuse HPAs over a multi-AU footprint (hot SMC, some misses)."""
+    rng = np.random.default_rng(SEED)
+    segment = config.geometry.segment_bytes
+    segments = NUM_AUS * config.au_bytes // segment
+    hot = rng.zipf(ZIPF_EXPONENT, NUM_ACCESSES) % segments
+    hpas = (hot * segment + rng.integers(0, segment, NUM_ACCESSES)
+            ).astype(np.int64)
+    return hpas, rng.random(NUM_ACCESSES) < WRITE_FRACTION
+
+
+def bench_scalar(hpas: np.ndarray, writes: np.ndarray) -> float:
+    config = _datapath_config()
+    controller = DtlController(config)
+    controller.allocate_vm(0, NUM_AUS * config.au_bytes)
+    hpa_list = [int(h) for h in hpas]
+    write_list = [bool(w) for w in writes]
+    with warnings.catch_warnings():
+        # The loop is exactly what the warning tells users to stop doing.
+        warnings.simplefilter("ignore", PerformanceWarning)
+        start = time.perf_counter()
+        for hpa, write in zip(hpa_list, write_list):
+            controller.access(0, hpa, write)
+        return time.perf_counter() - start
+
+
+def bench_batch(hpas: np.ndarray, writes: np.ndarray) -> float:
+    config = _datapath_config()
+    controller = DtlController(config, metrics=MetricsRegistry.null(),
+                               trace=EventTrace.disabled())
+    controller.allocate_vm(0, NUM_AUS * config.au_bytes)
+    start = time.perf_counter()
+    controller.access_batch(0, hpas, writes)
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero unless batch >= X times "
+                             "scalar accesses/sec")
+    args = parser.parse_args(argv)
+
+    config = _datapath_config()
+    hpas, writes = _trace(config)
+    print(f"trace: {NUM_ACCESSES} accesses, "
+          f"{len(np.unique(hpas // config.geometry.segment_bytes))} "
+          f"distinct segments")
+    scalar_s = bench_scalar(hpas, writes)
+    scalar_rate = NUM_ACCESSES / scalar_s
+    print(f"  scalar  {scalar_s:.3f}s  {scalar_rate:,.0f} acc/s")
+    batch_s = bench_batch(hpas, writes)
+    batch_rate = NUM_ACCESSES / batch_s
+    speedup = scalar_s / batch_s
+    print(f"  batch   {batch_s:.3f}s  {batch_rate:,.0f} acc/s  "
+          f"speedup {speedup:.1f}x")
+
+    document = {
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "trace": {
+            "accesses": NUM_ACCESSES,
+            "aus": NUM_AUS,
+            "write_fraction": WRITE_FRACTION,
+            "zipf_exponent": ZIPF_EXPONENT,
+            "seed": SEED,
+        },
+        "scalar": {
+            "wall_s": round(scalar_s, 3),
+            "accesses_per_s": round(scalar_rate),
+        },
+        "batch": {
+            "wall_s": round(batch_s, 3),
+            "accesses_per_s": round(batch_rate),
+        },
+        "speedup": round(speedup, 2),
+    }
+    OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    if args.check_speedup is not None and speedup < args.check_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x is below the "
+              f"{args.check_speedup:.1f}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dram.geometry import DramGeometry
 from repro.errors import AddressError, ConfigurationError
 from repro.units import GIB, is_power_of_two, log2_int
@@ -130,6 +132,40 @@ class HostAddressLayout:
             raise AddressError(f"offset {offset} out of range")
         return (hsn << self.segment_offset_bits) | offset
 
+    # -- batch codecs ---------------------------------------------------------
+
+    def hsn_of_hpa_batch(self, hpas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`hsn_of_hpa` over an int64 HPA array."""
+        hpas = np.asarray(hpas, dtype=np.int64)
+        if len(hpas) and int(hpas.min()) < 0:
+            raise AddressError("negative HPA in batch")
+        return hpas >> self.segment_offset_bits
+
+    def offset_of_hpa_batch(self, hpas: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`offset_of_hpa` over an int64 HPA array."""
+        hpas = np.asarray(hpas, dtype=np.int64)
+        if len(hpas) and int(hpas.min()) < 0:
+            raise AddressError("negative HPA in batch")
+        return hpas & (self.geometry.segment_bytes - 1)
+
+    def pack_hsn_batch(self, host_id: int, au_ids: np.ndarray,
+                       au_offsets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`pack_hsn` for one host over paired arrays."""
+        if not 0 <= host_id < self.max_hosts:
+            raise AddressError(f"host_id {host_id} out of range")
+        au_ids = np.asarray(au_ids, dtype=np.int64)
+        au_offsets = np.asarray(au_offsets, dtype=np.int64)
+        if len(au_ids) and not (0 <= int(au_ids.min())
+                                and int(au_ids.max()) < self.max_aus_per_host):
+            raise AddressError("au_id out of range in batch")
+        if len(au_offsets) and not (0 <= int(au_offsets.min())
+                                    and int(au_offsets.max())
+                                    < self.segments_per_au):
+            raise AddressError("au_offset out of range in batch")
+        return ((host_id << (self.au_id_bits + self.au_offset_bits))
+                | (au_ids << self.au_offset_bits)
+                | au_offsets)
+
 
 @dataclass(frozen=True)
 class SegmentLocation:
@@ -207,6 +243,32 @@ class DeviceAddressLayout:
         Returns a range over segment indices; combine with :meth:`pack_dsn`.
         """
         return range(self.geometry.segments_per_rank)
+
+    # -- batch codecs ---------------------------------------------------------
+
+    def unpack_dsn_batch(self, dsns: np.ndarray,
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`unpack_dsn`: ``(channels, ranks, indices)``."""
+        geo = self.geometry
+        dsns = np.asarray(dsns, dtype=np.int64)
+        if len(dsns) and not (0 <= int(dsns.min())
+                              and int(dsns.max()) < geo.total_segments):
+            raise AddressError("DSN out of range in batch")
+        channels = dsns & (geo.channels - 1)
+        indices = (dsns >> geo.channel_bits) & (geo.segments_per_rank - 1)
+        ranks = dsns >> (geo.channel_bits + geo.segment_index_bits)
+        return channels, ranks, indices
+
+    def dpa_of_batch(self, dsns: np.ndarray,
+                     offsets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`dpa_of` over paired DSN/offset arrays."""
+        dsns = np.asarray(dsns, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if len(offsets) and not (0 <= int(offsets.min())
+                                 and int(offsets.max())
+                                 < self.geometry.segment_bytes):
+            raise AddressError("offset out of range in batch")
+        return (dsns << self.geometry.segment_offset_bits) | offsets
 
 
 __all__ = [

@@ -16,8 +16,11 @@ application changes are modelled, which is the paper's deployment story.
 from __future__ import annotations
 
 import itertools
+import warnings
 from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.addressing import (DeviceAddressLayout, HostAddressLayout,
                                    SegmentLocation)
@@ -32,10 +35,15 @@ from repro.core.translation import TranslationEngine
 from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
 from repro.dram.timing import CXL_MEMORY_LATENCY_NS
-from repro.errors import AllocationError
+from repro.errors import AllocationError, PerformanceWarning
 from repro.telemetry import (EventKind, EventTrace, MetricsRegistry,
-                             Snapshot)
+                             Snapshot, TraceEvent)
 from repro.units import CACHELINE_BYTES
+
+#: Scalar :meth:`DtlController.access` calls after which the controller
+#: suggests :meth:`DtlController.access_batch` (once, via
+#: :class:`~repro.errors.PerformanceWarning`).
+SCALAR_ACCESS_WARN_THRESHOLD = 100_000
 
 
 @dataclass(frozen=True)
@@ -64,18 +72,51 @@ class AccessResult:
     routed_to_new_dsn: bool
 
 
+@dataclass
+class BatchAccessResult:
+    """Outcome of one vectorised batch of host accesses (array-of-struct).
+
+    Every field is an array with one element per input HPA, in input
+    order; ``result[i]`` fields equal the :class:`AccessResult` the
+    scalar path would have produced for the same access.
+    """
+
+    hpas: np.ndarray
+    dsns: np.ndarray
+    dpas: np.ndarray
+    channels: np.ndarray
+    ranks: np.ndarray
+    latency_ns: np.ndarray
+    smc_l1_hits: np.ndarray
+    smc_l2_hits: np.ndarray
+    wake_penalty_ns: np.ndarray
+    routed_to_new_dsn: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.hpas)
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Sum of per-access latencies."""
+        return float(self.latency_ns.sum())
+
+
 class DtlController:
     """Software-transparent DRAM translation layer in a CXL controller."""
 
     def __init__(self, config: DtlConfig | None = None,
-                 cxl_latency_ns: float = CXL_MEMORY_LATENCY_NS):
+                 cxl_latency_ns: float = CXL_MEMORY_LATENCY_NS,
+                 metrics: MetricsRegistry | None = None,
+                 trace: EventTrace | None = None):
         self.config = config or DtlConfig()
         geometry = self.config.geometry
         self.geometry = geometry
         self.cxl_latency_ns = cxl_latency_ns
         # One registry + one event trace shared by every subsystem below.
-        self.metrics = MetricsRegistry()
-        self.trace = EventTrace()
+        # Pass MetricsRegistry.null() / EventTrace.disabled() to run the
+        # datapath with zero telemetry overhead (see docs/PERF.md).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else EventTrace()
         self.host_layout = HostAddressLayout(
             geometry, au_bytes=self.config.au_bytes,
             max_hosts=self.config.max_hosts)
@@ -121,6 +162,8 @@ class DtlController:
         self._writes = self.metrics.counter("dtl.writes")
         self._redirects = self.metrics.counter("dtl.redirected_writes")
         self._access_latency = self.metrics.histogram("dtl.access_latency_ns")
+        self._scalar_access_calls = 0
+        self._scalar_access_warned = False
 
     @property
     def access_count(self) -> int:
@@ -170,9 +213,8 @@ class DtlController:
                 dsns = self.allocator.allocate(
                     self.host_layout.segments_per_au, allowed)
                 self._wake_ranks_holding(dsns, now_s)
-                for au_offset, dsn in enumerate(dsns):
-                    hsn = self.host_layout.pack_hsn(host_id, au_id, au_offset)
-                    self.tables.map_segment(hsn, dsn)
+                self.tables.map_au_segments(
+                    host_id, au_id, np.asarray(dsns, dtype=np.int64))
         except AllocationError:
             # Unwind every AU this call touched: segments mapped for the
             # AUs that completed (and the AU-table slice of the one that
@@ -198,10 +240,14 @@ class DtlController:
         """
         if vm.vm_id not in self._vms:
             raise AllocationError(f"VM {vm.vm_id} is not live")
+        segments_per_au = self.host_layout.segments_per_au
+        au_offsets = np.arange(segments_per_au, dtype=np.int64)
         for au_id in vm.au_ids:
-            for au_offset in range(self.host_layout.segments_per_au):
-                hsn = self.host_layout.pack_hsn(vm.host_id, au_id, au_offset)
-                self.translation.invalidate(hsn)
+            hsns = self.host_layout.pack_hsn_batch(
+                vm.host_id, np.full(segments_per_au, au_id, dtype=np.int64),
+                au_offsets)
+            for hsn in hsns:
+                self.translation.invalidate(int(hsn))
             dsns = self.tables.free_au(vm.host_id, au_id)
             self.allocator.free(dsns)
             self._free_aus(vm.host_id).append(au_id)
@@ -224,6 +270,15 @@ class DtlController:
     def access(self, host_id: int, hpa: int, is_write: bool = False,
                now_ns: float = 0.0) -> AccessResult:
         """One host load/store through the CXL + DTL datapath."""
+        self._scalar_access_calls += 1
+        if (self._scalar_access_calls > SCALAR_ACCESS_WARN_THRESHOLD
+                and not self._scalar_access_warned):
+            self._scalar_access_warned = True
+            warnings.warn(
+                f"over {SCALAR_ACCESS_WARN_THRESHOLD} scalar access() calls "
+                "on one controller; access_batch() serves long traces "
+                "orders of magnitude faster (see docs/PERF.md)",
+                PerformanceWarning, stacklevel=2)
         hsn_local = self.host_layout.hsn_of_hpa(hpa)
         # HPAs arriving from a host are host-local; fold in the host ID.
         _, au_id, au_offset = self._split_local_hsn(hsn_local)
@@ -240,12 +295,11 @@ class DtlController:
                     dsn = request.new_dsn
                     routed_new = True
         wake_ns = 0.0
+        location = self.device_layout.unpack_dsn(dsn)
         if self.self_refresh is not None:
             wake_ns = self.self_refresh.on_access(dsn, now_ns)
         else:
-            location = self.device_layout.unpack_dsn(dsn)
             self.device.rank(location.channel, location.rank).record_access()
-        location = self.device_layout.unpack_dsn(dsn)
         dpa = self.device_layout.dpa_of(
             dsn, self.host_layout.offset_of_hpa(hpa))
         latency_ns = self.cxl_latency_ns + xlat_ns + wake_ns
@@ -263,6 +317,80 @@ class DtlController:
             latency_ns=latency_ns,
             smc_l1_hit=l1_hit, smc_l2_hit=l2_hit, wake_penalty_ns=wake_ns,
             routed_to_new_dsn=routed_new)
+
+    def access_batch(self, host_id: int, hpas: np.ndarray,
+                     writes: np.ndarray | None = None,
+                     now_ns: float = 0.0) -> BatchAccessResult:
+        """Vectorised :meth:`access` over a whole request array.
+
+        Bit-identical to calling :meth:`access` once per element in
+        order: DSNs, hit classes, per-access latencies, wake penalties,
+        write routing, cache/counter state, and power states all match
+        the scalar loop (float *totals* and trace buffer ordering can
+        differ; see docs/PERF.md).  Only two conditions fall back to
+        scalar replay, and only for the affected subset: writes to
+        segments with a tracked migration, and accesses on channels whose
+        self-refresh state machine could change mid-batch.
+        """
+        hpas = np.asarray(hpas, dtype=np.int64)
+        n = len(hpas)
+        if writes is None:
+            writes = np.zeros(n, dtype=bool)
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if len(writes) != n:
+                raise ValueError(
+                    f"writes length {len(writes)} != hpas length {n}")
+        host = self.host_layout
+        hsn_locals = host.hsn_of_hpa_batch(hpas)
+        au_ids = hsn_locals // host.segments_per_au
+        au_offsets = hsn_locals % host.segments_per_au
+        hsns = host.pack_hsn_batch(host_id, au_ids, au_offsets)
+        dsns, xlat_ns, l1_hits, l2_hits = \
+            self.translation.translate_hsn_batch(hsns)
+        offsets = host.offset_of_hpa_batch(hpas)
+        routed_new = np.zeros(n, dtype=bool)
+        # Write routing: segments without a tracked migration route
+        # OLD_DSN with no side effects, so only writes hitting tracked
+        # segments replay the scalar conflict protocol (in input order —
+        # an abort at one write changes the routing of later ones).
+        if writes.any() and self.migration.has_tracked_requests:
+            tracked = np.fromiter(self.migration.tracked_dsns(),
+                                  dtype=np.int64)
+            for i in np.nonzero(writes & np.isin(dsns, tracked))[0]:
+                dsn = int(dsns[i])
+                routing = self.migration.on_foreground_write(
+                    dsn, int(offsets[i]) // CACHELINE_BYTES)
+                if routing is WriteRouting.NEW_DSN:
+                    request = self.migration.request_for(dsn)
+                    if request is not None:
+                        dsns[i] = request.new_dsn
+                        routed_new[i] = True
+        channels, ranks, _ = self.device_layout.unpack_dsn_batch(dsns)
+        if self.self_refresh is not None:
+            wake_ns = self.self_refresh.on_access_batch(dsns, now_ns)
+        else:
+            self.device.record_accesses(channels, ranks)
+            wake_ns = np.zeros(n, dtype=np.float64)
+        dpas = self.device_layout.dpa_of_batch(dsns, offsets)
+        latency_ns = self.cxl_latency_ns + xlat_ns + wake_ns
+        self._accesses.inc(n)
+        self._writes.inc(int(writes.sum()))
+        self._redirects.inc(int(routed_new.sum()))
+        self._access_latency.observe_batch(latency_ns)
+        if self.trace.enabled:
+            start = n - min(n, self.trace.capacity)
+            tail = [TraceEvent(kind=EventKind.ACCESS, time=now_ns,
+                               data={"hsn": int(hsns[i]),
+                                     "dsn": int(dsns[i]),
+                                     "write": bool(writes[i]),
+                                     "latency_ns": float(latency_ns[i])})
+                    for i in range(start, n)]
+            self.trace.record_tail(EventKind.ACCESS, n, tail)
+        return BatchAccessResult(
+            hpas=hpas, dsns=dsns, dpas=dpas, channels=channels, ranks=ranks,
+            latency_ns=latency_ns, smc_l1_hits=l1_hits, smc_l2_hits=l2_hits,
+            wake_penalty_ns=wake_ns, routed_to_new_dsn=routed_new)
 
     def _wake_ranks_holding(self, dsns: list[int], now_s: float) -> None:
         """Exit self-refresh on any rank receiving fresh allocations.
@@ -367,4 +495,5 @@ class DtlController:
         self.allocator.move_allocation(request.old_dsn, request.new_dsn)
 
 
-__all__ = ["VmHandle", "AccessResult", "DtlController"]
+__all__ = ["SCALAR_ACCESS_WARN_THRESHOLD", "VmHandle", "AccessResult",
+           "BatchAccessResult", "DtlController"]

@@ -193,6 +193,20 @@ class MigrationEngine:
         """The migration request whose source is ``dsn``, if any."""
         return self._by_old_dsn.get(dsn)
 
+    @property
+    def has_tracked_requests(self) -> bool:
+        """True when any segment has a queued or in-flight migration.
+
+        The batch datapath uses this to skip write routing entirely; the
+        tracked set only changes from the engine's own step/abort paths,
+        never from a read access, so it is stable across one batch.
+        """
+        return bool(self._by_old_dsn)
+
+    def tracked_dsns(self) -> list[int]:
+        """Source DSNs of all queued or in-flight migrations."""
+        return list(self._by_old_dsn)
+
     # -- foreground interface -------------------------------------------------------
 
     def on_foreground_write(self, dsn: int, line_index: int) -> WriteRouting:

@@ -24,6 +24,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.telemetry import EventKind, EventTrace, MetricsRegistry
@@ -142,6 +145,17 @@ class FullyAssociativeCache:
         if hsn in self._data:
             del self._data[hsn]
             self.stats.invalidations += 1
+            return True
+        return False
+
+    def touch(self, hsn: int) -> bool:
+        """Refresh ``hsn``'s LRU position without touching the stats.
+
+        Used by the batch datapath to replay the LRU effect of repeat
+        hits whose counting was done in bulk.
+        """
+        if hsn in self._data:
+            self._data.move_to_end(hsn)
             return True
         return False
 
@@ -275,7 +289,9 @@ class SegmentMappingCache:
                  trace: EventTrace | None = None):
         self.config = config or SegmentCacheConfig()
         registry = registry if registry is not None else MetricsRegistry()
-        self._trace = trace
+        # A permanently-disabled trace (the telemetry fast path) is
+        # dropped here so fill/invalidate skip the record call outright.
+        self._trace = trace if trace is not None and trace.enabled else None
         self.l1 = FullyAssociativeCache(
             self.config.l1_entries,
             stats=CacheStats(registry=registry, prefix="smc.l1"))
@@ -324,6 +340,166 @@ class SegmentMappingCache:
         if (in_l1 or in_l2) and self._trace is not None:
             self._trace.record(EventKind.SMC_INVALIDATE, hsn=hsn)
         return in_l1 or in_l2
+
+    # -- batch datapath -------------------------------------------------------
+
+    def _plan_chunk(self, hsns: np.ndarray, start: int, window: int,
+                    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray,
+                               list[int]]:
+        """Greedy one-pass chunk plan upholding the replay invariants.
+
+        Walks the window's distinct HSNs in first-occurrence order and
+        cuts the chunk just before the first HSN that would break one of
+        three invariants:
+
+        * **L1 capacity** — at most ``l1_entries`` distinct HSNs, so no
+          in-chunk entry, once touched, can be the L1 LRU victim;
+        * **L2 associativity** — at most ``l2_ways`` distinct HSNs per
+          L2 set, so touched in-chunk entries cannot be L2 victims;
+        * **back-invalidation hazard** — an L1 hit refreshes L1 recency
+          but *not* L2 recency, so a chunk HSN already resident in L1
+          keeps its pre-chunk L2 age; a fill by another chunk HSN in
+          the same L2 set could then evict it from L2 and
+          back-invalidate it out of L1 mid-chunk, making a later repeat
+          a full miss where the bulk accounting assumed an L1 hit.  The
+          hazard needs, in one set, a chunk HSN resident in L1 plus a
+          different chunk HSN absent from L2 (by inclusion never the
+          same HSN), so a set may not collect both.
+
+        Within such a chunk every repeat occurrence is an L1 hit and
+        per-distinct replay in first-occurrence order reproduces the
+        scalar cache state exactly.
+
+        Returns ``(end, uniq, first_idx, inverse, miss_candidates)``
+        with the unique data restricted to the chunk;
+        ``miss_candidates`` are the distinct HSNs absent from both
+        levels at plan time (their replay lookups will walk the
+        tables).
+        """
+        segment = hsns[start:start + window]
+        uniq, first_idx, inverse = np.unique(
+            segment, return_index=True, return_inverse=True)
+        sets = self.l2.sets
+        per_set: dict[int, int] = {}
+        l1_sets: set[int] = set()
+        miss_sets: set[int] = set()
+        miss_candidates: list[int] = []
+        cut = window
+        for position, k in enumerate(np.argsort(first_idx, kind="stable")):
+            if position >= self.config.l1_entries:
+                cut = int(first_idx[k])
+                break
+            hsn = int(uniq[k])
+            set_index = hsn % sets
+            count = per_set.get(set_index, 0) + 1
+            in_l1 = hsn in self.l1
+            not_in_l2 = hsn not in self.l2
+            if (count > self.l2.ways
+                    or ((in_l1 or set_index in l1_sets)
+                        and (not_in_l2 or set_index in miss_sets))):
+                cut = int(first_idx[k])
+                break
+            per_set[set_index] = count
+            if in_l1:
+                l1_sets.add(set_index)
+            if not_in_l2:
+                miss_sets.add(set_index)
+                miss_candidates.append(hsn)
+        if cut < window:
+            keep = first_idx < cut
+            remap = np.cumsum(keep) - 1
+            inverse = remap[inverse[:cut]]
+            uniq = uniq[keep]
+            first_idx = first_idx[keep]
+        return start + cut, uniq, first_idx, inverse, miss_candidates
+
+    def lookup_batch(self, hsns: np.ndarray,
+                     resolve: Callable[[int], int],
+                     resolve_batch: Callable[[np.ndarray], np.ndarray]
+                     | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve a whole HSN array, replaying scalar effects per distinct.
+
+        The batch is cut into chunks (see :meth:`_plan_chunk`); inside a
+        chunk only the distinct HSNs go through the sequential
+        lookup/fill path (``np.unique`` collapses repeats), repeats are
+        accounted as L1 hits in bulk, and the final L1 LRU order is
+        restored by re-touching distinct HSNs in last-occurrence order.
+        Full misses call ``resolve(hsn)`` (the table walk) and fill both
+        levels, exactly like the scalar path; when ``resolve_batch`` is
+        given, each chunk's predicted misses are resolved in one
+        vectorised call up front and ``resolve`` only serves the rare
+        mid-chunk eviction of a pre-chunk resident.
+
+        Returns ``(dsns, l1_hits, l2_hits)`` arrays; hit/miss counters,
+        LRU states, fills, evictions, and trace events end up identical
+        to ``lookup`` + ``fill`` called per access in order (trace event
+        identity holds for fills/evictions; see docs/PERF.md for the
+        ordering contract).
+        """
+        hsns = np.asarray(hsns, dtype=np.int64)
+        n = len(hsns)
+        dsns = np.empty(n, dtype=np.int64)
+        l1_hits = np.empty(n, dtype=bool)
+        l2_hits = np.empty(n, dtype=bool)
+        max_window = 4 * self.config.l2_entries
+        window = min(n, max_window)
+        start = 0
+        while start < n:
+            end, uniq, first_idx, inverse, candidates = self._plan_chunk(
+                hsns, start, min(window, n - start))
+            # Adapt the plan window to the workload: chunks bounded by
+            # the invariants keep the np.unique cost proportional to the
+            # chunk actually consumed; unbounded chunks grow it back.
+            chunk_len = end - start
+            window = min(max_window,
+                         max(64, 4 * chunk_len))
+            resolved: dict[int, int] = {}
+            if resolve_batch is not None and candidates:
+                walked = resolve_batch(
+                    np.asarray(candidates, dtype=np.int64))
+                resolved = dict(zip(candidates, (int(d) for d in walked)))
+            d_dsn = np.empty(len(uniq), dtype=np.int64)
+            d_l1 = np.empty(len(uniq), dtype=bool)
+            d_l2 = np.empty(len(uniq), dtype=bool)
+            for k in np.argsort(first_idx, kind="stable"):
+                hsn = int(uniq[k])
+                result = self.lookup(hsn)
+                if result.dsn is None:
+                    dsn = resolved.get(hsn)
+                    if dsn is None:
+                        dsn = resolve(hsn)
+                    self.fill(hsn, dsn)
+                else:
+                    dsn = result.dsn
+                d_dsn[k] = dsn
+                d_l1[k] = result.l1_hit
+                d_l2[k] = result.l2_hit
+            repeats = chunk_len - len(uniq)
+            if repeats:
+                # Every repeat is an L1 hit (chunk invariant); their LRU
+                # effect is replayed below, their counting lands here.
+                self.l1.stats.hits += repeats
+                last_idx = np.empty(len(uniq), dtype=np.int64)
+                last_idx[inverse] = np.arange(chunk_len)
+                for k in np.argsort(last_idx, kind="stable"):
+                    self.l1.touch(int(uniq[k]))
+            is_first = np.zeros(chunk_len, dtype=bool)
+            is_first[first_idx] = True
+            dsns[start:end] = d_dsn[inverse]
+            l1_hits[start:end] = np.where(is_first, d_l1[inverse], True)
+            l2_hits[start:end] = np.where(is_first, d_l2[inverse], False)
+            start = end
+        return dsns, l1_hits, l2_hits
+
+    def latency_ns_batch(self, l1_hits: np.ndarray,
+                         l2_hits: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`hit_latency_ns` over hit-class arrays."""
+        config = self.config
+        return np.where(
+            l1_hits, config.l1_hit_ns,
+            np.where(l2_hits, config.l1_hit_ns + config.l2_hit_ns,
+                     config.miss_probe_ns))
 
     def hit_latency_ns(self, result: LookupResult) -> float:
         """Latency contribution of the cache portion of a lookup."""

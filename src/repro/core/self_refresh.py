@@ -259,6 +259,46 @@ class HotnessSelfRefreshPolicy:
             self._profiling_update(dsn, state, rank, now_ns)
         return penalty
 
+    def on_access_batch(self, dsns: np.ndarray, now_ns: float) -> np.ndarray:
+        """Scalar-identical batch variant of :meth:`on_access`.
+
+        Equivalent to calling :meth:`on_access` once per element of
+        ``dsns`` in order; returns the per-access wake penalties (ns).
+        Channels whose state machine cannot change mid-batch (not
+        PROFILING, no rank in self-refresh) take a vectorised fast path;
+        the rest replay scalar accesses in order.  Unlike
+        :meth:`on_batch` — which applies windowed distinct-segment
+        semantics — every repeat here counts.
+        """
+        dsns = np.asarray(dsns, dtype=np.int64)
+        penalties = np.zeros(len(dsns), dtype=np.float64)
+        if not len(dsns):
+            return penalties
+        channels = dsns & self._channel_mask
+        ranks = dsns >> self._rank_shift
+        for channel in np.unique(channels):
+            channel = int(channel)
+            mask = channels == channel
+            state = self._channels[channel]
+            # An access can mutate policy state mid-batch only while the
+            # channel is profiling (CLOCK table updates) or a rank might
+            # wake out of self-refresh; those channels replay scalar.
+            dirty = state.phase is ChannelPhase.PROFILING or any(
+                rank.state is PowerState.SELF_REFRESH
+                for rank in self.device.ranks_in_channel(channel))
+            if dirty:
+                for i in np.nonzero(mask)[0]:
+                    penalties[i] = self.on_access(int(dsns[i]), now_ns)
+                continue
+            counts = np.bincount(ranks[mask])
+            for rank, count in enumerate(counts):
+                if count:
+                    self.device.rank(channel, rank).record_access(int(count))
+                    state.window_counts[rank] = (
+                        state.window_counts.get(rank, 0) + int(count))
+            self.access_bits[dsns[mask]] = True
+        return penalties
+
     def on_batch(self, dsns: np.ndarray, now_ns: float,
                  bit_dsns: np.ndarray | None = None) -> float:
         """Apply one access window's worth of *distinct touched segments*.

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.addressing import HostAddressLayout
 from repro.errors import AddressError, AllocationError, TranslationError
 
@@ -35,31 +37,40 @@ class AuMappingSlice:
     """The segment mapping table slice for one allocated AU.
 
     Maps AU offsets (0 .. segments_per_au-1) to DSNs; ``UNMAPPED`` marks
-    segments not yet backed by DRAM.
+    segments not yet backed by DRAM.  Backed by an int64 array so whole
+    slices can be gathered/scattered by the batch datapath.
     """
 
     def __init__(self, au_id: int, segments_per_au: int):
         self.au_id = au_id
-        self._dsns: list[int] = [UNMAPPED] * segments_per_au
+        self._dsns = np.full(segments_per_au, UNMAPPED, dtype=np.int64)
 
     def get(self, au_offset: int) -> int:
         """DSN for ``au_offset`` (may be :data:`UNMAPPED`)."""
-        return self._dsns[au_offset]
+        return int(self._dsns[au_offset])
 
     def set(self, au_offset: int, dsn: int) -> None:
         """Record that ``au_offset`` is backed by segment ``dsn``."""
         self._dsns[au_offset] = dsn
 
+    def set_batch(self, au_offsets: np.ndarray, dsns: np.ndarray) -> None:
+        """Scatter ``dsns`` into the slice at ``au_offsets``."""
+        self._dsns[au_offsets] = dsns
+
+    def get_batch(self, au_offsets: np.ndarray) -> np.ndarray:
+        """Gather the DSNs at ``au_offsets`` (may contain UNMAPPED)."""
+        return self._dsns[au_offsets]
+
     def clear(self, au_offset: int) -> int:
         """Unmap ``au_offset``; returns the previous DSN."""
-        old = self._dsns[au_offset]
+        old = int(self._dsns[au_offset])
         self._dsns[au_offset] = UNMAPPED
         return old
 
     def mapped_offsets(self) -> list[int]:
         """AU offsets currently backed by a segment."""
-        return [offset for offset, dsn in enumerate(self._dsns)
-                if dsn != UNMAPPED]
+        return [int(offset)
+                for offset in np.nonzero(self._dsns != UNMAPPED)[0]]
 
     def __len__(self) -> int:
         return len(self._dsns)
@@ -136,6 +147,32 @@ class TranslationTables:
         au_slice.set(au_offset, dsn)
         self._reverse[dsn] = hsn
 
+    def map_au_segments(self, host_id: int, au_id: int,
+                        dsns: np.ndarray) -> np.ndarray:
+        """Install one AU's whole mapping slice in a single scatter.
+
+        Equivalent to calling :meth:`map_segment` for every
+        ``(au_offset, dsn)`` pair in order, with the same validation
+        (already-mapped offsets and in-use DSNs are rejected before any
+        state changes).  Returns the packed HSNs of the mapped segments.
+        """
+        au_slice = self._au_slice(host_id, au_id)
+        dsns = np.asarray(dsns, dtype=np.int64)
+        au_offsets = np.arange(len(dsns), dtype=np.int64)
+        hsns = self.layout.pack_hsn_batch(host_id,
+                                          np.full(len(dsns), au_id,
+                                                  dtype=np.int64),
+                                          au_offsets)
+        if (au_slice.get_batch(au_offsets) != UNMAPPED).any():
+            raise TranslationError(
+                f"AU {au_id} of host {host_id} has mapped segments")
+        if len(np.unique(dsns)) != len(dsns) or any(
+                int(dsn) in self._reverse for dsn in dsns):
+            raise TranslationError("DSN already in use in batch mapping")
+        au_slice.set_batch(au_offsets, dsns)
+        self._reverse.update(zip(map(int, dsns), map(int, hsns)))
+        return hsns
+
     def remap_segment(self, hsn: int, new_dsn: int) -> int:
         """Point ``hsn`` at ``new_dsn`` after migration; returns the old DSN."""
         host_id, au_id, au_offset = self.layout.unpack_hsn(hsn)
@@ -185,6 +222,39 @@ class TranslationTables:
         if dsn == UNMAPPED:
             raise TranslationError(f"HSN {hsn:#x} is not mapped")
         return WalkResult(dsn=dsn, sram_accesses=2, dram_accesses=1)
+
+    def walk_batch(self, hsns: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`walk`: one DSN per input HSN.
+
+        HSNs are grouped by their ``(host_id, au_id)`` prefix so each
+        allocated AU's slice is gathered once, however many times its
+        segments repeat in the batch.
+
+        Raises:
+            TranslationError: if any HSN has no mapping.
+        """
+        hsns = np.asarray(hsns, dtype=np.int64)
+        dsns = np.empty(len(hsns), dtype=np.int64)
+        if not len(hsns):
+            return dsns
+        layout = self.layout
+        if not (0 <= int(hsns.min())
+                and int(hsns.max()) < (1 << layout.hsn_bits)):
+            raise AddressError("HSN out of range in batch")
+        au_offsets = hsns & (layout.segments_per_au - 1)
+        prefixes = hsns >> layout.au_offset_bits  # host_id | au_id
+        au_mask = layout.max_aus_per_host - 1
+        for prefix in np.unique(prefixes):
+            host_id = int(prefix) >> layout.au_id_bits
+            au_id = int(prefix) & au_mask
+            mask = prefixes == prefix
+            au_slice = self._au_slice(host_id, au_id)
+            group = au_slice.get_batch(au_offsets[mask])
+            if (group == UNMAPPED).any():
+                bad = hsns[mask][group == UNMAPPED][0]
+                raise TranslationError(f"HSN {int(bad):#x} is not mapped")
+            dsns[mask] = group
+        return dsns
 
     def try_walk(self, hsn: int) -> int | None:
         """Like :meth:`walk` but returns ``None`` for unmapped HSNs."""

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.addressing import HostAddressLayout
 from repro.core.segment_cache import (SegmentCacheConfig, SegmentMappingCache,
                                       cycles_to_ns)
@@ -111,6 +113,32 @@ class TranslationEngine:
         self._latency_total.inc(latency_ns)
         self._latency_hist.observe(latency_ns)
         return dsn, latency_ns, result.l1_hit, result.l2_hit
+
+    def translate_hsn_batch(self, hsns: np.ndarray,
+                            ) -> tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]:
+        """Vectorised :meth:`translate_hsn` over an HSN array.
+
+        Returns ``(dsns, latencies_ns, l1_hits, l2_hits)``.  DSNs, hit
+        classes, per-access latency values, cache/walk counters, and SMC
+        state are identical to the scalar loop; the registry's latency
+        *total* accumulates in one addition per batch, so it can differ
+        from the sequential sum in the last ULPs (see docs/PERF.md).
+        """
+        def _resolve(hsn: int) -> int:
+            return self.tables.walk(hsn).dsn
+
+        dsns, l1_hits, l2_hits = self.smc.lookup_batch(
+            hsns, _resolve, resolve_batch=self.tables.walk_batch)
+        latencies = self.smc.latency_ns_batch(l1_hits, l2_hits)
+        misses = ~(l1_hits | l2_hits)
+        if misses.any():
+            latencies = latencies + misses * self.miss_penalty_ns
+            self._table_walks.inc(int(misses.sum()))
+        self._translations.inc(len(dsns))
+        self._latency_total.inc(float(latencies.sum()))
+        self._latency_hist.observe_batch(latencies)
+        return dsns, latencies, l1_hits, l2_hits
 
     def translate(self, hpa: int) -> Translation:
         """Translate a full host physical address."""

@@ -90,6 +90,58 @@ class BankState:
         self.stats.conflicts += 1
         return RowOutcome.CONFLICT
 
+    def access_batch(self, bank_indices: np.ndarray, rows: np.ndarray,
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Classify a whole access stream; identical to :meth:`access`.
+
+        ``bank_indices`` are flat bank indices (:meth:`_bank_index`
+        applied to decoded addresses — see
+        :meth:`AddressDecoder.decode_batch`).  Returns boolean
+        ``(hits, misses, conflicts)`` masks over the input order.
+
+        The stream is grouped per bank with a stable argsort: within one
+        bank the previous open row of access *i* is simply row *i-1*
+        (the group head compares against the live ``_open_rows`` entry),
+        so the entire classification vectorises with one shift.
+        """
+        bank_indices = np.asarray(bank_indices, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        prev_rows = np.empty(len(rows), dtype=np.int64)
+        order = np.argsort(bank_indices, kind="stable")
+        sorted_banks = bank_indices[order]
+        sorted_rows = rows[order]
+        # Previous row within each bank group = shifted rows; group heads
+        # read the bank's current open row.
+        shifted = np.empty(len(rows), dtype=np.int64)
+        if len(rows):
+            shifted[1:] = sorted_rows[:-1]
+            shifted[0] = self.IDLE
+            heads = np.empty(len(rows), dtype=bool)
+            heads[0] = True
+            heads[1:] = sorted_banks[1:] != sorted_banks[:-1]
+            shifted[heads] = self._open_rows[sorted_banks[heads]]
+            # Last access per bank (next head, shifted left) leaves its
+            # row open.
+            tails = np.roll(heads, -1)
+            self._open_rows[sorted_banks[tails]] = sorted_rows[tails]
+        prev_rows[order] = shifted
+        misses = prev_rows == self.IDLE
+        hits = ~misses & (prev_rows == rows)
+        conflicts = ~misses & ~hits
+        self.stats.misses += int(misses.sum())
+        self.stats.hits += int(hits.sum())
+        self.stats.conflicts += int(conflicts.sum())
+        return hits, misses, conflicts
+
+    def bank_index_batch(self, channels: np.ndarray, ranks: np.ndarray,
+                         banks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_bank_index`."""
+        geo = self.geometry
+        return ((np.asarray(channels, dtype=np.int64)
+                 * geo.ranks_per_channel
+                 + np.asarray(ranks, dtype=np.int64))
+                * geo.banks_per_rank + np.asarray(banks, dtype=np.int64))
+
     def precharge_all(self) -> None:
         """Close every row (e.g. after refresh)."""
         self._open_rows.fill(self.IDLE)
@@ -155,6 +207,34 @@ class AddressDecoder:
         row = row_linear // geo.banks_per_rank
         return DramAddress(channel, rank, bank, int(row))
 
+    def decode_batch(self, addresses: np.ndarray,
+                     ) -> tuple[np.ndarray, np.ndarray,
+                                np.ndarray, np.ndarray]:
+        """Vectorised :meth:`decode`: ``(channels, ranks, banks, rows)``."""
+        geo = self.geometry
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if self.mapping == "interleaved":
+            block = addresses >> 6
+            channels = block % geo.channels
+            block = block // geo.channels
+            banks = block % geo.banks_per_rank
+            block = block // geo.banks_per_rank
+            ranks = block % geo.ranks_per_channel
+            rows = block // geo.ranks_per_channel
+            return channels, ranks, banks, rows
+        segments = addresses // geo.segment_bytes
+        offsets = addresses % geo.segment_bytes
+        channels = segments % geo.channels
+        within_channel = segments // geo.channels
+        ranks = (within_channel // geo.segments_per_rank) \
+            % geo.ranks_per_channel
+        row_linear = (within_channel % geo.segments_per_rank) \
+            * (geo.segment_bytes // self.row_bytes) \
+            + (offsets >> self._row_bits)
+        banks = row_linear % geo.banks_per_rank
+        rows = row_linear // geo.banks_per_rank
+        return channels, ranks, banks, rows
+
 
 class RowBufferAnalyzer:
     """Classify a whole trace and estimate the effective service time."""
@@ -168,10 +248,9 @@ class RowBufferAnalyzer:
 
     def run(self, addresses: np.ndarray) -> BankStats:
         """Classify every access of a flat address stream."""
-        for address in addresses:
-            decoded = self.decoder.decode(int(address))
-            self.banks.access(decoded.channel, decoded.rank, decoded.bank,
-                              decoded.row)
+        channels, ranks, banks, rows = self.decoder.decode_batch(addresses)
+        indices = self.banks.bank_index_batch(channels, ranks, banks)
+        self.banks.access_batch(indices, rows)
         return self.banks.stats
 
     def mean_service_time_ns(self) -> float:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.dram.geometry import DramGeometry
 from repro.dram.power import DramPowerModel, PowerState
 from repro.dram.rank import Rank
@@ -73,6 +75,22 @@ class DramDevice:
         """The rank-group with index ``group_index`` (one rank per channel)."""
         return [self.ranks[(channel, group_index)]
                 for channel in range(self.geometry.channels)]
+
+    def record_accesses(self, channels: np.ndarray,
+                        ranks: np.ndarray) -> None:
+        """Bulk-count accesses: one :meth:`Rank.record_access` per rank.
+
+        Equivalent to ``rank(c, r).record_access()`` for every paired
+        ``(c, r)`` element, but with per-rank totals accumulated by
+        ``np.bincount`` first.
+        """
+        per_channel = self.geometry.ranks_per_channel
+        codes = (np.asarray(channels, dtype=np.int64) * per_channel
+                 + np.asarray(ranks, dtype=np.int64))
+        for code, count in enumerate(np.bincount(codes)):
+            if count:
+                self.rank(code // per_channel,
+                          code % per_channel).record_access(int(count))
 
     def state_counts(self) -> dict[PowerState, int]:
         """Number of ranks currently in each power state."""

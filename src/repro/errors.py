@@ -29,3 +29,12 @@ class MigrationError(ReproError):
 
 class PowerStateError(ReproError):
     """Raised for illegal DRAM power-state transitions."""
+
+
+class PerformanceWarning(UserWarning):
+    """Warns when a caller uses a slow path with a faster batch equivalent.
+
+    Emitted (once per controller) when scalar ``DtlController.access``
+    is looped past 10^5 requests; ``access_batch`` serves such traces
+    orders of magnitude faster.  See ``docs/PERF.md``.
+    """

@@ -79,16 +79,27 @@ class ExecConfig:
         workers: Process count; ``None`` defers to ``REPRO_EXEC_WORKERS``.
         timeout_s: Per-task wall-clock budget on the parallel path
             (``None`` = unlimited; the serial path cannot interrupt a
-            running task and ignores it).
+            running task and ignores it).  Chunked submissions wait
+            ``timeout_s * len(chunk)`` per chunk.
         retries: Extra attempts after a failure or timeout.
         fallback_serial: Run leftover tasks in-process when the pool
             cannot be created or breaks.
+        chunk_size: Tasks submitted per pool job, so each worker
+            amortises pickling and dispatch overhead over several tasks.
+            ``None`` splits the pending tasks evenly over the workers
+            (one chunk each).
+        min_parallel_cost_s: Skip the pool and run serially when every
+            pending task carries a ``cost_hint_s`` and the estimated
+            per-worker share of the batch is below this threshold — the
+            pool's setup cost would dominate.
     """
 
     workers: int | None = None
     timeout_s: float | None = None
     retries: int = 1
     fallback_serial: bool = True
+    chunk_size: int | None = None
+    min_parallel_cost_s: float = 0.2
 
     def resolved_workers(self) -> int:
         """The effective worker count for this config."""
@@ -112,6 +123,13 @@ class TaskSpec:
     kwargs: dict = field(default_factory=dict)
     key: str | None = None
     label: str = ""
+    #: CPU-bound tasks gain nothing from a process pool on a single-core
+    #: host (the pool only adds pickling + context-switch overhead), so
+    #: the runner keeps them in-process there.
+    cpu_bound: bool = False
+    #: Estimated wall time; lets the runner skip the pool for batches
+    #: cheaper than ``ExecConfig.min_parallel_cost_s`` per worker.
+    cost_hint_s: float | None = None
 
 
 @dataclass
@@ -168,6 +186,35 @@ def _invoke(fn: Callable[..., Any], args: tuple,
     return value, time.perf_counter() - start, os.getpid()
 
 
+def _invoke_chunk(specs: list[tuple[Callable[..., Any], tuple, dict]],
+                  retries: int) -> list[tuple[bool, Any, float, int, int]]:
+    """Run several tasks in one worker job, with in-worker retries.
+
+    Returns one ``(ok, value_or_error, wall_s, pid, attempts)`` record
+    per spec, in order.  Retrying inside the worker keeps a transient
+    failure from costing a round trip through the parent.
+    """
+    records = []
+    for fn, args, kwargs in specs:
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                value = fn(*args, **kwargs)
+            except Exception as exc:
+                if attempts <= retries:
+                    continue
+                records.append((False, _describe_error(exc),
+                                time.perf_counter() - start, os.getpid(),
+                                attempts))
+                break
+            records.append((True, value, time.perf_counter() - start,
+                            os.getpid(), attempts))
+            break
+    return records
+
+
 def _describe_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
@@ -192,67 +239,102 @@ def _run_one_serial(task: TaskSpec, config: ExecConfig,
                            attempts=attempts, worker_pid=pid)
 
 
+def _chunk_pending(pending: list[int], config: ExecConfig,
+                   workers: int) -> list[list[int]]:
+    """Cut pending indices into submission chunks (order-preserving)."""
+    size = config.chunk_size
+    if size is None:
+        size = max(1, -(-len(pending) // workers))
+    size = max(1, size)
+    return [pending[start:start + size]
+            for start in range(0, len(pending), size)]
+
+
 def _run_pool(tasks: list[TaskSpec], pending: list[int],
               outcomes: list[TaskOutcome | None], config: ExecConfig,
               workers: int, meter: _Meter) -> list[int]:
     """Run ``pending`` task indices on a pool; fill ``outcomes``.
 
-    Returns the indices that still need (serial) execution — empty on a
-    clean run, the unfinished tail when the pool broke.
+    Tasks are submitted in chunks (see :meth:`ExecConfig.chunk_size`) so
+    each worker amortises pool dispatch and argument pickling over
+    several tasks.  Returns the indices that still need (serial)
+    execution — empty on a clean run, the unfinished tail when the pool
+    broke.
     """
+    chunks = _chunk_pending(pending, config, workers)
     try:
         executor = ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
+            max_workers=min(workers, len(chunks)),
             initializer=_worker_init)
     except (OSError, ValueError, NotImplementedError):
         meter.count("serial_fallbacks")
         return pending if config.fallback_serial else _mark_failed(
             tasks, pending, outcomes, meter, "process pool unavailable")
-    attempts = dict.fromkeys(pending, 1)
+
+    def submit(chunk: list[int]):
+        return executor.submit(
+            _invoke_chunk,
+            [(tasks[index].fn, tasks[index].args, tasks[index].kwargs)
+             for index in chunk],
+            config.retries)
+
+    attempts = dict.fromkeys(range(len(chunks)), 1)
     try:
-        futures = {index: executor.submit(_invoke, tasks[index].fn,
-                                          tasks[index].args,
-                                          tasks[index].kwargs)
-                   for index in pending}
-        for index in pending:
-            task = tasks[index]
-            while outcomes[index] is None:
+        futures = {position: submit(chunk)
+                   for position, chunk in enumerate(chunks)}
+        for position, chunk in enumerate(chunks):
+            timeout = (None if config.timeout_s is None
+                       else config.timeout_s * len(chunk))
+            while any(outcomes[index] is None for index in chunk):
                 try:
-                    value, wall_s, pid = futures[index].result(
-                        timeout=config.timeout_s)
+                    records = futures[position].result(timeout=timeout)
                 except FutureTimeoutError:
                     meter.count("tasks.timeouts")
-                    futures[index].cancel()
-                    if attempts[index] <= config.retries:
-                        attempts[index] += 1
+                    futures[position].cancel()
+                    if attempts[position] <= config.retries:
+                        attempts[position] += 1
                         meter.count("tasks.retries")
-                        futures[index] = executor.submit(
-                            _invoke, task.fn, task.args, task.kwargs)
+                        futures[position] = submit(chunk)
                         continue
-                    meter.count("tasks.failed")
-                    outcomes[index] = TaskOutcome(
-                        label=task.label,
-                        error=(f"timeout after {config.timeout_s}s "
-                               f"({attempts[index]} attempts)"),
-                        attempts=attempts[index])
+                    for index in chunk:
+                        meter.count("tasks.failed")
+                        outcomes[index] = TaskOutcome(
+                            label=tasks[index].label,
+                            error=(f"timeout after {config.timeout_s}s "
+                                   f"({attempts[position]} attempts)"),
+                            attempts=attempts[position])
                 except BrokenProcessPool:
                     raise
                 except Exception as exc:
-                    if attempts[index] <= config.retries:
-                        attempts[index] += 1
+                    # Chunk-level failure outside the tasks themselves
+                    # (e.g. an unpicklable result).
+                    if attempts[position] <= config.retries:
+                        attempts[position] += 1
                         meter.count("tasks.retries")
-                        futures[index] = executor.submit(
-                            _invoke, task.fn, task.args, task.kwargs)
+                        futures[position] = submit(chunk)
                         continue
-                    meter.count("tasks.failed")
-                    outcomes[index] = TaskOutcome(
-                        label=task.label, error=_describe_error(exc),
-                        attempts=attempts[index])
+                    for index in chunk:
+                        meter.count("tasks.failed")
+                        outcomes[index] = TaskOutcome(
+                            label=tasks[index].label,
+                            error=_describe_error(exc),
+                            attempts=attempts[position])
                 else:
-                    meter.task_done(wall_s)
-                    outcomes[index] = TaskOutcome(
-                        label=task.label, value=value, wall_time_s=wall_s,
-                        attempts=attempts[index], worker_pid=pid)
+                    for index, record in zip(chunk, records):
+                        ok, payload, wall_s, pid, task_attempts = record
+                        if task_attempts > 1:
+                            meter.count("tasks.retries", task_attempts - 1)
+                        if ok:
+                            meter.task_done(wall_s)
+                            outcomes[index] = TaskOutcome(
+                                label=tasks[index].label, value=payload,
+                                wall_time_s=wall_s, attempts=task_attempts,
+                                worker_pid=pid)
+                        else:
+                            meter.count("tasks.failed")
+                            outcomes[index] = TaskOutcome(
+                                label=tasks[index].label, error=payload,
+                                attempts=task_attempts)
     except BrokenProcessPool:
         meter.count("serial_fallbacks")
         leftovers = [index for index in pending if outcomes[index] is None]
@@ -272,6 +354,25 @@ def _mark_failed(tasks: list[TaskSpec], indices: list[int],
         meter.count("tasks.failed")
         outcomes[index] = TaskOutcome(label=tasks[index].label, error=reason)
     return []
+
+
+def _should_skip_pool(tasks: list[TaskSpec], pending: list[int],
+                      config: ExecConfig, workers: int) -> bool:
+    """True when a process pool can only slow this batch down.
+
+    Two cases: every pending task carries a cost hint and the estimated
+    per-worker share is below ``min_parallel_cost_s`` (pool setup would
+    dominate), or the host has a single CPU and every pending task is
+    CPU-bound (no overlap to win, only pickling to pay).
+    """
+    hints = [tasks[index].cost_hint_s for index in pending]
+    if all(hint is not None for hint in hints):
+        if sum(hints) / workers < config.min_parallel_cost_s:
+            return True
+    if (os.cpu_count() or 1) == 1 and all(tasks[index].cpu_bound
+                                          for index in pending):
+        return True
+    return False
 
 
 def run_tasks(tasks: list[TaskSpec], config: ExecConfig | None = None,
@@ -297,7 +398,11 @@ def run_tasks(tasks: list[TaskSpec], config: ExecConfig | None = None,
         pending.append(index)
 
     if workers > 1 and len(pending) > 1:
-        pending = _run_pool(tasks, pending, outcomes, config, workers, meter)
+        if _should_skip_pool(tasks, pending, config, workers):
+            meter.count("pool_skips")
+        else:
+            pending = _run_pool(tasks, pending, outcomes, config, workers,
+                                meter)
     for index in pending:
         outcomes[index] = _run_one_serial(tasks[index], config, meter)
 

@@ -191,7 +191,8 @@ class FleetSimulator:
         node_configs = self.node_configs()
         tasks = [TaskSpec(fn=_run_node, args=(node_config,),
                           key=task_key("powerdown_comparison", node_config),
-                          label=f"fleet-node-{node_config.seed}")
+                          label=f"fleet-node-{node_config.seed}",
+                          cpu_bound=True)
                  for node_config in node_configs]
         metrics = MetricsRegistry()
         outcomes = run_tasks(tasks, config=self.exec_config, metrics=metrics)

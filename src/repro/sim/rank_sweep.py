@@ -94,24 +94,20 @@ class TraceRankSweep:
         banks = BankState(geometry)
         # Fold the trace's footprint into the shrunken capacity, exactly
         # what happens when fewer ranks back the same working set.
-        addresses = self.trace.addresses % np.uint64(geometry.total_bytes)
-        per_bank = np.zeros(geometry.ranks_per_channel
-                            * config.banks_per_rank, dtype=np.int64)
-        service_sum = 0.0
+        addresses = (self.trace.addresses
+                     % np.uint64(geometry.total_bytes)).astype(np.int64)
         timing = config.timing
-        outcome_cost = {
-            "hit": timing.row_hit_latency_ns(),
-            "miss": timing.row_miss_latency_ns(),
-            "conflict": timing.row_conflict_latency_ns(),
-        }
-        for address in addresses:
-            decoded = decoder.decode(int(address))
-            outcome = banks.access(decoded.channel, decoded.rank,
-                                   decoded.bank, decoded.row)
-            service_sum += outcome_cost[outcome.value]
-            if decoded.channel == 0:
-                per_bank[decoded.rank * config.banks_per_rank
-                         + decoded.bank] += 1
+        channels, ranks, bank_ids, rows = decoder.decode_batch(addresses)
+        indices = banks.bank_index_batch(channels, ranks, bank_ids)
+        hits, misses, conflicts = banks.access_batch(indices, rows)
+        service_sum = (int(hits.sum()) * timing.row_hit_latency_ns()
+                       + int(misses.sum()) * timing.row_miss_latency_ns()
+                       + int(conflicts.sum())
+                       * timing.row_conflict_latency_ns())
+        channel0 = channels == 0
+        per_bank = np.bincount(
+            ranks[channel0] * config.banks_per_rank + bank_ids[channel0],
+            minlength=geometry.ranks_per_channel * config.banks_per_rank)
         total = len(addresses)
         mean_service = service_sum / total
         # Per-bank arrival rates, shaped by the measured imbalance.
@@ -157,7 +153,8 @@ class TraceRankSweep:
         ordered = sorted(needed)
         outcomes = run_tasks(
             [TaskSpec(fn=_measure_task, args=(self, ranks),
-                      label=f"rank-sweep-{ranks}") for ranks in ordered],
+                      label=f"rank-sweep-{ranks}", cpu_bound=True)
+             for ranks in ordered],
             config=exec_config)
         measured = {ranks: outcome.unwrap()
                     for ranks, outcome in zip(ordered, outcomes)}
@@ -327,7 +324,7 @@ def mean_trace_driven_slowdown(active_ranks: int,
     outcomes = run_tasks(
         [TaskSpec(fn=_workload_slowdown,
                   args=(name, index, active_ranks, num_accesses),
-                  label=f"rank-sweep-{name}")
+                  label=f"rank-sweep-{name}", cpu_bound=True)
          for index, name in enumerate(workloads)],
         config=exec_config)
     return float(np.mean([outcome.unwrap() for outcome in outcomes]))

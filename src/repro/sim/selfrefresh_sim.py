@@ -255,9 +255,8 @@ class SelfRefreshSimulator:
 
     def _dsn_of(self, controller: DtlController,
                 hsns: np.ndarray) -> np.ndarray:
-        tables = controller.tables
-        return np.asarray([tables.walk(int(hsn)).dsn for hsn in hsns],
-                          dtype=np.int64)
+        return controller.tables.walk_batch(np.asarray(hsns,
+                                                       dtype=np.int64))
 
     # -- run -------------------------------------------------------------------
 

@@ -12,10 +12,10 @@ snapshot schema.
 """
 
 from repro.telemetry.events import (DEFAULT_TRACE_CAPACITY, EventKind,
-                                    EventTrace, TraceEvent)
+                                    EventTrace, NullEventTrace, TraceEvent)
 from repro.telemetry.registry import (DEFAULT_LATENCY_BUCKETS_NS, Counter,
                                       Gauge, Histogram, MetricsRegistry,
-                                      Snapshot)
+                                      NullMetricsRegistry, Snapshot)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_NS",
@@ -24,8 +24,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullMetricsRegistry",
     "Snapshot",
     "EventKind",
     "TraceEvent",
     "EventTrace",
+    "NullEventTrace",
 ]

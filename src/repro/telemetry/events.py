@@ -65,6 +65,21 @@ class EventTrace:
         self._tally: TallyCounter = TallyCounter()
         self.recorded = 0
 
+    @property
+    def enabled(self) -> bool:
+        """False on a disabled trace; producers may skip event building."""
+        return True
+
+    @staticmethod
+    def disabled() -> "NullEventTrace":
+        """A trace that records nothing (telemetry fast path).
+
+        Producers that check :attr:`enabled` can skip building event
+        payloads entirely; producers that do not still pay only a no-op
+        call.  The buffer stays empty and every tally reads zero.
+        """
+        return NullEventTrace()
+
     def record(self, kind: EventKind, time: float = 0.0,
                **data: Any) -> TraceEvent:
         """Append one event; oldest events fall off past ``capacity``."""
@@ -73,6 +88,25 @@ class EventTrace:
         self._tally[kind.value] += 1
         self.recorded += 1
         return event
+
+    def record_tail(self, kind: EventKind, count: int,
+                    tail: list[TraceEvent]) -> None:
+        """Account ``count`` events of one kind, buffering only ``tail``.
+
+        The batch datapath produces runs of events far longer than the
+        ring buffer; only the last ``capacity`` of a run could survive it
+        anyway.  Callers therefore build just the trailing
+        ``min(count, capacity)`` events and pass them here: the tally and
+        ``recorded`` advance by the full ``count`` (so ``dropped`` and
+        ``counts_by_kind`` match a sequence of :meth:`record` calls) while
+        the buffer receives only ``tail``.
+        """
+        if count < len(tail):
+            raise ValueError(
+                f"tail of {len(tail)} events exceeds count {count}")
+        self._events.extend(tail[-self.capacity:] if self.capacity else [])
+        self._tally[kind.value] += count
+        self.recorded += count
 
     @property
     def dropped(self) -> int:
@@ -104,9 +138,33 @@ class EventTrace:
         return iter(self._events)
 
 
+class NullEventTrace(EventTrace):
+    """An :class:`EventTrace` that drops everything.
+
+    Stands in wherever a trace is expected but tracing is off; recording
+    is a no-op and all read-backs are empty/zero.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(capacity=0)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(self, kind: EventKind, time: float = 0.0,
+               **data: Any) -> TraceEvent:
+        return TraceEvent(kind=kind, time=time, data=data)
+
+    def record_tail(self, kind: EventKind, count: int,
+                    tail: list[TraceEvent]) -> None:
+        pass
+
+
 __all__ = [
     "DEFAULT_TRACE_CAPACITY",
     "EventKind",
     "TraceEvent",
     "EventTrace",
+    "NullEventTrace",
 ]

@@ -18,6 +18,8 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: Default histogram bucket upper bounds (ns): spans an L1 SMC hit
@@ -90,6 +92,25 @@ class Histogram:
         self.count += 1
         self.total += value
 
+    def observe_batch(self, values: np.ndarray) -> None:
+        """Record many samples in one vectorised pass.
+
+        Bucket counts match a sequence of :meth:`observe` calls exactly
+        (``np.searchsorted(side="left")`` is ``bisect_left``); ``total``
+        accumulates in one addition, so it may differ from the sequential
+        sum in the last ULPs.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if not len(values):
+            return
+        indices = np.searchsorted(self.bounds, values, side="left")
+        per_bucket = np.bincount(indices, minlength=len(self.counts))
+        for bucket, count in enumerate(per_bucket):
+            if count:
+                self.counts[bucket] += int(count)
+        self.count += len(values)
+        self.total += float(values.sum())
+
     @property
     def mean(self) -> float:
         """Mean of all observed samples (0.0 when empty)."""
@@ -136,6 +157,39 @@ class Snapshot:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
+class _NullCounter(Counter):
+    """Counter that discards every update (telemetry fast path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """Gauge that discards every update (telemetry fast path)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    """Histogram that discards every sample (telemetry fast path)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_batch(self, values: np.ndarray) -> None:
+        pass
+
+
 class MetricsRegistry:
     """Get-or-create store of named metrics.
 
@@ -148,6 +202,24 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """False on the null registry; accounting can be skipped entirely."""
+        return True
+
+    @staticmethod
+    def null() -> "NullMetricsRegistry":
+        """A registry whose metrics discard every update.
+
+        Hand this to a :class:`~repro.core.controller.DtlController` (or
+        any subsystem) to remove per-access accounting from the hot path:
+        every ``counter()``/``gauge()``/``histogram()`` call returns a
+        shared no-op object, so subsystems keep their unconditional
+        ``.inc()`` calls but nothing is stored.  All read-backs report
+        zero / empty.
+        """
+        return NullMetricsRegistry()
 
     def _check_free(self, name: str, kind: dict) -> None:
         for store in (self._counters, self._gauges, self._histograms):
@@ -205,6 +277,34 @@ class MetricsRegistry:
                         detail=dict(detail or {}))
 
 
+class NullMetricsRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` that records nothing.
+
+    Every metric accessor returns a shared no-op object regardless of
+    name, so subsystems written against the real registry run unchanged
+    with zero accounting cost.  Exports are empty.
+    """
+
+    _COUNTER = _NullCounter("null")
+    _GAUGE = _NullGauge("null")
+    _HISTOGRAM = _NullHistogram("null")
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_NS,
+                  ) -> Histogram:
+        return self._HISTOGRAM
+
+
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_NS",
     "Counter",
@@ -212,4 +312,5 @@ __all__ = [
     "Histogram",
     "Snapshot",
     "MetricsRegistry",
+    "NullMetricsRegistry",
 ]

@@ -172,3 +172,63 @@ def test_default_registry_receives_accounting():
 
 def test_empty_batch():
     assert run_tasks([]) == []
+
+
+def test_chunked_parallel_matches_serial():
+    tasks = lambda: [TaskSpec(fn=_square, args=(x,)) for x in range(9)]
+    serial = run_tasks(tasks(), config=ExecConfig(workers=1))
+    chunked = run_tasks(tasks(), config=ExecConfig(workers=2, chunk_size=3))
+    assert [o.value for o in serial] == [o.value for o in chunked]
+    assert all(o.ok for o in chunked)
+
+
+def test_chunked_retry_and_failure_reporting(tmp_path):
+    marker = str(tmp_path / "marker")
+    outcomes = run_tasks(
+        [TaskSpec(fn=_flaky, args=(marker,)),
+         TaskSpec(fn=_boom, label="doomed"),
+         TaskSpec(fn=_square, args=(4,))],
+        config=ExecConfig(workers=2, retries=1, chunk_size=3))
+    assert outcomes[0].ok and outcomes[0].value == "recovered"
+    assert outcomes[0].attempts == 2
+    assert not outcomes[1].ok and "ValueError: boom" in outcomes[1].error
+    assert outcomes[2].value == 16
+
+
+def test_cost_hint_pool_skip():
+    metrics = MetricsRegistry()
+    outcomes = run_tasks(
+        [TaskSpec(fn=_square, args=(x,), cost_hint_s=0.001)
+         for x in range(4)],
+        config=ExecConfig(workers=2), metrics=metrics)
+    assert [o.value for o in outcomes] == [0, 1, 4, 9]
+    assert metrics.counter_values()["exec.pool_skips"] == 1
+    # Cheap batches run in-process: no worker pids.
+    assert all(o.worker_pid == os.getpid() for o in outcomes)
+
+
+def test_cost_hint_above_threshold_uses_pool():
+    metrics = MetricsRegistry()
+    run_tasks([TaskSpec(fn=_square, args=(x,), cost_hint_s=10.0)
+               for x in range(4)],
+              config=ExecConfig(workers=2), metrics=metrics)
+    assert "exec.pool_skips" not in metrics.counter_values()
+
+
+def test_cpu_bound_skips_pool_on_single_core(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    metrics = MetricsRegistry()
+    outcomes = run_tasks(
+        [TaskSpec(fn=_square, args=(x,), cpu_bound=True) for x in range(4)],
+        config=ExecConfig(workers=2), metrics=metrics)
+    assert [o.value for o in outcomes] == [0, 1, 4, 9]
+    assert metrics.counter_values()["exec.pool_skips"] == 1
+    assert all(o.worker_pid == os.getpid() for o in outcomes)
+
+
+def test_cpu_bound_uses_pool_on_multicore(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    outcomes = run_tasks(
+        [TaskSpec(fn=_pid, cpu_bound=True) for _ in range(4)],
+        config=ExecConfig(workers=2))
+    assert os.getpid() not in {o.worker_pid for o in outcomes}
