@@ -9,6 +9,7 @@ Usage::
     python -m repro fig14 [--point 208gb] [--duration 60]
     python -m repro fig15 [--duration 45]
     python -m repro fleet [--quick]     # multi-node fleet + TCO roll-up
+    python -m repro chaos [--quick]     # fault-injection reliability soak
     python -m repro exp --list          # unified experiment registry
     python -m repro tables              # Tables 5 and 6 + Section 6.1
     python -m repro stats [--json]      # telemetry snapshot of a short run
@@ -36,6 +37,7 @@ import numpy as np
 from repro.analysis import (AmatModel, CONTROLLER_384GB, CONTROLLER_4TB,
                             MODEL_384GB, MODEL_4TB)
 from repro.exec import ExecConfig, ResultCache
+from repro.faults import ChaosSoakConfig, armed
 from repro.host.scheduler import SchedulerConfig, VmScheduler
 from repro.sim.combined import figure15_summary
 from repro.sim.experiments import EXPERIMENTS, run_experiments
@@ -376,6 +378,49 @@ def cmd_exp(args: argparse.Namespace) -> list[ExperimentRecord]:
     return [record]
 
 
+def cmd_chaos(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Fault-injection soak: escalating faults + consistency audits."""
+    config = ChaosSoakConfig(seed=args.seed)
+    if args.quick:
+        config = config.replace(levels=2, batches_per_phase=4,
+                                batch_size=32)
+    plan = config.base_plan()
+    print(f"Chaos soak: plan {plan.name!r} ({len(plan.specs)} fault "
+          f"specs), {config.levels} escalation level(s)...")
+    # Arm the plan ambiently so it participates in the result-cache key
+    # (a cached fault-free run must never answer for a faulted one).
+    with armed(plan):
+        result = _run_experiment("chaos", config, args)
+    report = result.report
+    rows: list[tuple] = [
+        ("faults injected", str(report.injected_total)),
+        ("faults detected", str(report.detected)),
+        ("faults recovered", str(report.recovered)),
+        ("ecc corrected / uncorrected",
+         f"{report.ecc_corrected} / {report.ecc_uncorrected}"),
+        ("power-exit failures", str(report.power_exit_failures)),
+        ("data-loss events", str(report.data_loss_events)),
+        ("checker audits", str(report.checker_audits)),
+        ("checker violations", str(len(report.checker_violations))),
+    ]
+    rows.extend((f"injected @ {point}", str(count))
+                for point, count in sorted(report.injected.items()))
+    if report.cxl_retry_counts:
+        retries = ", ".join(f"{n}x{c}" for n, c in
+                            sorted(report.cxl_retry_counts.items()))
+        rows.append(("cxl retry histogram", retries))
+    _print(f"Chaos soak reliability report ({plan.name})", rows,
+           header=("metric", "value"))
+    if report.checker_violations:
+        print("\nCONSISTENCY VIOLATIONS:")
+        for violation in report.checker_violations[:10]:
+            print(f"  - {violation}")
+        raise SystemExit(1)
+    print(f"\nSoak passed: {report.checker_audits} audits, "
+          "zero invariant violations, zero data loss.")
+    return [result.to_record()]
+
+
 def cmd_all(args: argparse.Namespace) -> list[ExperimentRecord]:
     # Warm the session cache: every heavy simulation the subcommands
     # below will ask for, fanned out in one executor batch.  The
@@ -405,6 +450,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "fig14": cmd_fig14,
     "fig15": cmd_fig15,
     "fleet": cmd_fleet,
+    "chaos": cmd_chaos,
     "exp": cmd_exp,
     "validate": cmd_validate,
     "tables": cmd_tables,

@@ -65,7 +65,14 @@ class ConsistencyChecker:
                     f"forward walk gives {forward}")
 
     def check_allocation_agreement(self, report: AuditReport) -> None:
-        """Mapped segments and allocated segments are the same set."""
+        """Mapped segments and allocated segments are the same set.
+
+        Destinations of in-flight migrations are exempt from the
+        "allocated implies mapped" direction: the engine reserves the
+        target segment at submission but the mapping only moves at
+        retirement (Section 4.2), so allocated-but-unmapped is the legal
+        mid-flight state — :meth:`check_migration_tracking` audits it.
+        """
         tables = self.controller.tables
         allocator = self.controller.allocator
         mapped = set(tables.live_dsns())
@@ -75,10 +82,13 @@ class ConsistencyChecker:
             for rank in range(geometry.ranks_per_channel):
                 allocated.update(
                     allocator.allocated_in_rank((channel, rank)))
+        inflight_targets = {
+            request.new_dsn
+            for request in self.controller.migration.tracked_requests()}
         for dsn in mapped - allocated:
             report.violations.append(
                 f"DSN {dsn:#x} is mapped but not allocated")
-        for dsn in allocated - mapped:
+        for dsn in (allocated - mapped) - inflight_targets:
             report.violations.append(
                 f"DSN {dsn:#x} is allocated but not mapped")
 
@@ -124,6 +134,43 @@ class ConsistencyChecker:
                     f"{level} SMC caches HSN {hsn:#x} -> DSN {dsn:#x}, "
                     f"tables say {actual}")
 
+    def check_migration_tracking(self, report: AuditReport) -> None:
+        """Every tracked migration references a consistent world.
+
+        For each queued or in-flight request: the source is still the
+        live mapping of its HSN, the reserved destination is allocated
+        but not yet mapped, both live on one channel, and the progress
+        counter is in range (with the completion bit only ever set at
+        full progress) — the state an abort/retry must restore exactly.
+        """
+        tables = self.controller.tables
+        allocator = self.controller.allocator
+        migration = self.controller.migration
+        for request in migration.tracked_requests():
+            tag = f"migration {request.old_dsn:#x}->{request.new_dsn:#x}"
+            if tables.try_walk(request.hsn) != request.old_dsn:
+                report.violations.append(
+                    f"{tag}: HSN {request.hsn:#x} no longer maps to the "
+                    "source DSN")
+            if not allocator.is_allocated(request.new_dsn):
+                report.violations.append(
+                    f"{tag}: destination is not reserved")
+            if tables.is_dsn_live(request.new_dsn):
+                report.violations.append(
+                    f"{tag}: destination is already mapped mid-flight")
+            if (migration.channel_of(request.old_dsn)
+                    != migration.channel_of(request.new_dsn)):
+                report.violations.append(f"{tag}: crosses channels")
+            if not 0 <= request.lines_done <= request.lines_total:
+                report.violations.append(
+                    f"{tag}: progress {request.lines_done} out of range "
+                    f"0..{request.lines_total}")
+            if (request.completion
+                    and request.lines_done != request.lines_total):
+                report.violations.append(
+                    f"{tag}: completion bit set at progress "
+                    f"{request.lines_done}/{request.lines_total}")
+
     def check_channel_balance(self, report: AuditReport,
                               tolerance: int = 0) -> None:
         """Per-channel occupancy stays balanced (Section 4.3)."""
@@ -145,6 +192,7 @@ class ConsistencyChecker:
         self.check_segment_conservation(report)
         self.check_mpsm_ranks_empty(report)
         self.check_smc_coherence(report)
+        self.check_migration_tracking(report)
         self.check_channel_balance(report, balance_tolerance)
         return report
 

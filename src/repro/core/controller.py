@@ -164,6 +164,26 @@ class DtlController:
         self._access_latency = self.metrics.histogram("dtl.access_latency_ns")
         self._scalar_access_calls = 0
         self._scalar_access_warned = False
+        # Armed fault injector (None = zero-overhead no-op hooks; see
+        # src/repro/faults/ and docs/FAULTS.md).
+        self._faults = None
+
+    # -- fault injection ---------------------------------------------------------
+
+    def arm_faults(self, injector) -> None:
+        """Arm a :class:`~repro.faults.injector.FaultInjector` here and on
+        every subsystem below.  Pass ``None`` (or call
+        :meth:`disarm_faults`) to restore the zero-overhead fast path."""
+        self._faults = injector
+        self.migration.arm_faults(injector)
+        if self.power_down is not None:
+            self.power_down.arm_faults(injector)
+        if self.self_refresh is not None:
+            self.self_refresh.arm_faults(injector)
+
+    def disarm_faults(self) -> None:
+        """Detach any armed fault injector from the whole datapath."""
+        self.arm_faults(None)
 
     @property
     def access_count(self) -> int:
@@ -279,11 +299,22 @@ class DtlController:
                 "on one controller; access_batch() serves long traces "
                 "orders of magnitude faster (see docs/PERF.md)",
                 PerformanceWarning, stacklevel=2)
+        return self._access_one(host_id, hpa, is_write, now_ns)
+
+    def _access_one(self, host_id: int, hpa: int, is_write: bool,
+                    now_ns: float) -> AccessResult:
+        """The :meth:`access` body (also the batch path's scalar replay)."""
         hsn_local = self.host_layout.hsn_of_hpa(hpa)
         # HPAs arriving from a host are host-local; fold in the host ID.
         _, au_id, au_offset = self._split_local_hsn(hsn_local)
         hsn = self.host_layout.pack_hsn(host_id, au_id, au_offset)
         dsn, xlat_ns, l1_hit, l2_hit = self.translation.translate_hsn(hsn)
+        fault_ns = 0.0
+        if self._faults is not None:
+            # Hooks: smc.lookup (entry corruption) and cxl.access (link
+            # error/stall); the corruption only affects *later* lookups.
+            self._faults.on_smc_lookup(hsn, self.translation)
+            fault_ns = self._faults.on_cxl_access(now_ns)
         routed_new = False
         if is_write:
             offset = self.host_layout.offset_of_hpa(hpa)
@@ -300,9 +331,13 @@ class DtlController:
             wake_ns = self.self_refresh.on_access(dsn, now_ns)
         else:
             self.device.rank(location.channel, location.rank).record_access()
+        if self._faults is not None:
+            # Hook: dram.access (per-rank ECC error accounting).
+            self._faults.on_dram_access(location.channel, location.rank,
+                                        self.device, now_s=now_ns / 1e9)
         dpa = self.device_layout.dpa_of(
             dsn, self.host_layout.offset_of_hpa(hpa))
-        latency_ns = self.cxl_latency_ns + xlat_ns + wake_ns
+        latency_ns = self.cxl_latency_ns + xlat_ns + wake_ns + fault_ns
         self._accesses.inc()
         if is_write:
             self._writes.inc()
@@ -341,6 +376,13 @@ class DtlController:
             if len(writes) != n:
                 raise ValueError(
                     f"writes length {len(writes)} != hpas length {n}")
+        # An *active* fault plan can perturb any access (ECC, link faults,
+        # SMC corruption), so the whole batch replays through the scalar
+        # protocol in order.  Checked once per batch; an armed injector
+        # whose plan has no specs keeps the exact vectorised path so its
+        # telemetry stays bit-identical to an unarmed run.
+        if self._faults is not None and self._faults.active:
+            return self._replay_batch_scalar(host_id, hpas, writes, now_ns)
         host = self.host_layout
         hsn_locals = host.hsn_of_hpa_batch(hpas)
         au_ids = hsn_locals // host.segments_per_au
@@ -391,6 +433,29 @@ class DtlController:
             hpas=hpas, dsns=dsns, dpas=dpas, channels=channels, ranks=ranks,
             latency_ns=latency_ns, smc_l1_hits=l1_hits, smc_l2_hits=l2_hits,
             wake_penalty_ns=wake_ns, routed_to_new_dsn=routed_new)
+
+    def _replay_batch_scalar(self, host_id: int, hpas: np.ndarray,
+                             writes: np.ndarray,
+                             now_ns: float) -> BatchAccessResult:
+        """Element-wise replay of a batch under an active fault plan."""
+        results = [self._access_one(host_id, int(hpa), bool(write), now_ns)
+                   for hpa, write in zip(hpas, writes)]
+        return BatchAccessResult(
+            hpas=hpas,
+            dsns=np.array([r.dsn for r in results], dtype=np.int64),
+            dpas=np.array([r.dpa for r in results], dtype=np.int64),
+            channels=np.array([r.channel for r in results], dtype=np.int64),
+            ranks=np.array([r.rank for r in results], dtype=np.int64),
+            latency_ns=np.array([r.latency_ns for r in results],
+                                dtype=np.float64),
+            smc_l1_hits=np.array([r.smc_l1_hit for r in results],
+                                 dtype=bool),
+            smc_l2_hits=np.array([r.smc_l2_hit for r in results],
+                                 dtype=bool),
+            wake_penalty_ns=np.array([r.wake_penalty_ns for r in results],
+                                     dtype=np.float64),
+            routed_to_new_dsn=np.array([r.routed_to_new_dsn
+                                        for r in results], dtype=bool))
 
     def _wake_ranks_holding(self, dsns: list[int], now_s: float) -> None:
         """Exit self-refresh on any rank receiving fresh allocations.
@@ -493,6 +558,12 @@ class DtlController:
         self.tables.remap_segment(request.hsn, request.new_dsn)
         self.translation.invalidate(request.hsn)
         self.allocator.move_allocation(request.old_dsn, request.new_dsn)
+        if self.self_refresh is not None:
+            # The CLOCK access bit tracks the segment's contents, so it
+            # moves with the data; otherwise the TSP would read stale
+            # hotness for both the vacated and the filled slot.
+            self.self_refresh.on_segment_moved(request.old_dsn,
+                                               request.new_dsn)
 
 
 __all__ = ["SCALAR_ACCESS_WARN_THRESHOLD", "VmHandle", "AccessResult",

@@ -155,6 +155,12 @@ class MigrationEngine:
         self._by_old_dsn: dict[int, MigrationRequest] = {}
         self._trace = trace
         self.stats = MigrationStats(registry=registry)
+        # Armed fault injector (None = zero-overhead no-op hooks).
+        self._faults = None
+
+    def arm_faults(self, injector) -> None:
+        """Attach (or with ``None`` detach) a fault injector."""
+        self._faults = injector
 
     # -- submission --------------------------------------------------------------
 
@@ -206,6 +212,10 @@ class MigrationEngine:
     def tracked_dsns(self) -> list[int]:
         """Source DSNs of all queued or in-flight migrations."""
         return list(self._by_old_dsn)
+
+    def tracked_requests(self) -> list[MigrationRequest]:
+        """All queued or in-flight migration requests."""
+        return list(self._by_old_dsn.values())
 
     # -- foreground interface -------------------------------------------------------
 
@@ -295,6 +305,14 @@ class MigrationEngine:
                 # Deferred from the step that copied the last line.
                 self._retire(channel, request)
                 continue
+            # Injected abort (hook: migration.copy).  Only legal while the
+            # completion bit is clear — past it, foreground writes are
+            # already redirected to the new DSN and an abort would lose
+            # them.  The abort may requeue the request, so stop stepping.
+            if (self._faults is not None
+                    and self._faults.on_migration_copy(request, channel)):
+                self._abort(request)
+                break
             remaining = request.lines_total - request.lines_done
             take = min(lines - copied, remaining)
             request.lines_done += take

@@ -99,6 +99,12 @@ class RankPowerDownPolicy:
             "power.consolidated_segments")
         self._consolidated_bytes = registry.counter(
             "power.consolidated_bytes")
+        # Armed fault injector (None = zero-overhead no-op hooks).
+        self._faults = None
+
+    def arm_faults(self, injector) -> None:
+        """Attach (or with ``None`` detach) a fault injector."""
+        self._faults = injector
 
     # -- queries --------------------------------------------------------------
 
@@ -130,6 +136,20 @@ class RankPowerDownPolicy:
 
     # -- victim selection -------------------------------------------------------
 
+    def _migration_busy_ranks(self) -> set[RankId]:
+        """Ranks touched by an in-flight migration (source or target).
+
+        Such a rank cannot be a consolidation victim: its in-flight
+        *target* segments are allocated but not yet mapped (nothing to
+        evacuate, data still arriving) and its *source* segments are
+        already being migrated (a second submit would conflict).
+        """
+        busy: set[RankId] = set()
+        for request in self.migration.tracked_requests():
+            busy.add(self.allocator.rank_of_dsn(request.old_dsn))
+            busy.add(self.allocator.rank_of_dsn(request.new_dsn))
+        return busy
+
     def _victim_group(self) -> list[RankId] | None:
         """Pick the virtual rank-group with the least allocated data.
 
@@ -140,13 +160,16 @@ class RankPowerDownPolicy:
         active_groups = self.active_ranks_per_channel() // self.group_granularity
         if active_groups - 1 < self.min_active_groups:
             return None
+        busy = self._migration_busy_ranks()
         victims: list[RankId] = []
         for channel in range(self.geometry.channels):
             # Only standby ranks qualify: a self-refreshed rank holds cold
-            # data and would need waking + evacuation first.
+            # data and would need waking + evacuation first.  Ranks with
+            # in-flight migrations are skipped until those drain.
             standby = [rank for rank in self._active[channel]
                        if self.device.rank(channel, rank).state
-                       is PowerState.STANDBY]
+                       is PowerState.STANDBY
+                       and (channel, rank) not in busy]
             if len(standby) < self.group_granularity:
                 return None
             ranked = sorted(
@@ -401,6 +424,9 @@ class RankPowerDownPolicy:
             penalty = max(penalty, self.device.set_rank_state(
                 rank_id, PowerState.STANDBY, now_s))
             self._active[rank_id[0]].add(rank_id[1])
+        # Injected delayed/failed MPSM exit (hook: power.mpsm_exit).
+        if self._faults is not None:
+            penalty += self._faults.on_power_exit("mpsm", penalty)
         transition = PowerTransition(
             time_s=now_s, rank_ids=tuple(woken),
             new_state=PowerState.STANDBY, migrated_segments=0,

@@ -146,6 +146,12 @@ class HotnessSelfRefreshPolicy:
         self._swaps_executed = registry.counter("sr.swaps")
         self._exit_penalty_ns = registry.counter("sr.exit_penalty_total_ns")
         self._migrated_bytes = registry.counter("sr.migrated_bytes")
+        # Armed fault injector (None = zero-overhead no-op hooks).
+        self._faults = None
+
+    def arm_faults(self, injector) -> None:
+        """Attach (or with ``None`` detach) a fault injector."""
+        self._faults = injector
 
     @property
     def exit_penalty_total_ns(self) -> float:
@@ -258,6 +264,19 @@ class HotnessSelfRefreshPolicy:
         if state.phase is ChannelPhase.PROFILING:
             self._profiling_update(dsn, state, rank, now_ns)
         return penalty
+
+    def on_segment_moved(self, old_dsn: int, new_dsn: int) -> None:
+        """CLOCK state follows the data when a segment migrates.
+
+        The access bit tracks the *segment's contents*, not the physical
+        slot: leaving a hot bit on the vacated slot (and a cold bit on
+        the destination) makes the TSP mis-classify both on the next
+        scan.  Called by the controller after every migration-engine
+        completion; :meth:`_execute_swaps` and :meth:`_move` apply the
+        same rule for the policy's own plan execution.
+        """
+        self.access_bits[new_dsn] = self.access_bits[old_dsn]
+        self.access_bits[old_dsn] = False
 
     def on_access_batch(self, dsns: np.ndarray, now_ns: float) -> np.ndarray:
         """Scalar-identical batch variant of :meth:`on_access`.
@@ -375,6 +394,9 @@ class HotnessSelfRefreshPolicy:
             if self._trace is not None:
                 self._trace.record(EventKind.SR_EXIT, time=now_ns,
                                    channel=channel, rank=member)
+        # Injected delayed/failed self-refresh exit (hook: sr.exit).
+        if self._faults is not None:
+            penalty += self._faults.on_power_exit("sr", penalty)
         self._exit_penalty_ns.inc(penalty)
         # Re-profile: the freshly woken block has the fewest recent accesses
         # so it is re-selected as the victim, and the few segments that woke
@@ -536,10 +558,19 @@ class HotnessSelfRefreshPolicy:
         Swaps whose partner rank has left standby since the plan was made
         (powered down or retired by a concurrent policy) are dropped — the
         table resets right after, so the skipped entries simply retry in
-        the next profiling round.
+        the next profiling round.  Swaps touching an in-flight migration
+        endpoint are dropped for the same reason: a tracked *source* must
+        keep its mapping until the engine retires it, and a tracked
+        *target* is reserved (allocated but unmapped), not free.
         """
+        busy: set[int] = set()
+        for request in self.migration.tracked_requests():
+            busy.add(request.old_dsn)
+            busy.add(request.new_dsn)
         migrated = 0
         for victim_dsn, partner_dsn in swaps:
+            if victim_dsn in busy or partner_dsn in busy:
+                continue
             partner_rank = (self._channel_of(partner_dsn),
                             self._rank_of(partner_dsn))
             if self.device.rank(*partner_rank).state \
@@ -553,6 +584,10 @@ class HotnessSelfRefreshPolicy:
                 self.tables.swap_segments(hsn_v, hsn_p)
                 self.translation.invalidate(hsn_v)
                 self.translation.invalidate(hsn_p)
+                # Access bits travel with the exchanged data.
+                bits = self.access_bits
+                bits[victim_dsn], bits[partner_dsn] = (
+                    bool(bits[partner_dsn]), bool(bits[victim_dsn]))
                 migrated += 2 * self.geometry.segment_bytes
             elif victim_live:
                 self._move(victim_dsn, partner_dsn)
@@ -569,6 +604,7 @@ class HotnessSelfRefreshPolicy:
         self.tables.remap_segment(hsn, dst_dsn)
         self.translation.invalidate(hsn)
         self.allocator.free([src_dsn])
+        self.on_segment_moved(src_dsn, dst_dsn)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -40,5 +40,20 @@ class CxlLinkConfig:
         """Table 1's CXL memory access latency (210 ns by default)."""
         return self.base_latency_ns + NATIVE_DRAM_LATENCY_NS
 
+    def replay_latency_ns(self, retries: int,
+                          backoff_ns: float = 0.0) -> float:
+        """Extra latency of ``retries`` link-layer replays.
+
+        CXL.mem recovers from link errors by replaying the transaction:
+        each replay re-pays the protocol latency, plus an exponential
+        backoff starting at ``backoff_ns`` and doubling per attempt
+        (the bounded retry+backoff model the fault injector charges).
+        """
+        if retries <= 0:
+            return 0.0
+        backoff = sum(backoff_ns * 2 ** attempt
+                      for attempt in range(retries))
+        return retries * self.base_latency_ns + backoff
+
 
 __all__ = ["CxlLinkConfig"]

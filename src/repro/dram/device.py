@@ -131,6 +131,28 @@ class DramDevice:
                                penalty_ns=penalty_ns)
         return penalty_ns
 
+    def record_ecc_error(self, rank_id: RankId, bits: int = 1,
+                         now_s: float = 0.0) -> bool:
+        """Account one ECC event on ``rank_id``; True when corrected.
+
+        Single-bit errors are corrected in place (SECDED); multi-bit
+        errors are detected-but-uncorrected and poison the line at the
+        requester — either way the event is never silent, which is what
+        the reliability report's data-loss assertion leans on.
+        """
+        corrected = bits < 2
+        if self._registry is not None:
+            self._registry.counter("dram.ecc.errors").inc()
+            outcome = "corrected" if corrected else "uncorrected"
+            self._registry.counter(f"dram.ecc.{outcome}").inc()
+            self._registry.counter(
+                f"dram.ecc.errors.{rank_key(rank_id)}").inc()
+        if self._trace is not None:
+            self._trace.record(EventKind.ECC_ERROR, time=now_s,
+                               rank=rank_key(rank_id), bits=bits,
+                               corrected=corrected)
+        return corrected
+
     def residency_by_rank(self, now_s: float | None = None,
                           ) -> dict[str, dict[str, float]]:
         """Per-rank power-state residency seconds, keyed like ``ch0r1``.

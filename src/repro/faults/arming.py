@@ -1,0 +1,61 @@
+"""Ambient fault-plan arming and its cache-key contribution.
+
+The executor caches experiment results by a stable hash of the
+experiment config.  A chaos run replays the *same* experiment config
+under an armed :class:`~repro.faults.plan.FaultPlan`, so without extra
+input the cache would happily serve a fault-free result for a chaos run
+(and vice versa).  This module is the fix: experiments arm their plan
+through :func:`armed`, and :func:`hashing_context` folds whatever is
+armed (or its absence) into the task key built by
+:func:`repro.sim.experiments.experiment_task`.
+
+Arming is process-ambient rather than threaded through every config
+type so existing experiments stay untouched; the executor's worker
+threads only ever observe the plan armed around the ``run_tasks`` call
+that scheduled them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+from repro.faults.plan import FaultPlan
+
+_ARMED: FaultPlan | None = None
+
+
+def current_plan() -> FaultPlan | None:
+    """The ambiently armed plan, or None outside any :func:`armed`."""
+    return _ARMED
+
+
+@contextlib.contextmanager
+def armed(plan: FaultPlan | None) -> Iterator[FaultPlan | None]:
+    """Arm ``plan`` ambiently for the duration of the block.
+
+    Nestable; the previous plan is restored on exit.  Passing None
+    explicitly disarms inside the block.
+    """
+    global _ARMED
+    previous = _ARMED
+    _ARMED = plan
+    try:
+        yield plan
+    finally:
+        _ARMED = previous
+
+
+def hashing_context() -> dict[str, Any] | None:
+    """Cache-key context for the armed plan; None when nothing is armed.
+
+    Returning None (not an empty dict) when disarmed keeps fault-free
+    task keys in their historical format, so pre-existing cached results
+    stay valid.
+    """
+    if _ARMED is None:
+        return None
+    return {"fault_plan": _ARMED}
+
+
+__all__ = ["current_plan", "armed", "hashing_context"]

@@ -1,0 +1,324 @@
+"""Chaos soak: a workload replayed under an escalating fault schedule.
+
+:class:`ChaosSoakExperiment` drives one deterministic workload —
+allocation, mixed read/write batches, self-refresh entry and wake,
+VM churn with background consolidation, MPSM reactivation — through a
+fully armed :class:`~repro.faults.injector.FaultInjector`, once per
+escalation level (each level halves every fault's period).  After every
+injected migration abort the end-state is cross-checked against
+:class:`~repro.core.checker.ConsistencyChecker`'s invariants, and the
+campaign's :class:`~repro.faults.injector.ReliabilityReport` carries the
+audit tally: the soak passes only with **zero** violations and zero
+data-loss events across every level.
+
+Registered as ``chaos`` in :data:`repro.sim.experiments.EXPERIMENTS`
+and surfaced by the ``repro chaos`` CLI command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.checker import ConsistencyChecker
+from repro.core.config import DtlConfig
+from repro.core.controller import DtlController, VmHandle
+from repro.cxl.link import CxlLinkConfig
+from repro.dram.geometry import DramGeometry
+from repro.exec.hashing import derive_seed
+from repro.faults.hooks import HookPoint
+from repro.faults.injector import FaultInjector, ReliabilityReport
+from repro.faults.plan import (CxlLinkFault, EccFault, FaultPlan,
+                               MigrationAbortFault, PowerExitFault,
+                               SmcCorruptionFault)
+from repro.units import MIB
+
+#: Safety bound on drain pumping: an injector can abort copies, but every
+#: abort spec is fire-capped, so a drain that needs more steps than this
+#: is a livelock and is reported as a violation instead of hanging.
+DRAIN_STEP_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class ChaosSoakConfig:
+    """Configuration of one chaos soak campaign.
+
+    Structurally conforms to :class:`repro.sim.base.SeededConfig`
+    (``replace`` / ``with_seed``) without importing it: the registry in
+    :mod:`repro.sim.experiments` imports this module, so this module
+    must not import :mod:`repro.sim`.
+
+    Attributes:
+        seed: Drives the workload RNG and names the plan; one integer
+            reproduces the whole campaign bit-for-bit.
+        levels: Escalation levels; level ``k`` runs the base plan with
+            every fault period divided by ``2**k``.
+        batches_per_phase: Access batches in each workload phase.
+        batch_size: Accesses per batch.
+        write_fraction: Fraction of accesses that are writes.
+        channels / ranks_per_channel / rank_bytes / segment_bytes /
+            au_bytes: Small-geometry knobs (seconds-scale soak).
+        profiling_threshold_ns: Self-refresh quiet threshold, shrunk so
+            the soak actually reaches SR entry and wake.
+        access_period_ns: Simulated time per access.
+    """
+
+    seed: int = 0
+    levels: int = 3
+    batches_per_phase: int = 8
+    batch_size: int = 64
+    write_fraction: float = 0.25
+    channels: int = 2
+    ranks_per_channel: int = 4
+    rank_bytes: int = 16 * MIB
+    segment_bytes: int = 128 * 1024
+    au_bytes: int = 1 * MIB
+    profiling_threshold_ns: float = 200_000.0
+    access_period_ns: float = 100.0
+
+    def replace(self, **changes: Any) -> ChaosSoakConfig:
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_seed(self, seed: int) -> ChaosSoakConfig:
+        """A copy of this config that only differs in its ``seed``."""
+        return dataclasses.replace(self, seed=seed)
+
+    def geometry(self) -> DramGeometry:
+        """The soak's DRAM geometry."""
+        return DramGeometry(channels=self.channels,
+                            ranks_per_channel=self.ranks_per_channel,
+                            rank_bytes=self.rank_bytes,
+                            segment_bytes=self.segment_bytes)
+
+    def dtl_config(self) -> DtlConfig:
+        """The controller config the soak runs against."""
+        return DtlConfig(
+            geometry=self.geometry(), au_bytes=self.au_bytes,
+            profiling_threshold_ns=self.profiling_threshold_ns,
+            background_migration=True)
+
+    def base_plan(self) -> FaultPlan:
+        """The level-0 fault schedule (every spec kind, spread out)."""
+        return FaultPlan(seed=self.seed, name=f"chaos-{self.seed}", specs=(
+            CxlLinkFault(start=7, period=97, retries=2, backoff_ns=40.0),
+            CxlLinkFault(start=31, period=211, kind="stall",
+                         stall_ns=400.0),
+            EccFault(start=11, period=173, bits=1),
+            EccFault(start=301, period=907, bits=2),
+            SmcCorruptionFault(start=53, period=307),
+            MigrationAbortFault(start=0, period=3, max_fires=4),
+            PowerExitFault(target="mpsm", period=2, kind="delay",
+                           delay_ns=800.0),
+            PowerExitFault(target="sr", period=2, kind="fail",
+                           delay_ns=1200.0, failures=2),
+        ))
+
+
+@dataclass
+class ChaosSoakResult:
+    """Outcome of one campaign (all levels)."""
+
+    config: ChaosSoakConfig
+    report: ReliabilityReport
+    level_reports: list[ReliabilityReport] = field(default_factory=list)
+    snapshot: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the DTL survived: no violations, no data loss."""
+        return (not self.report.checker_violations
+                and self.report.data_loss_events == 0)
+
+    def to_record(self):
+        """Flatten into an :class:`~repro.sim.results.ExperimentRecord`."""
+        from repro.sim.results import ExperimentRecord
+        report = self.report
+        metrics: dict[str, Any] = {
+            "levels": self.config.levels,
+            "faults_injected": report.injected_total,
+            "faults_detected": report.detected,
+            "faults_recovered": report.recovered,
+            "ecc_corrected": report.ecc_corrected,
+            "ecc_uncorrected": report.ecc_uncorrected,
+            "power_exit_failures": report.power_exit_failures,
+            "data_loss_events": report.data_loss_events,
+            "checker_audits": report.checker_audits,
+            "checker_violations": len(report.checker_violations),
+            "ok": self.ok,
+        }
+        for point, count in sorted(report.injected.items()):
+            metrics[f"injected.{point}"] = count
+        return ExperimentRecord("chaos", metrics,
+                                {"checker_violations": 0,
+                                 "data_loss_events": 0})
+
+
+class _Clock:
+    """Monotonic simulated time for the soak (ns, with an s view)."""
+
+    def __init__(self, period_ns: float):
+        self.now_ns = 0.0
+        self.period_ns = period_ns
+
+    @property
+    def now_s(self) -> float:
+        return self.now_ns / 1e9
+
+    def advance(self, accesses: int) -> None:
+        self.now_ns += accesses * self.period_ns
+
+
+class ChaosSoakExperiment:
+    """Escalating fault-injection soak over the full DTL datapath."""
+
+    name = "chaos"
+
+    def __init__(self, config: ChaosSoakConfig | None = None):
+        self.config = config if config is not None else ChaosSoakConfig()
+
+    def run(self) -> ChaosSoakResult:
+        """Run every escalation level; returns the combined result."""
+        reports: list[ReliabilityReport] = []
+        snapshot: dict[str, Any] = {}
+        base = self.config.base_plan()
+        for level in range(self.config.levels):
+            report, snapshot = self._run_level(base.escalated(level))
+            reports.append(report)
+        combined = ReliabilityReport.combine(reports)
+        combined.plan_name = base.name
+        return ChaosSoakResult(config=self.config, report=combined,
+                               level_reports=reports, snapshot=snapshot)
+
+    # -- one level ---------------------------------------------------------------
+
+    def _run_level(self, plan: FaultPlan,
+                   ) -> tuple[ReliabilityReport, dict[str, Any]]:
+        cfg = self.config
+        controller = DtlController(cfg.dtl_config())
+        injector = FaultInjector(plan, registry=controller.metrics,
+                                 trace=controller.trace,
+                                 link=CxlLinkConfig())
+        controller.arm_faults(injector)
+        checker = ConsistencyChecker(controller)
+        rng = np.random.default_rng(derive_seed(cfg.seed, plan.name))
+        clock = _Clock(cfg.access_period_ns)
+        audits = 0
+        violations: list[str] = []
+
+        def audit() -> None:
+            nonlocal audits
+            audits += 1
+            # In-flight migrations legitimately double-allocate their
+            # segment on one channel, so balance is audited to within
+            # the tracked-request count (exact once drained).
+            tolerance = len(controller.migration.tracked_requests())
+            outcome = checker.audit(balance_tolerance=tolerance)
+            violations.extend(outcome.violations)
+
+        hot = controller.allocate_vm(0, 8 * MIB, now_s=clock.now_s)
+        cold = controller.allocate_vm(1, 8 * MIB, now_s=clock.now_s)
+        churn = controller.allocate_vm(2, 8 * MIB, now_s=clock.now_s)
+        audit()
+
+        # Phase 1 — warm both working sets (CXL/ECC/SMC faults fire on
+        # the scalar replay path the active plan forces).
+        self._drive(controller, hot, rng, clock)
+        self._drive(controller, cold, rng, clock)
+        audit()
+
+        # Phase 2 — let the cold VM's ranks go quiet until self-refresh
+        # entry (profiling threshold is shrunk in the config).
+        quiet_batches = int(cfg.profiling_threshold_ns
+                            // (cfg.batch_size * cfg.access_period_ns)) + 4
+        self._drive(controller, hot, rng, clock, batches=quiet_batches)
+        audit()
+
+        # Phase 3 — touch the cold VM again: any rank that entered
+        # self-refresh wakes through the sr.exit hook.
+        self._drive(controller, cold, rng, clock, batches=4)
+        audit()
+
+        # Phase 4 — churn: deallocate a VM, let the power-down policy
+        # consolidate in the background, and audit after every injected
+        # migration abort.
+        controller.deallocate_vm(churn, now_s=clock.now_s)
+        audit()
+        aborts_seen = injector.injected(HookPoint.MIGRATION_COPY)
+        for _ in range(4 * cfg.batches_per_phase):
+            self._drive(controller, hot, rng, clock, batches=1)
+            controller.pump_migrations(clock.now_s, lines=8)
+            aborts = injector.injected(HookPoint.MIGRATION_COPY)
+            if aborts > aborts_seen:
+                aborts_seen = aborts
+                audit()
+        steps = 0
+        while controller.migration.pending_count():
+            steps += 1
+            if steps > DRAIN_STEP_LIMIT:
+                violations.append(
+                    f"migration drain exceeded {DRAIN_STEP_LIMIT} pump "
+                    "steps under fault injection")
+                break
+            controller.pump_migrations(clock.now_s, lines=16)
+            clock.advance(1)
+            aborts = injector.injected(HookPoint.MIGRATION_COPY)
+            if aborts > aborts_seen:
+                aborts_seen = aborts
+                audit()
+        audit()
+
+        # Phase 5 — a large allocation forces MPSM reactivation (the
+        # power.mpsm_exit hook) and one more full-pressure access pass.
+        big = controller.allocate_vm(3, 64 * MIB, now_s=clock.now_s)
+        audit()
+        self._drive(controller, big, rng, clock, batches=2)
+        self._drive(controller, hot, rng, clock, batches=2)
+        controller.end_window()
+        audit()
+
+        snapshot = controller.telemetry_snapshot(now_s=clock.now_s)
+        report = injector.report()
+        report.checker_audits = audits
+        report.checker_violations = violations
+        controller.disarm_faults()
+        return report, snapshot.to_dict()
+
+    # -- workload helpers --------------------------------------------------------
+
+    def _drive(self, controller: DtlController, vm: VmHandle,
+               rng: np.random.Generator, clock: _Clock,
+               batches: int | None = None) -> None:
+        """Run mixed read/write batches against one VM's reservation."""
+        cfg = self.config
+        for _ in range(batches if batches is not None
+                       else cfg.batches_per_phase):
+            hpas = self._hpas(controller, vm, rng, cfg.batch_size)
+            writes = rng.random(cfg.batch_size) < cfg.write_fraction
+            controller.access_batch(vm.host_id, hpas, writes,
+                                    now_ns=clock.now_ns)
+            clock.advance(cfg.batch_size)
+            controller.tick(clock.now_ns)
+            controller.end_window()
+
+    def _hpas(self, controller: DtlController, vm: VmHandle,
+              rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` random host-local HPAs inside ``vm``'s AUs."""
+        au_ids = np.asarray(vm.au_ids, dtype=np.int64)
+        picks = rng.integers(0, len(au_ids), size=count)
+        offsets = rng.integers(
+            0, controller.host_layout.segments_per_au, size=count)
+        lines = rng.integers(
+            0, controller.geometry.segment_bytes // 64, size=count)
+        return np.array(
+            [controller.hpa_of(int(au_ids[pick]), int(offset),
+                               int(line) * 64)
+             for pick, offset, line in zip(picks, offsets, lines)],
+            dtype=np.int64)
+
+
+__all__ = ["DRAIN_STEP_LIMIT", "ChaosSoakConfig", "ChaosSoakResult",
+           "ChaosSoakExperiment"]

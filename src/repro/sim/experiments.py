@@ -25,6 +25,8 @@ from typing import Any, Callable
 
 from repro.exec import (ExecConfig, ResultCache, TaskOutcome, TaskSpec,
                         run_tasks, task_key)
+from repro.faults.arming import hashing_context
+from repro.faults.chaos import ChaosSoakConfig, ChaosSoakExperiment
 from repro.host.scheduler import SchedulerConfig
 from repro.sim.base import Experiment, ExperimentResult
 from repro.sim.comparison import PolicyComparisonExperiment
@@ -101,9 +103,13 @@ def experiment_task(name: str, config: Any, label: str | None = None,
                     cacheable: bool = True) -> TaskSpec:
     """Wrap one ``(name, config)`` pair as an executor task."""
     get_spec(name)  # fail fast on unknown names, before fan-out
+    # An ambiently armed fault plan changes what the experiment computes,
+    # so it participates in the cache key; the fault-free default yields
+    # context=None, preserving every historical key.
+    key = (task_key(name, config, context=hashing_context())
+           if cacheable else None)
     return TaskSpec(fn=run_experiment, args=(name, config),
-                    key=task_key(name, config) if cacheable else None,
-                    label=label or name)
+                    key=key, label=label or name)
 
 
 def run_experiments(requests: list[tuple[str, Any]],
@@ -173,6 +179,14 @@ register(ExperimentSpec(
     tiny_config=lambda: SelfRefreshSimConfig(
         workloads=TRACED_BENCHMARKS[:3], duration_s=1.0),
     summary="DTL self-refresh vs the RAMZzz epoch baseline"))
+
+register(ExperimentSpec(
+    name="chaos",
+    config_type=ChaosSoakConfig,
+    factory=ChaosSoakExperiment,
+    tiny_config=lambda: ChaosSoakConfig(levels=2, batches_per_phase=4,
+                                        batch_size=32),
+    summary="escalating fault-injection soak with consistency audits"))
 
 
 __all__ = [

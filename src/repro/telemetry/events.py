@@ -33,6 +33,8 @@ class EventKind(enum.Enum):
     SR_ENTER = "sr_enter"
     SR_EXIT = "sr_exit"
     WINDOW_CLOSE = "window_close"
+    FAULT_INJECTED = "fault_injected"
+    ECC_ERROR = "ecc_error"
 
 
 @dataclass

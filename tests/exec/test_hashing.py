@@ -58,6 +58,38 @@ def test_task_key_shape():
     assert key != task_key("other", _Config())
 
 
+def test_task_key_without_context_keeps_historical_format():
+    # context=None must reproduce the pre-faults key byte-for-byte so
+    # existing cached results stay valid.
+    key = task_key("fleet", _Config())
+    assert key == f"fleet-{stable_hash(_Config())[:32]}"
+    assert task_key("fleet", _Config(), context=None) == key
+
+
+def test_task_key_context_changes_key():
+    from repro.faults import CxlLinkFault, FaultPlan, armed, hashing_context
+
+    plain = task_key("fleet", _Config())
+    plan = FaultPlan(seed=3, specs=(CxlLinkFault(period=5),))
+    with armed(plan):
+        chaotic = task_key("fleet", _Config(), context=hashing_context())
+    assert chaotic != plain
+    with armed(plan):
+        assert task_key("fleet", _Config(),
+                        context=hashing_context()) == chaotic
+    with armed(FaultPlan(seed=4, specs=(CxlLinkFault(period=5),))):
+        assert task_key("fleet", _Config(),
+                        context=hashing_context()) != chaotic
+
+
+def test_hashing_context_is_none_when_disarmed():
+    from repro.faults import hashing_context
+
+    assert hashing_context() is None
+    assert task_key("fleet", _Config(),
+                    context=hashing_context()) == task_key("fleet", _Config())
+
+
 def test_derive_seed_deterministic_and_bounded():
     seeds = {derive_seed(0, "node", i) for i in range(100)}
     assert len(seeds) == 100  # no collisions on a small fan-out

@@ -1,0 +1,51 @@
+"""Chaos soak experiment: escalating faults with consistency audits."""
+
+from repro.faults import ChaosSoakConfig, ChaosSoakExperiment
+from repro.sim import EXPERIMENTS
+
+
+def tiny_config(seed: int = 0) -> ChaosSoakConfig:
+    return ChaosSoakConfig(seed=seed, levels=2, batches_per_phase=3,
+                           batch_size=24)
+
+
+class TestChaosSoak:
+    def test_soak_is_clean_and_report_is_non_empty(self):
+        result = ChaosSoakExperiment(tiny_config()).run()
+        assert result.ok
+        report = result.report
+        assert report.checker_violations == []
+        assert report.data_loss_events == 0
+        assert report.checker_audits > 0
+        assert report.injected_total > 0
+        # Every escalation level contributes a sub-report.
+        assert len(result.level_reports) == 2
+        assert result.snapshot  # telemetry snapshot captured
+
+    def test_base_plan_covers_every_hook_family(self):
+        from repro.faults.plan import (CxlLinkFault, EccFault,
+                                       MigrationAbortFault, PowerExitFault,
+                                       SmcCorruptionFault)
+
+        specs = tiny_config().base_plan().specs
+        types = {type(spec) for spec in specs}
+        assert types == {CxlLinkFault, EccFault, MigrationAbortFault,
+                         PowerExitFault, SmcCorruptionFault}
+        targets = {spec.target for spec in specs
+                   if isinstance(spec, PowerExitFault)}
+        assert targets == {"mpsm", "sr"}
+
+    def test_registered_in_experiment_registry(self):
+        spec = EXPERIMENTS["chaos"]
+        assert spec.config_type is ChaosSoakConfig
+        assert isinstance(spec.factory(spec.tiny_config()),
+                          ChaosSoakExperiment)
+
+    def test_to_record_shapes_paper_metrics(self):
+        result = ChaosSoakExperiment(tiny_config(seed=3)).run()
+        record = result.to_record()
+        assert record.experiment == "chaos"
+        assert record.metrics["checker_violations"] == 0
+        assert record.metrics["data_loss_events"] == 0
+        assert record.metrics["faults_injected"] > 0
+        assert record.paper["checker_violations"] == 0

@@ -1,0 +1,51 @@
+"""Lint guard: every hook point has a catalog entry wired in the datapath.
+
+This is the CI tripwire required by the faults subsystem: adding a
+``HookPoint`` without a ``HOOK_CATALOG`` entry, or pointing an entry at
+a module that no longer calls its injector method, fails the build.
+"""
+
+from pathlib import Path
+
+from repro.faults.hooks import HOOK_CATALOG, HookPoint
+from repro.faults.injector import FaultInjector
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestHookCatalog:
+    def test_catalog_covers_every_hook_point_exactly(self):
+        assert set(HOOK_CATALOG) == set(HookPoint)
+
+    def test_entries_are_self_consistent(self):
+        for point, info in HOOK_CATALOG.items():
+            assert info.point is point
+            assert info.description
+
+    def test_every_method_exists_on_injector(self):
+        for info in HOOK_CATALOG.values():
+            assert callable(getattr(FaultInjector, info.method))
+
+    def test_every_module_calls_its_method(self):
+        for info in HOOK_CATALOG.values():
+            module = REPO_ROOT / info.module
+            assert module.is_file(), f"{info.module} missing for {info.point}"
+            source = module.read_text()
+            assert f".{info.method}(" in source, (
+                f"{info.module} no longer calls {info.method} for "
+                f"{info.point.value}")
+
+    def test_every_module_guards_the_unarmed_path(self):
+        # The zero-overhead guarantee: each wired module must gate its
+        # hook calls behind a `_faults is not None` check.
+        for module in {info.module for info in HOOK_CATALOG.values()}:
+            source = (REPO_ROOT / module).read_text()
+            assert "_faults is not None" in source, (
+                f"{module} lacks the unarmed-path guard")
+
+    def test_hook_names_are_stable(self):
+        # Telemetry keys (faults.injected.<name>) derive from these
+        # values; renaming one silently breaks dashboards and baselines.
+        assert {point.value for point in HookPoint} == {
+            "cxl.access", "smc.lookup", "dram.access", "migration.copy",
+            "power.mpsm_exit", "sr.exit"}
