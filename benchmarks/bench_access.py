@@ -2,25 +2,35 @@
 
 Writes ``BENCH_access.json`` at the repository root comparing the
 per-access ``DtlController.access`` loop against the vectorised
-``access_batch`` on the same zipf-reuse trace:
+``access_batch`` on the same trace, for two workloads:
 
-* **scalar** — the classic loop, full telemetry (the configuration any
-  pre-batch simulation ran under);
-* **batch** — one ``access_batch`` call per chunk on the telemetry fast
-  path (null metrics registry, disabled event trace).
+* **datapath** — power policies off, zipf 1.5: the pure translation
+  datapath (SMC + tables + routing) with thousands of cold segments
+  forced through the table-walk path.  This is the stress case for the
+  SMC's set-indexed batch lookup and the number to watch when touching
+  ``segment_cache.py``.
+* **mixed** — the production shape: self-refresh *and* power-down
+  policies on, every channel profiling with a victim rank selected,
+  migrations in flight with partial progress (so foreground writes run
+  the abort/redirect protocol), 30% writes, zipf 2.0.  Segment-level
+  reuse is high (cacheline streams land in 2 MiB segments), so the hot
+  set fits the SMC and the scalar loop's per-access policy work —
+  profiling checks, write routing, wake screening — dominates; the
+  batch path amortises all of it.  **This is the gated leg.**
 
-Both run with the power policies off so the number is the pure
-translation datapath (SMC + tables + routing), which is what the batch
-engine vectorises; policy costs are workload-dependent and benchmarked
-by the simulation suites.
+Each leg runs the scalar loop under full telemetry (the configuration
+any pre-batch simulation ran under) and the batch path on the telemetry
+fast path (null metrics registry, disabled event trace).  Batch runs are
+best-of-3 on a fresh controller each time; sub-100 ms wall times are
+otherwise too jittery to gate on.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_access.py
 
-CI gates on the speedup::
+CI gates on the mixed-leg speedup::
 
-    PYTHONPATH=src python benchmarks/bench_access.py --check-speedup 5
+    PYTHONPATH=src python benchmarks/bench_access.py --check-speedup 30
 """
 
 from __future__ import annotations
@@ -47,32 +57,91 @@ NUM_ACCESSES = 200_000
 NUM_AUS = 4
 WRITE_FRACTION = 0.3
 SEED = 0
-#: Segment-popularity skew.  Cacheline-granular access streams land in
-#: 2 MiB segments, so segment-level reuse is very high in practice; 1.5
-#: keeps the SMC hot (the design point of Table 3) while still forcing
-#: thousands of cold segments through the table-walk path.
-ZIPF_EXPONENT = 1.5
+#: Segment-popularity skew for the datapath leg.  1.5 keeps the SMC hot
+#: (the design point of Table 3) while still forcing thousands of cold
+#: segments through the table-walk path.
+DATAPATH_ZIPF = 1.5
+#: Skew for the mixed leg.  2.0 concentrates the stream on a few hundred
+#: segments — the regime the SMC is sized for — so the comparison
+#: isolates the per-access policy overhead the batch path amortises.
+MIXED_ZIPF = 2.0
+#: Tracked migrations live during the mixed run; one gains a
+#: ``lines_done`` watermark so conflicting writes exercise the abort
+#: path, not just redirects.
+MIGRATIONS_IN_FLIGHT = 3
+#: Scalar warmup accesses that seed the window counts before the victim
+#: rank is selected (an all-zero window degenerates to "victim = rank
+#: 0", which is where all the traffic is).
+MIXED_WARMUP = 2_000
+BATCH_REPEATS = 3
 
 
 def _datapath_config() -> DtlConfig:
     return DtlConfig(enable_self_refresh=False, enable_power_down=False)
 
 
-def _trace(config: DtlConfig) -> tuple[np.ndarray, np.ndarray]:
-    """Zipf-reuse HPAs over a multi-AU footprint (hot SMC, some misses)."""
+def _mixed_config() -> DtlConfig:
+    return DtlConfig()  # both policies on, paper-default timers
+
+
+def _trace(config: DtlConfig, zipf_exponent: float,
+           ) -> tuple[np.ndarray, np.ndarray]:
+    """Zipf-reuse HPAs over a multi-AU footprint plus a write mask."""
     rng = np.random.default_rng(SEED)
     segment = config.geometry.segment_bytes
     segments = NUM_AUS * config.au_bytes // segment
-    hot = rng.zipf(ZIPF_EXPONENT, NUM_ACCESSES) % segments
+    hot = rng.zipf(zipf_exponent, NUM_ACCESSES) % segments
     hpas = (hot * segment + rng.integers(0, segment, NUM_ACCESSES)
             ).astype(np.int64)
     return hpas, rng.random(NUM_ACCESSES) < WRITE_FRACTION
 
 
-def bench_scalar(hpas: np.ndarray, writes: np.ndarray) -> float:
-    config = _datapath_config()
-    controller = DtlController(config)
+def _build(config: DtlConfig, telemetry: bool) -> DtlController:
+    if telemetry:
+        controller = DtlController(config)
+    else:
+        controller = DtlController(config, metrics=MetricsRegistry.null(),
+                                   trace=EventTrace.disabled())
     controller.allocate_vm(0, NUM_AUS * config.au_bytes)
+    return controller
+
+
+def _setup_mixed(controller: DtlController, hpas: np.ndarray) -> None:
+    """Migrations in flight + every channel profiling, pre-measurement."""
+    live = controller.tables.live_dsns()
+    free = [dsn for dsn in range(controller.geometry.total_segments)
+            if not controller.tables.is_dsn_live(dsn)]
+    submitted = 0
+    for dsn in live:
+        if submitted >= MIGRATIONS_IN_FLIGHT:
+            break
+        channel = controller.device_layout.channel_of_dsn(dsn)
+        partner = next((f for f in free
+                        if controller.device_layout.channel_of_dsn(f)
+                        == channel), None)
+        if partner is None:
+            continue
+        free.remove(partner)
+        controller.migration.submit(
+            controller.tables.hsn_of_dsn(dsn), dsn, partner)
+        submitted += 1
+    assert submitted == MIGRATIONS_IN_FLIGHT
+    controller.migration.step_channel(0, lines=5)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", PerformanceWarning)
+        for hpa in hpas[:MIXED_WARMUP].tolist():
+            controller.access(0, hpa, False, now_ns=0.0)
+    controller.end_window()
+    controller.tick(0.0)
+    assert all(controller.self_refresh.phase(c).value == "profiling"
+               for c in range(controller.geometry.channels))
+
+
+def bench_scalar(config: DtlConfig, hpas: np.ndarray, writes: np.ndarray,
+                 mixed: bool) -> float:
+    controller = _build(config, telemetry=True)
+    if mixed:
+        _setup_mixed(controller, hpas)
     hpa_list = [int(h) for h in hpas]
     write_list = [bool(w) for w in writes]
     with warnings.catch_warnings():
@@ -80,41 +149,63 @@ def bench_scalar(hpas: np.ndarray, writes: np.ndarray) -> float:
         warnings.simplefilter("ignore", PerformanceWarning)
         start = time.perf_counter()
         for hpa, write in zip(hpa_list, write_list):
-            controller.access(0, hpa, write)
+            controller.access(0, hpa, write, now_ns=1000.0)
         return time.perf_counter() - start
 
 
-def bench_batch(hpas: np.ndarray, writes: np.ndarray) -> float:
-    config = _datapath_config()
-    controller = DtlController(config, metrics=MetricsRegistry.null(),
-                               trace=EventTrace.disabled())
-    controller.allocate_vm(0, NUM_AUS * config.au_bytes)
-    start = time.perf_counter()
-    controller.access_batch(0, hpas, writes)
-    return time.perf_counter() - start
+def bench_batch(config: DtlConfig, hpas: np.ndarray, writes: np.ndarray,
+                mixed: bool) -> float:
+    best = float("inf")
+    for _ in range(BATCH_REPEATS):
+        controller = _build(config, telemetry=False)
+        if mixed:
+            _setup_mixed(controller, hpas)
+        start = time.perf_counter()
+        controller.access_batch(0, hpas, writes, now_ns=1000.0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_leg(name: str, config: DtlConfig, zipf_exponent: float,
+            mixed: bool) -> dict:
+    hpas, writes = _trace(config, zipf_exponent)
+    distinct = len(np.unique(hpas // config.geometry.segment_bytes))
+    print(f"{name}: {NUM_ACCESSES} accesses, {distinct} distinct segments, "
+          f"zipf {zipf_exponent}")
+    scalar_s = bench_scalar(config, hpas, writes, mixed)
+    scalar_rate = NUM_ACCESSES / scalar_s
+    print(f"  scalar  {scalar_s:.3f}s  {scalar_rate:,.0f} acc/s")
+    batch_s = bench_batch(config, hpas, writes, mixed)
+    batch_rate = NUM_ACCESSES / batch_s
+    speedup = scalar_s / batch_s
+    print(f"  batch   {batch_s:.3f}s  {batch_rate:,.0f} acc/s  "
+          f"speedup {speedup:.1f}x")
+    return {
+        "zipf_exponent": zipf_exponent,
+        "distinct_segments": distinct,
+        "scalar": {
+            "wall_s": round(scalar_s, 3),
+            "accesses_per_s": round(scalar_rate),
+        },
+        "batch": {
+            "wall_s": round(batch_s, 3),
+            "accesses_per_s": round(batch_rate),
+        },
+        "speedup": round(speedup, 2),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check-speedup", type=float, default=None,
                         metavar="X",
-                        help="exit non-zero unless batch >= X times "
-                             "scalar accesses/sec")
+                        help="exit non-zero unless the mixed leg's batch "
+                             "path is >= X times the scalar loop")
     args = parser.parse_args(argv)
 
-    config = _datapath_config()
-    hpas, writes = _trace(config)
-    print(f"trace: {NUM_ACCESSES} accesses, "
-          f"{len(np.unique(hpas // config.geometry.segment_bytes))} "
-          f"distinct segments")
-    scalar_s = bench_scalar(hpas, writes)
-    scalar_rate = NUM_ACCESSES / scalar_s
-    print(f"  scalar  {scalar_s:.3f}s  {scalar_rate:,.0f} acc/s")
-    batch_s = bench_batch(hpas, writes)
-    batch_rate = NUM_ACCESSES / batch_s
-    speedup = scalar_s / batch_s
-    print(f"  batch   {batch_s:.3f}s  {batch_rate:,.0f} acc/s  "
-          f"speedup {speedup:.1f}x")
+    datapath = run_leg("datapath", _datapath_config(), DATAPATH_ZIPF,
+                       mixed=False)
+    mixed = run_leg("mixed", _mixed_config(), MIXED_ZIPF, mixed=True)
 
     document = {
         "host": {
@@ -126,24 +217,20 @@ def main(argv: list[str] | None = None) -> int:
             "accesses": NUM_ACCESSES,
             "aus": NUM_AUS,
             "write_fraction": WRITE_FRACTION,
-            "zipf_exponent": ZIPF_EXPONENT,
             "seed": SEED,
+            "mixed_migrations_in_flight": MIGRATIONS_IN_FLIGHT,
         },
-        "scalar": {
-            "wall_s": round(scalar_s, 3),
-            "accesses_per_s": round(scalar_rate),
-        },
-        "batch": {
-            "wall_s": round(batch_s, 3),
-            "accesses_per_s": round(batch_rate),
-        },
-        "speedup": round(speedup, 2),
+        "datapath": datapath,
+        "mixed": mixed,
+        # Top-level speedup is the gated (mixed) leg.
+        "speedup": mixed["speedup"],
     }
     OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
 
-    if args.check_speedup is not None and speedup < args.check_speedup:
-        print(f"FAIL: speedup {speedup:.1f}x is below the "
+    if args.check_speedup is not None \
+            and mixed["speedup"] < args.check_speedup:
+        print(f"FAIL: mixed speedup {mixed['speedup']:.1f}x is below the "
               f"{args.check_speedup:.1f}x gate", file=sys.stderr)
         return 1
     return 0

@@ -1,0 +1,138 @@
+"""Optional numba-compiled bit-math kernels for the batch datapath.
+
+The vectorised datapath spends part of every batch in address bit
+arithmetic: HPA→HSN splits, DSN field decodes, and DSN→DPA packing.
+Each of those is two or three numpy ufunc dispatches over the same
+array.  With numba present the whole decode fuses into a single pass
+(one read of the input, one write per output), which removes the
+intermediate temporaries and about halves the address-codec share of
+``access_batch``.
+
+numba is strictly optional — it is *not* a dependency of this package
+and is absent from the default environment.  The kernels activate only
+when **both** hold:
+
+* the environment variable ``REPRO_NUMBA`` is set to ``1``/``true``/
+  ``yes``/``on`` (checked once at import), and
+* ``import numba`` succeeds.
+
+Otherwise every public helper in this module returns ``None`` and the
+callers in :mod:`repro.core.addressing` fall through to their plain
+numpy implementations.  ``tests/core/test_batch_identity.py`` and
+``tests/core/test_fallback_seams.py`` are the contract: results must be
+bit-identical with the flag on or off, so CI runs the identity suite in
+both configurations (numba installed on the runner, never vendored
+here).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_ENABLED",
+    "numba_requested",
+    "unpack_dsn_batch",
+    "dpa_of_batch",
+    "split_hpa_batch",
+]
+
+
+def numba_requested() -> bool:
+    """True when the ``REPRO_NUMBA`` environment flag asks for kernels."""
+    return os.environ.get("REPRO_NUMBA", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+NUMBA_ENABLED = False
+if numba_requested():  # pragma: no cover - numba absent in CI base image
+    try:
+        import numba
+    except ImportError:
+        NUMBA_ENABLED = False
+    else:
+        NUMBA_ENABLED = True
+
+if NUMBA_ENABLED:  # pragma: no cover - exercised only on numba CI leg
+
+    @numba.njit(cache=True)
+    def _unpack_dsn_kernel(dsns, channel_mask, channel_bits, index_mask,
+                           index_bits, rank_mask, total_segments):
+        n = dsns.shape[0]
+        channels = np.empty(n, dtype=np.int64)
+        ranks = np.empty(n, dtype=np.int64)
+        indices = np.empty(n, dtype=np.int64)
+        ok = True
+        for i in range(n):
+            dsn = dsns[i]
+            if dsn < 0 or dsn >= total_segments:
+                ok = False
+            channels[i] = dsn & channel_mask
+            indices[i] = (dsn >> channel_bits) & index_mask
+            ranks[i] = (dsn >> (channel_bits + index_bits)) & rank_mask
+        return channels, ranks, indices, ok
+
+    @numba.njit(cache=True)
+    def _dpa_kernel(dsns, offsets, offset_bits, segment_bytes):
+        n = dsns.shape[0]
+        dpas = np.empty(n, dtype=np.int64)
+        ok = True
+        for i in range(n):
+            offset = offsets[i]
+            if offset < 0 or offset >= segment_bytes:
+                ok = False
+            dpas[i] = (dsns[i] << offset_bits) | offset
+        return dpas, ok
+
+    @numba.njit(cache=True)
+    def _split_hpa_kernel(hpas, offset_bits, offset_mask):
+        n = hpas.shape[0]
+        hsns = np.empty(n, dtype=np.int64)
+        offsets = np.empty(n, dtype=np.int64)
+        ok = True
+        for i in range(n):
+            hpa = hpas[i]
+            if hpa < 0:
+                ok = False
+            hsns[i] = hpa >> offset_bits
+            offsets[i] = hpa & offset_mask
+        return hsns, offsets, ok
+
+
+def unpack_dsn_batch(dsns: np.ndarray, channel_bits: int, index_bits: int,
+                     rank_bits: int, total_segments: int):
+    """Fused DSN field decode, or ``None`` when numba is unavailable.
+
+    Returns ``(channels, ranks, indices, in_range)``.  The range check is
+    folded into the same pass instead of a separate ``min``/``max``
+    reduction; the caller raises on ``in_range == False`` to match the
+    numpy path's :class:`~repro.errors.AddressError` behaviour.
+    """
+    if not NUMBA_ENABLED:
+        return None
+    return _unpack_dsn_kernel(  # pragma: no cover - numba leg only
+        np.ascontiguousarray(dsns, dtype=np.int64),
+        (1 << channel_bits) - 1, channel_bits,
+        (1 << index_bits) - 1, index_bits,
+        (1 << rank_bits) - 1, total_segments)
+
+
+def dpa_of_batch(dsns: np.ndarray, offsets: np.ndarray, offset_bits: int,
+                 segment_bytes: int):
+    """Fused DSN+offset→DPA pack, or ``None`` when numba is unavailable."""
+    if not NUMBA_ENABLED:
+        return None
+    return _dpa_kernel(  # pragma: no cover - numba leg only
+        np.ascontiguousarray(dsns, dtype=np.int64),
+        np.ascontiguousarray(offsets, dtype=np.int64),
+        offset_bits, segment_bytes)
+
+
+def split_hpa_batch(hpas: np.ndarray, offset_bits: int, offset_mask: int):
+    """Fused HPA→(HSN, offset) split, or ``None`` when numba is absent."""
+    if not NUMBA_ENABLED:
+        return None
+    return _split_hpa_kernel(  # pragma: no cover - numba leg only
+        np.ascontiguousarray(hpas, dtype=np.int64), offset_bits, offset_mask)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import _kernels
 from repro.dram.geometry import DramGeometry
 from repro.errors import AddressError, ConfigurationError
 from repro.units import GIB, is_power_of_two, log2_int
@@ -148,6 +149,28 @@ class HostAddressLayout:
             raise AddressError("negative HPA in batch")
         return hpas & (self.geometry.segment_bytes - 1)
 
+    def split_hpa_batch(self, hpas: np.ndarray,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """``(hsns, offsets)`` in one pass; fused kernel when enabled.
+
+        Equivalent to calling :meth:`hsn_of_hpa_batch` and
+        :meth:`offset_of_hpa_batch` on the same array, but the input is
+        validated and read once.  With ``REPRO_NUMBA=1`` and numba
+        importable the split runs as a single compiled loop.
+        """
+        hpas = np.asarray(hpas, dtype=np.int64)
+        fused = _kernels.split_hpa_batch(
+            hpas, self.segment_offset_bits, self.geometry.segment_bytes - 1)
+        if fused is not None:  # pragma: no cover - numba leg only
+            hsns, offsets, in_range = fused
+            if not in_range:
+                raise AddressError("negative HPA in batch")
+            return hsns, offsets
+        if len(hpas) and int(hpas.min()) < 0:
+            raise AddressError("negative HPA in batch")
+        return (hpas >> self.segment_offset_bits,
+                hpas & (self.geometry.segment_bytes - 1))
+
     def pack_hsn_batch(self, host_id: int, au_ids: np.ndarray,
                        au_offsets: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`pack_hsn` for one host over paired arrays."""
@@ -213,7 +236,8 @@ class DeviceAddressLayout:
             raise AddressError(f"DSN {dsn:#x} out of range")
         channel = dsn & (geo.channels - 1)
         index = (dsn >> geo.channel_bits) & (geo.segments_per_rank - 1)
-        rank = dsn >> (geo.channel_bits + geo.segment_index_bits)
+        rank = ((dsn >> (geo.channel_bits + geo.segment_index_bits))
+                & ((1 << geo.rank_bits) - 1))
         return SegmentLocation(channel=channel, rank=rank, index=index)
 
     def dpa_of(self, dsn: int, offset: int = 0) -> int:
@@ -233,9 +257,16 @@ class DeviceAddressLayout:
         return dsn & (self.geometry.channels - 1)
 
     def rank_of_dsn(self, dsn: int) -> int:
-        """Rank index (within its channel) owning segment ``dsn``."""
-        return dsn >> (self.geometry.channel_bits
-                       + self.geometry.segment_index_bits)
+        """Rank index (within its channel) owning segment ``dsn``.
+
+        The shifted value is masked to ``rank_bits``: a well-formed DSN
+        has nothing above the rank field, but callers that hand in wider
+        packed values (DPAs shifted down, sentinel-tagged DSNs) must not
+        see the stray high bits come back as a rank index.
+        """
+        return ((dsn >> (self.geometry.channel_bits
+                         + self.geometry.segment_index_bits))
+                & ((1 << self.geometry.rank_bits) - 1))
 
     def dsns_in_rank(self, channel: int, rank: int) -> range:
         """Iterate all DSNs of a rank — note they are *not* contiguous.
@@ -251,12 +282,21 @@ class DeviceAddressLayout:
         """Vectorised :meth:`unpack_dsn`: ``(channels, ranks, indices)``."""
         geo = self.geometry
         dsns = np.asarray(dsns, dtype=np.int64)
+        fused = _kernels.unpack_dsn_batch(
+            dsns, geo.channel_bits, geo.segment_index_bits, geo.rank_bits,
+            geo.total_segments)
+        if fused is not None:  # pragma: no cover - numba leg only
+            channels, ranks, indices, in_range = fused
+            if not in_range:
+                raise AddressError("DSN out of range in batch")
+            return channels, ranks, indices
         if len(dsns) and not (0 <= int(dsns.min())
                               and int(dsns.max()) < geo.total_segments):
             raise AddressError("DSN out of range in batch")
         channels = dsns & (geo.channels - 1)
         indices = (dsns >> geo.channel_bits) & (geo.segments_per_rank - 1)
-        ranks = dsns >> (geo.channel_bits + geo.segment_index_bits)
+        ranks = ((dsns >> (geo.channel_bits + geo.segment_index_bits))
+                 & ((1 << geo.rank_bits) - 1))
         return channels, ranks, indices
 
     def dpa_of_batch(self, dsns: np.ndarray,
@@ -264,6 +304,14 @@ class DeviceAddressLayout:
         """Vectorised :meth:`dpa_of` over paired DSN/offset arrays."""
         dsns = np.asarray(dsns, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
+        fused = _kernels.dpa_of_batch(
+            dsns, offsets, self.geometry.segment_offset_bits,
+            self.geometry.segment_bytes)
+        if fused is not None:  # pragma: no cover - numba leg only
+            dpas, in_range = fused
+            if not in_range:
+                raise AddressError("offset out of range in batch")
+            return dpas
         if len(offsets) and not (0 <= int(offsets.min())
                                  and int(offsets.max())
                                  < self.geometry.segment_bytes):

@@ -121,11 +121,10 @@ class ConsistencyChecker:
         tables = self.controller.tables
         smc = self.controller.translation.smc
         entries = []
-        for hsn, dsn in smc.l1._data.items():
+        for hsn, dsn in smc.l1.items():
             entries.append(("L1", hsn, dsn))
-        for cache_set in smc.l2._sets:
-            for hsn, dsn in cache_set.items():
-                entries.append(("L2", hsn, dsn))
+        for hsn, dsn in smc.l2.items():
+            entries.append(("L2", hsn, dsn))
         for level, hsn, dsn in entries:
             report.checked_smc_entries += 1
             actual = tables.try_walk(hsn)

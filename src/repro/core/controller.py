@@ -290,6 +290,11 @@ class DtlController:
     def access(self, host_id: int, hpa: int, is_write: bool = False,
                now_ns: float = 0.0) -> AccessResult:
         """One host load/store through the CXL + DTL datapath."""
+        # Only user-initiated access() calls count toward the
+        # PerformanceWarning threshold.  Batch-internal scalar replays
+        # (fault-plan replay, self-refresh event replay) go through
+        # _access_one / policy hooks directly and must never trip the
+        # "switch to access_batch" warning — the caller already did.
         self._scalar_access_calls += 1
         if (self._scalar_access_calls > SCALAR_ACCESS_WARN_THRESHOLD
                 and not self._scalar_access_warned):
@@ -384,30 +389,32 @@ class DtlController:
         if self._faults is not None and self._faults.active:
             return self._replay_batch_scalar(host_id, hpas, writes, now_ns)
         host = self.host_layout
-        hsn_locals = host.hsn_of_hpa_batch(hpas)
+        hsn_locals, offsets = host.split_hpa_batch(hpas)
         au_ids = hsn_locals // host.segments_per_au
         au_offsets = hsn_locals % host.segments_per_au
         hsns = host.pack_hsn_batch(host_id, au_ids, au_offsets)
         dsns, xlat_ns, l1_hits, l2_hits = \
             self.translation.translate_hsn_batch(hsns)
-        offsets = host.offset_of_hpa_batch(hpas)
         routed_new = np.zeros(n, dtype=bool)
         # Write routing: segments without a tracked migration route
         # OLD_DSN with no side effects, so only writes hitting tracked
-        # segments replay the scalar conflict protocol (in input order —
-        # an abort at one write changes the routing of later ones).
+        # segments run the conflict protocol, and those run it in bulk —
+        # the engine collapses the order-sensitivity (one abort per
+        # request, completion-bit redirects) internally.
         if writes.any() and self.migration.has_tracked_requests:
             tracked = np.fromiter(self.migration.tracked_dsns(),
                                   dtype=np.int64)
-            for i in np.nonzero(writes & np.isin(dsns, tracked))[0]:
-                dsn = int(dsns[i])
-                routing = self.migration.on_foreground_write(
-                    dsn, int(offsets[i]) // CACHELINE_BYTES)
-                if routing is WriteRouting.NEW_DSN:
-                    request = self.migration.request_for(dsn)
-                    if request is not None:
-                        dsns[i] = request.new_dsn
-                        routed_new[i] = True
+            hot = np.nonzero(writes & np.isin(dsns, tracked))[0]
+            if len(hot):
+                routed = self.migration.on_foreground_write_batch(
+                    dsns[hot], offsets[hot] // CACHELINE_BYTES)
+                if routed.any():
+                    redirected = hot[routed]
+                    dsns[redirected] = np.fromiter(
+                        (self.migration.request_for(int(dsn)).new_dsn
+                         for dsn in dsns[redirected]),
+                        dtype=np.int64, count=len(redirected))
+                    routed_new[redirected] = True
         channels, ranks, _ = self.device_layout.unpack_dsn_batch(dsns)
         if self.self_refresh is not None:
             wake_ns = self.self_refresh.on_access_batch(dsns, now_ns)

@@ -27,6 +27,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.core.addressing import DeviceAddressLayout
 from repro.dram.geometry import DramGeometry
 from repro.errors import MigrationError
@@ -243,6 +245,55 @@ class MigrationEngine:
         # Already-migrated line is being overwritten: abort and retry.
         self._abort(request)
         return WriteRouting.OLD_DSN
+
+    def on_foreground_write_batch(self, dsns: np.ndarray,
+                                  line_indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`on_foreground_write` over paired arrays.
+
+        Equivalent to calling the scalar protocol once per element in
+        order; returns a bool array — True where the write must be
+        issued to the NEW_DSN copy.  The order-sensitivity of the scalar
+        loop collapses per request: a request with its completion bit
+        set redirects *every* write to it (an abort is unreachable once
+        the copy is complete), and an incomplete request aborts at most
+        once per batch — the first conflicting write resets
+        ``lines_done`` to zero, after which no later line index can
+        conflict.  Aborts are applied in first-conflict order so requeue
+        ordering matches the scalar sequence.
+        """
+        dsns = np.asarray(dsns, dtype=np.int64)
+        line_indices = np.asarray(line_indices, dtype=np.int64)
+        routed_new = np.zeros(len(dsns), dtype=bool)
+        if not len(dsns) or not self._by_old_dsn:
+            return routed_new
+        aborts: list[tuple[int, MigrationRequest]] = []
+        for dsn in np.unique(dsns).tolist():
+            request = self._by_old_dsn.get(dsn)
+            if request is None:
+                continue
+            positions = np.nonzero(dsns == dsn)[0]
+            lines = line_indices[positions]
+            bad = (lines < 0) | (lines >= request.lines_total)
+            if bad.any():
+                # Reproduce the scalar error position: apply nothing for
+                # this request past the first invalid write.  (Earlier
+                # valid writes to *other* requests have already been or
+                # will be applied — their effects are order-free.)
+                first_bad = int(positions[int(np.argmax(bad))])
+                raise MigrationError(
+                    f"line index {int(line_indices[first_bad])} "
+                    "out of range")
+            if request.completion:
+                self.stats.foreground_redirects += len(positions)
+                routed_new[positions] = True
+                continue
+            conflicts = lines < request.lines_done
+            if conflicts.any():
+                first = int(positions[int(np.argmax(conflicts))])
+                aborts.append((first, request))
+        for _, request in sorted(aborts, key=lambda item: item[0]):
+            self._abort(request)
+        return routed_new
 
     def _abort(self, request: MigrationRequest) -> None:
         request.reset_progress()

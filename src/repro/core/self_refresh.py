@@ -134,7 +134,16 @@ class HotnessSelfRefreshPolicy:
         self.planned = np.arange(total, dtype=np.int64)
         self._rank_shift = (self.geometry.channel_bits
                             + self.geometry.segment_index_bits)
+        #: Masks the shifted value down to the rank field.  A well-formed
+        #: DSN has nothing above the rank bits, but decodes must not turn
+        #: stray high bits (wider packed values, sentinel tags) into
+        #: phantom rank indices — see DeviceAddressLayout.rank_of_dsn.
+        self._rank_mask = (1 << self.geometry.rank_bits) - 1
         self._channel_mask = self.geometry.channels - 1
+        #: Cap on scalar event replays per channel per batch before
+        #: :meth:`on_access_batch` stops rescanning the tail and replays
+        #: the remainder element-wise (pathological event density).
+        self._batch_event_limit = 64
         self._channels = {channel: _ChannelState()
                           for channel in range(self.geometry.channels)}
         self.events: list[SelfRefreshEvent] = []
@@ -174,7 +183,7 @@ class HotnessSelfRefreshPolicy:
     # -- address helpers ---------------------------------------------------------
 
     def _rank_of(self, dsn: int) -> int:
-        return dsn >> self._rank_shift
+        return (dsn >> self._rank_shift) & self._rank_mask
 
     def _channel_of(self, dsn: int) -> int:
         return dsn & self._channel_mask
@@ -282,41 +291,105 @@ class HotnessSelfRefreshPolicy:
         """Scalar-identical batch variant of :meth:`on_access`.
 
         Equivalent to calling :meth:`on_access` once per element of
-        ``dsns`` in order; returns the per-access wake penalties (ns).
-        Channels whose state machine cannot change mid-batch (not
-        PROFILING, no rank in self-refresh) take a vectorised fast path;
-        the rest replay scalar accesses in order.  Unlike
+        ``dsns`` in order (per channel — accesses to different channels
+        touch disjoint state, so only intra-channel order matters);
+        returns the per-access wake penalties (ns).  Unlike
         :meth:`on_batch` — which applies windowed distinct-segment
         semantics — every repeat here counts.
+
+        Only two kinds of access can mutate policy state mid-batch:
+
+        * an access to a rank in self-refresh (wake + re-profile) or in
+          MPSM (the rank raises), and
+        * while the channel is PROFILING, an access to a segment whose
+          *planned* location is the victim rank (CLOCK table swap, quiet
+          timer reset).
+
+        Those *events* replay through :meth:`on_access` one at a time;
+        every stretch between events is applied in bulk (per-rank
+        counters via bincount, access bits with one scatter).  Each
+        event can change what counts as an event — a wake flips the
+        channel into PROFILING, a table swap re-plans up to three
+        segments — so the tail is re-screened after every replay.
+        Events self-extinguish (a hot segment is planned out of the
+        victim rank by its own hit), so the scan count stays small; a
+        channel that somehow exceeds ``_batch_event_limit`` events
+        replays its remaining tail element-wise.
         """
         dsns = np.asarray(dsns, dtype=np.int64)
         penalties = np.zeros(len(dsns), dtype=np.float64)
         if not len(dsns):
             return penalties
         channels = dsns & self._channel_mask
-        ranks = dsns >> self._rank_shift
+        ranks = (dsns >> self._rank_shift) & self._rank_mask
         for channel in np.unique(channels):
             channel = int(channel)
-            mask = channels == channel
-            state = self._channels[channel]
-            # An access can mutate policy state mid-batch only while the
-            # channel is profiling (CLOCK table updates) or a rank might
-            # wake out of self-refresh; those channels replay scalar.
-            dirty = state.phase is ChannelPhase.PROFILING or any(
-                rank.state is PowerState.SELF_REFRESH
-                for rank in self.device.ranks_in_channel(channel))
-            if dirty:
-                for i in np.nonzero(mask)[0]:
-                    penalties[i] = self.on_access(int(dsns[i]), now_ns)
-                continue
-            counts = np.bincount(ranks[mask])
-            for rank, count in enumerate(counts):
-                if count:
-                    self.device.rank(channel, rank).record_access(int(count))
-                    state.window_counts[rank] = (
-                        state.window_counts.get(rank, 0) + int(count))
-            self.access_bits[dsns[mask]] = True
+            idx = np.nonzero(channels == channel)[0]
+            self._run_channel_batch(channel, dsns[idx], ranks[idx], idx,
+                                    penalties, now_ns)
         return penalties
+
+    def _bulk_apply(self, channel: int, state: _ChannelState,
+                    run_dsns: np.ndarray, run_ranks: np.ndarray) -> None:
+        """Apply an event-free stretch of accesses on one channel.
+
+        Order-free bookkeeping only: per-rank access counters, window
+        counts, and access bits.  ``access_bits`` is indexed by the
+        *packed device-global DSN* — the same index space the scalar
+        path (``on_access``), the CLOCK sweep (``_tsp_find_cold`` via
+        ``pack_dsn``), and ``on_batch`` all use, so one bit per device
+        segment, not per rank-local index.
+        """
+        counts = np.bincount(run_ranks)
+        window = state.window_counts
+        for rank, count in enumerate(counts.tolist()):
+            if count:
+                self.device.rank(channel, rank).record_access(count)
+                window[rank] = window.get(rank, 0) + count
+        self.access_bits[run_dsns] = True
+
+    def _run_channel_batch(self, channel: int, ch_dsns: np.ndarray,
+                           ch_ranks: np.ndarray, idx: np.ndarray,
+                           penalties: np.ndarray, now_ns: float) -> None:
+        """Event-loop application of one channel's slice of a batch."""
+        state = self._channels[channel]
+        n = len(ch_dsns)
+        p = 0
+        events = 0
+        while p < n:
+            stateful_ranks = [
+                rank.index for rank in self.device.ranks_in_channel(channel)
+                if rank.state is PowerState.SELF_REFRESH
+                or rank.state is PowerState.MPSM]
+            profiling = (state.phase is ChannelPhase.PROFILING
+                         and bool(state.victim_ranks))
+            if not stateful_ranks and not profiling:
+                self._bulk_apply(channel, state, ch_dsns[p:], ch_ranks[p:])
+                return
+            tail_dsns = ch_dsns[p:]
+            ev = np.zeros(n - p, dtype=bool)
+            if stateful_ranks:
+                ev |= np.isin(ch_ranks[p:], stateful_ranks)
+            if profiling:
+                planned_ranks = ((self.planned[tail_dsns] >> self._rank_shift)
+                                 & self._rank_mask)
+                ev |= np.isin(planned_ranks, list(state.victim_ranks))
+            if not ev.any():
+                self._bulk_apply(channel, state, tail_dsns, ch_ranks[p:])
+                return
+            cut = int(np.argmax(ev))
+            if cut:
+                self._bulk_apply(channel, state, tail_dsns[:cut],
+                                 ch_ranks[p:p + cut])
+            pos = p + cut
+            penalties[idx[pos]] = self.on_access(int(ch_dsns[pos]), now_ns)
+            p = pos + 1
+            events += 1
+            if events >= self._batch_event_limit:
+                for q in range(p, n):
+                    penalties[idx[q]] = self.on_access(int(ch_dsns[q]),
+                                                       now_ns)
+                return
 
     def on_batch(self, dsns: np.ndarray, now_ns: float,
                  bit_dsns: np.ndarray | None = None) -> float:
@@ -343,7 +416,7 @@ class HotnessSelfRefreshPolicy:
         elif len(bit_dsns):
             self.access_bits[np.asarray(bit_dsns, dtype=np.int64)] = True
         channels = dsns & self._channel_mask
-        ranks = dsns >> self._rank_shift
+        ranks = (dsns >> self._rank_shift) & self._rank_mask
         penalty = 0.0
         for channel in range(self.geometry.channels):
             mask = channels == channel
@@ -363,13 +436,13 @@ class HotnessSelfRefreshPolicy:
                 continue
             # Only touches whose *planned* location is the victim rank
             # update the migration table / reset the timer.
-            planned_ranks = (self.planned[channel_dsns]
-                             >> self._rank_shift)
+            planned_ranks = ((self.planned[channel_dsns] >> self._rank_shift)
+                             & self._rank_mask)
             hits = channel_dsns[np.isin(planned_ranks,
                                         list(state.victim_ranks))]
             for dsn in hits:
                 self._profiling_update(int(dsn), state,
-                                       int(dsn) >> self._rank_shift, now_ns)
+                                       self._rank_of(int(dsn)), now_ns)
         return penalty
 
     def _wake_if_needed(self, channel: int, rank: int, state: _ChannelState,
@@ -635,7 +708,8 @@ class HotnessSelfRefreshPolicy:
         for rank in range(geo.ranks_per_channel):
             base = self._dsn(channel, rank, 0)
             dsns = base + np.arange(geo.segments_per_rank) * geo.channels
-            count += int(np.isin(self.planned[dsns] >> self._rank_shift,
+            count += int(np.isin((self.planned[dsns] >> self._rank_shift)
+                                 & self._rank_mask,
                                  list(state.victim_ranks)).sum())
         return count
 

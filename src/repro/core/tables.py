@@ -10,6 +10,18 @@ The miss path (Figure 4) is:
 
 A **reverse mapping table** (DSN -> HSN, also in reserved DRAM) supports
 mapping updates after data migration (Section 4.2).
+
+Layout note (structure-of-arrays): the whole forward table is **one flat
+preallocated int64 array** indexed directly by the packed HSN — exactly
+how the hardware table is a flat region of reserved DRAM.  Per-AU
+"slices" (:class:`AuMappingSlice`) are numpy views into that array, so
+the three-level walk collapses to a bounds check plus a single gather:
+``dsns = forward[hsns]``.  An ``UNMAPPED`` sentinel marks both
+never-allocated and unmapped entries; a per-AU allocation bitmap keeps
+"AU not allocated" and "segment not mapped" distinguishable for error
+reporting.  The reverse table stays an ordinary dict: it is not on the
+access hot path and callers (tests included) may probe arbitrary DSN
+keys outside the device range.
 """
 
 from __future__ import annotations
@@ -37,13 +49,19 @@ class AuMappingSlice:
     """The segment mapping table slice for one allocated AU.
 
     Maps AU offsets (0 .. segments_per_au-1) to DSNs; ``UNMAPPED`` marks
-    segments not yet backed by DRAM.  Backed by an int64 array so whole
-    slices can be gathered/scattered by the batch datapath.
+    segments not yet backed by DRAM.  Backed by an int64 array — normally
+    a view into :class:`TranslationTables`' flat forward table, so slice
+    updates and whole-table gathers see the same storage — standalone
+    construction with just a length keeps working for unit tests.
     """
 
-    def __init__(self, au_id: int, segments_per_au: int):
+    def __init__(self, au_id: int, segments_per_au: int,
+                 backing: np.ndarray | None = None):
         self.au_id = au_id
-        self._dsns = np.full(segments_per_au, UNMAPPED, dtype=np.int64)
+        if backing is not None:
+            self._dsns = backing
+        else:
+            self._dsns = np.full(segments_per_au, UNMAPPED, dtype=np.int64)
 
     def get(self, au_offset: int) -> int:
         """DSN for ``au_offset`` (may be :data:`UNMAPPED`)."""
@@ -86,11 +104,30 @@ class TranslationTables:
 
     def __init__(self, layout: HostAddressLayout):
         self.layout = layout
-        # host_id -> {au_id -> AuMappingSlice}; models host base address
-        # table + per-host AU tables + the DRAM-resident mapping slices.
+        # Flat forward table over the whole packed-HSN space.  Size is
+        # max_hosts * max_aus_per_host * segments_per_au entries, i.e. at
+        # most max_hosts * total_segments — a few MiB even at device
+        # scale, and one gather resolves any HSN batch.
+        self._forward = np.full(1 << layout.hsn_bits, UNMAPPED,
+                                dtype=np.int64)
+        # Allocation bitmap indexed by the (host_id | au_id) prefix, so
+        # batch walks can distinguish "AU not allocated" from "segment
+        # not mapped" without touching the per-AU objects.
+        self._au_allocated = np.zeros(
+            layout.max_hosts * layout.max_aus_per_host, dtype=bool)
+        # host_id -> {au_id -> AuMappingSlice} view objects (lifecycle /
+        # introspection; the slices alias _forward).
         self._hosts: dict[int, dict[int, AuMappingSlice]] = {}
         # DSN -> HSN reverse map.
         self._reverse: dict[int, int] = {}
+
+    # -- prefix helpers -------------------------------------------------------
+
+    def _prefix(self, host_id: int, au_id: int) -> int:
+        return (host_id << self.layout.au_id_bits) | au_id
+
+    def _slice_base(self, host_id: int, au_id: int) -> int:
+        return self._prefix(host_id, au_id) << self.layout.au_offset_bits
 
     # -- AU lifecycle ---------------------------------------------------------
 
@@ -109,7 +146,12 @@ class TranslationTables:
                 f"AU {au_id} of host {host_id} already allocated")
         if not 0 <= au_id < self.layout.max_aus_per_host:
             raise AddressError(f"au_id {au_id} out of range")
-        aus[au_id] = AuMappingSlice(au_id, self.layout.segments_per_au)
+        base = self._slice_base(host_id, au_id)
+        segments = self.layout.segments_per_au
+        backing = self._forward[base:base + segments]
+        backing[:] = UNMAPPED
+        aus[au_id] = AuMappingSlice(au_id, segments, backing=backing)
+        self._au_allocated[self._prefix(host_id, au_id)] = True
         return aus[au_id]
 
     def free_au(self, host_id: int, au_id: int) -> list[int]:
@@ -121,6 +163,7 @@ class TranslationTables:
             self._reverse.pop(dsn, None)
             dsns.append(dsn)
         del self._hosts[host_id][au_id]
+        self._au_allocated[self._prefix(host_id, au_id)] = False
         return dsns
 
     def au_ids(self, host_id: int) -> list[int]:
@@ -191,10 +234,8 @@ class TranslationTables:
         """Exchange the DSNs of two mapped HSNs (hot/cold swap)."""
         dsn_a = self.walk(hsn_a).dsn
         dsn_b = self.walk(hsn_b).dsn
-        host_a, au_a, off_a = self.layout.unpack_hsn(hsn_a)
-        host_b, au_b, off_b = self.layout.unpack_hsn(hsn_b)
-        self._au_slice(host_a, au_a).set(off_a, dsn_b)
-        self._au_slice(host_b, au_b).set(off_b, dsn_a)
+        self._forward[hsn_a] = dsn_b
+        self._forward[hsn_b] = dsn_a
         self._reverse[dsn_a] = hsn_b
         self._reverse[dsn_b] = hsn_a
 
@@ -216,44 +257,36 @@ class TranslationTables:
         Raises:
             TranslationError: if the HSN has no mapping.
         """
-        host_id, au_id, au_offset = self.layout.unpack_hsn(hsn)
-        au_slice = self._au_slice(host_id, au_id)
-        dsn = au_slice.get(au_offset)
-        if dsn == UNMAPPED:
-            raise TranslationError(f"HSN {hsn:#x} is not mapped")
-        return WalkResult(dsn=dsn, sram_accesses=2, dram_accesses=1)
+        if 0 <= hsn < len(self._forward):
+            dsn = int(self._forward[hsn])
+            if dsn != UNMAPPED:
+                return WalkResult(dsn=dsn, sram_accesses=2, dram_accesses=1)
+        # Error path: reproduce the level-by-level diagnostics.
+        host_id, au_id, _ = self.layout.unpack_hsn(hsn)
+        self._au_slice(host_id, au_id)
+        raise TranslationError(f"HSN {hsn:#x} is not mapped")
 
     def walk_batch(self, hsns: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`walk`: one DSN per input HSN.
 
-        HSNs are grouped by their ``(host_id, au_id)`` prefix so each
-        allocated AU's slice is gathered once, however many times its
-        segments repeat in the batch.
+        The flat forward table turns the whole batch into a bounds check
+        plus one gather, whatever mix of hosts and AUs it spans.
 
         Raises:
             TranslationError: if any HSN has no mapping.
         """
         hsns = np.asarray(hsns, dtype=np.int64)
-        dsns = np.empty(len(hsns), dtype=np.int64)
         if not len(hsns):
-            return dsns
-        layout = self.layout
+            return np.empty(0, dtype=np.int64)
         if not (0 <= int(hsns.min())
-                and int(hsns.max()) < (1 << layout.hsn_bits)):
+                and int(hsns.max()) < (1 << self.layout.hsn_bits)):
             raise AddressError("HSN out of range in batch")
-        au_offsets = hsns & (layout.segments_per_au - 1)
-        prefixes = hsns >> layout.au_offset_bits  # host_id | au_id
-        au_mask = layout.max_aus_per_host - 1
-        for prefix in np.unique(prefixes):
-            host_id = int(prefix) >> layout.au_id_bits
-            au_id = int(prefix) & au_mask
-            mask = prefixes == prefix
-            au_slice = self._au_slice(host_id, au_id)
-            group = au_slice.get_batch(au_offsets[mask])
-            if (group == UNMAPPED).any():
-                bad = hsns[mask][group == UNMAPPED][0]
-                raise TranslationError(f"HSN {int(bad):#x} is not mapped")
-            dsns[mask] = group
+        dsns = self._forward[hsns]
+        unmapped = dsns == UNMAPPED
+        if unmapped.any():
+            # Raise with the scalar walk's exact diagnostic for the first
+            # failing HSN in input order.
+            self.walk(int(hsns[np.argmax(unmapped)]))
         return dsns
 
     def try_walk(self, hsn: int) -> int | None:
@@ -281,6 +314,17 @@ class TranslationTables:
     def live_dsns(self) -> list[int]:
         """All DSNs currently backing segments."""
         return sorted(self._reverse)
+
+    def live_mask(self, dsns: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_dsn_live` over a DSN array."""
+        dsns = np.asarray(dsns, dtype=np.int64)
+        if not len(dsns):
+            return np.zeros(0, dtype=bool)
+        if not self._reverse:
+            return np.zeros(len(dsns), dtype=bool)
+        live = np.fromiter(self._reverse, dtype=np.int64,
+                           count=len(self._reverse))
+        return np.isin(dsns, live)
 
     @property
     def mapped_segment_count(self) -> int:
