@@ -8,7 +8,8 @@ Usage::
     python -m repro fig12 [--quick]     # power-down schedule experiment
     python -m repro fig14 [--point 208gb] [--duration 60]
     python -m repro fig15 [--duration 45]
-    python -m repro fleet [--quick]     # multi-node fleet + TCO roll-up
+    python -m repro fleet [--quick]     # racked fleet + TCO roll-up
+    python -m repro fleet-soak [--quick]  # sharded soak under an RSS ceiling
     python -m repro chaos [--quick]     # fault-injection reliability soak
     python -m repro exp --list          # unified experiment registry
     python -m repro tables              # Tables 5 and 6 + Section 6.1
@@ -29,6 +30,7 @@ cache keeps ``repro all`` from simulating the same capacity point twice
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Any, Callable
 
@@ -41,7 +43,9 @@ from repro.faults import ChaosSoakConfig, armed
 from repro.host.scheduler import SchedulerConfig, VmScheduler
 from repro.sim.combined import figure15_summary
 from repro.sim.experiments import EXPERIMENTS, run_experiments
-from repro.sim.fleet import FleetConfig, FleetSimulator
+from repro.sim.fleet import FleetSimulator, RackConfig
+from repro.sim.fleet_soak import (FleetSoakConfig, FleetSoakExperiment,
+                                  quick_soak_config)
 from repro.sim.figures import (ascii_chart, figure1_series,
                                figure12a_series, figure14_series)
 from repro.sim.perf_model import PerformanceModel
@@ -229,23 +233,34 @@ def cmd_fig15(args: argparse.Namespace) -> list[ExperimentRecord]:
          "total": entry.total_savings}) for entry in summary]
 
 
-def _fleet_config(args: argparse.Namespace) -> FleetConfig:
+def _fleet_config(args: argparse.Namespace) -> RackConfig:
     nodes = 2 if args.quick else 6
     node = PowerDownSimConfig(
         azure=AzureTraceConfig(num_vms=60, duration_s=3600.0),
         scheduler=SchedulerConfig(duration_s=3600.0))
-    return FleetConfig(num_nodes=nodes, node=node, base_seed=args.seed)
+    return RackConfig(num_nodes=nodes, node=node, base_seed=args.seed,
+                      shard_size=2, hosts_per_rack=2)
 
 
 def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
     config = _fleet_config(args)
     workers = _exec_config(args).resolved_workers()
     print(f"Simulating a {config.num_nodes}-node fleet "
-          f"(1-hour schedules each, {workers} worker(s))...")
+          f"({config.hosts_per_rack} hosts/rack, 1-hour schedules each, "
+          f"{workers} worker(s))...")
     fleet = FleetSimulator(config, exec_config=_exec_config(args)).run()
     rows = fleet.summary_rows()
     _print("Fleet-level DRAM savings", rows,
            header=("node", "savings", "mean ranks/ch"))
+    rack = fleet.rack_report()
+    _print("Rack-level CXL pool contention", [
+        ("racks", f"{rack['num_racks']:.0f}", ""),
+        ("contended savings", f"{rack['contended_fleet_savings']:.1%}",
+         f"uncontended {rack['fleet_savings']:.1%}"),
+        ("mean pool slowdown", f"{rack['mean_pool_slowdown']:.4f}x", ""),
+        ("max pool utilization", f"{rack['max_pool_utilization']:.1%}",
+         f"{rack['saturated_racks']:.0f} saturated"),
+    ], header=("metric", "value", "note"))
     tco = fleet.tco_report()
     _print("Datacenter TCO roll-up", [
         ("server power saved", f"{tco['server_power_saved_w']:.1f} W",
@@ -254,6 +269,43 @@ def cmd_fleet(args: argparse.Namespace) -> list[ExperimentRecord]:
         ("annual cost", f"${tco['annual_cost_saved_usd']:,.0f}", ""),
     ], header=("metric", "value", "note"))
     return [fleet.to_record()]
+
+
+def cmd_fleet_soak(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Sharded fleet soak: RSS ceiling + serial/parallel bit-identity."""
+    if args.quick:
+        config = quick_soak_config()
+    else:
+        config = FleetSoakConfig()
+    if args.workers:
+        config = dataclasses.replace(config, workers=args.workers)
+    print(f"Fleet soak: {config.num_nodes} nodes in shards of "
+          f"{config.shard_size}, RSS ceiling {config.rss_ceiling_mb:.0f} "
+          f"MiB, parallel verify with {config.workers} worker(s)...")
+    result = FleetSoakExperiment(config).run()
+    parallel_wall = (f"{result.parallel_wall_s:.1f}s"
+                     if result.parallel_wall_s is not None else "skipped")
+    _print("Fleet soak", [
+        ("fleet savings", f"{result.fleet_savings:.3%}", ""),
+        ("bit-identical", str(result.bit_identical),
+         "sharded-serial vs sharded-parallel"),
+        ("peak RSS", f"{result.peak_rss_mb:.0f} MiB",
+         f"ceiling {result.config.rss_ceiling_mb:.0f} MiB"),
+        ("nodes ok / failed", f"{result.nodes_ok} / {result.nodes_failed}",
+         ""),
+        ("serial / parallel wall", f"{result.serial_wall_s:.1f}s / "
+         f"{parallel_wall}", ""),
+        ("bytes shipped", f"{result.result_bytes:,.0f}",
+         f"{result.result_bytes / max(result.nodes_ok, 1):,.0f} per node"),
+    ], header=("metric", "value", "note"))
+    if not result.ok:
+        raise SystemExit("fleet soak FAILED: "
+                         + ("RSS over ceiling " if not result.within_ceiling
+                            else "")
+                         + ("savings not bit-identical"
+                            if not result.bit_identical else ""))
+    print("\nSoak passed: within memory ceiling, bit-identical savings.")
+    return [result.to_record()]
 
 
 def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
@@ -450,6 +502,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "fig14": cmd_fig14,
     "fig15": cmd_fig15,
     "fleet": cmd_fleet,
+    "fleet-soak": cmd_fleet_soak,
     "chaos": cmd_chaos,
     "exp": cmd_exp,
     "validate": cmd_validate,

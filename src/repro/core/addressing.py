@@ -277,6 +277,27 @@ class DeviceAddressLayout:
 
     # -- batch codecs ---------------------------------------------------------
 
+    def pack_dsn_batch(self, channel: int, rank: int,
+                       indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`pack_dsn` for one rank's segment indices.
+
+        Bit-identical to packing each ``SegmentLocation(channel, rank,
+        index)`` scalar-wise; range checks run once on the bounds instead
+        of per element.
+        """
+        geo = self.geometry
+        if not 0 <= channel < geo.channels:
+            raise AddressError(f"channel {channel} out of range")
+        if not 0 <= rank < geo.ranks_per_channel:
+            raise AddressError(f"rank {rank} out of range")
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) and not (0 <= int(indices.min())
+                                 and int(indices.max())
+                                 < geo.segments_per_rank):
+            raise AddressError("segment index out of range in batch")
+        base = rank << (geo.segment_index_bits + geo.channel_bits)
+        return (base | (indices << geo.channel_bits)) | channel
+
     def unpack_dsn_batch(self, dsns: np.ndarray,
                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorised :meth:`unpack_dsn`: ``(channels, ranks, indices)``."""

@@ -14,7 +14,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.addressing import DeviceAddressLayout, SegmentLocation
+import numpy as np
+
+from repro.core.addressing import DeviceAddressLayout
 from repro.dram.geometry import DramGeometry
 from repro.errors import AllocationError
 
@@ -48,12 +50,11 @@ class SegmentAllocator:
         self.layout = DeviceAddressLayout(geometry)
         self._free: dict[RankId, deque[int]] = {}
         self._allocated: dict[RankId, set[int]] = {}
+        indices = np.arange(geometry.segments_per_rank, dtype=np.int64)
         for channel in range(geometry.channels):
             for rank in range(geometry.ranks_per_channel):
-                dsns = deque(
-                    self.layout.pack_dsn(SegmentLocation(channel, rank, index))
-                    for index in range(geometry.segments_per_rank))
-                self._free[(channel, rank)] = dsns
+                packed = self.layout.pack_dsn_batch(channel, rank, indices)
+                self._free[(channel, rank)] = deque(packed.tolist())
                 self._allocated[(channel, rank)] = set()
 
     # -- queries --------------------------------------------------------------
@@ -62,6 +63,14 @@ class SegmentAllocator:
         """``(channel, rank)`` owning segment ``dsn``."""
         location = self.layout.unpack_dsn(dsn)
         return location.rank_id
+
+    def ranks_of_dsns(self, dsns: list[int]) -> list[RankId]:
+        """``(channel, rank)`` pairs owning each segment in ``dsns``."""
+        if not dsns:
+            return []
+        channels, ranks, _ = self.layout.unpack_dsn_batch(
+            np.asarray(dsns, dtype=np.int64))
+        return list(zip(channels.tolist(), ranks.tolist()))
 
     def usage(self, rank_id: RankId) -> RankUsage:
         """Allocation snapshot of one rank."""
@@ -193,8 +202,7 @@ class SegmentAllocator:
 
     def free(self, dsns: list[int]) -> None:
         """Return segments to their ranks' free queues."""
-        for dsn in dsns:
-            rank_id = self.rank_of_dsn(dsn)
+        for dsn, rank_id in zip(dsns, self.ranks_of_dsns(dsns)):
             allocated = self._allocated[rank_id]
             if dsn not in allocated:
                 raise AllocationError(f"DSN {dsn:#x} is not allocated")

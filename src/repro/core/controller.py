@@ -470,7 +470,7 @@ class DtlController:
         The VM's initialisation writes follow immediately, and a rank in
         self-refresh cannot accept commands.
         """
-        ranks = {self.allocator.rank_of_dsn(dsn) for dsn in dsns}
+        ranks = set(self.allocator.ranks_of_dsns(dsns))
         for rank_id in ranks:
             if self.device.ranks[rank_id].state is PowerState.SELF_REFRESH:
                 self.device.set_rank_state(rank_id, PowerState.STANDBY,

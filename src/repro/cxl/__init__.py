@@ -2,7 +2,10 @@
 
 from repro.cxl.device import CxlMemoryDevice
 from repro.cxl.link import CxlLinkConfig
-from repro.cxl.pool import MemoryPool, PoolStats, PoolVmHandle
+from repro.cxl.pool import (MemoryPool, PoolContention,
+                            PoolContentionConfig, PoolStats, PoolVmHandle,
+                            pool_contention)
 
-__all__ = ["CxlMemoryDevice", "CxlLinkConfig", "MemoryPool", "PoolStats",
-           "PoolVmHandle"]
+__all__ = ["CxlMemoryDevice", "CxlLinkConfig", "MemoryPool",
+           "PoolContention", "PoolContentionConfig", "PoolStats",
+           "PoolVmHandle", "pool_contention"]

@@ -25,6 +25,7 @@ from repro.core.config import DtlConfig
 from repro.core.controller import VmHandle
 from repro.cxl.device import CxlMemoryDevice
 from repro.cxl.link import CxlLinkConfig
+from repro.dram.timing import CXL_MEMORY_LATENCY_NS
 from repro.errors import AllocationError, ConfigurationError
 
 
@@ -49,10 +50,13 @@ class PoolStats:
     devices: int
     total_bytes: int
     reserved_bytes: int
-    background_power_rsu: float
-    ranks_standby: int
-    ranks_self_refresh: int
-    ranks_mpsm: int
+    #: Power/rank-state fields default to 0 so rack-level aggregation
+    #: (which tracks capacity and occupancy, not per-rank power states)
+    #: can report pool stats through the same type.
+    background_power_rsu: float = 0.0
+    ranks_standby: int = 0
+    ranks_self_refresh: int = 0
+    ranks_mpsm: int = 0
 
     @property
     def utilization(self) -> float:
@@ -175,4 +179,80 @@ class MemoryPool:
                          ranks_mpsm=mpsm)
 
 
-__all__ = ["PoolVmHandle", "PoolStats", "MemoryPool"]
+# -- fabric contention ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolContentionConfig:
+    """Shared-fabric contention parameters for one pooled-memory node.
+
+    The rack's hosts all reach the pool through the same fabric ports,
+    so their aggregate bandwidth demand contends for a fixed capacity.
+
+    Attributes:
+        bandwidth_gbs: Usable fabric bandwidth into the pool node
+            (default: four x8 PCIe 5.0-class ports).
+        service_ns: Mean service time of one pooled access — the
+            uncontended CXL end-to-end latency (Table 1).
+        max_utilization: Utilisation cap; demand beyond it queues at the
+            cap instead of driving the M/D/1 delay to infinity (real
+            fabrics throttle via credit backpressure first).
+    """
+
+    bandwidth_gbs: float = 128.0
+    service_ns: float = CXL_MEMORY_LATENCY_NS
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ConfigurationError("bandwidth_gbs must be positive")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ConfigurationError(
+                "max_utilization must be in (0, 1), got "
+                f"{self.max_utilization}")
+
+
+@dataclass(frozen=True)
+class PoolContention:
+    """Contention on a shared pool at a given aggregate demand.
+
+    ``queue_delay_ns`` follows the M/D/1 mean waiting time
+    ``service * rho / (2 * (1 - rho))`` — deterministic service (a
+    fixed-size cacheline transfer), Poisson arrivals from many
+    independent VMs.  ``slowdown`` is the contended-to-uncontended
+    access-latency ratio, the factor a rack applies on top of each
+    node's own execution-time stretch.
+    """
+
+    demand_gbs: float
+    capacity_gbs: float
+    utilization: float
+    queue_delay_ns: float
+    slowdown: float
+
+    @property
+    def saturated(self) -> bool:
+        """True when demand was clipped at the utilisation cap."""
+        return self.demand_gbs / self.capacity_gbs > self.utilization + 1e-12
+
+
+def pool_contention(demand_gbs: float,
+                    config: PoolContentionConfig | None = None,
+                    ) -> PoolContention:
+    """Contention stats for ``demand_gbs`` of aggregate pool traffic."""
+    config = config or PoolContentionConfig()
+    if demand_gbs < 0:
+        raise ConfigurationError(
+            f"demand_gbs must be non-negative, got {demand_gbs}")
+    rho = min(demand_gbs / config.bandwidth_gbs, config.max_utilization)
+    queue_delay_ns = config.service_ns * rho / (2.0 * (1.0 - rho))
+    slowdown = (config.service_ns + queue_delay_ns) / config.service_ns
+    return PoolContention(demand_gbs=demand_gbs,
+                          capacity_gbs=config.bandwidth_gbs,
+                          utilization=rho,
+                          queue_delay_ns=queue_delay_ns,
+                          slowdown=slowdown)
+
+
+__all__ = ["PoolVmHandle", "PoolStats", "MemoryPool",
+           "PoolContentionConfig", "PoolContention", "pool_contention"]

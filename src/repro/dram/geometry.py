@@ -9,6 +9,7 @@ structural parameters every other subsystem derives its sizes from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import ConfigurationError
 from repro.units import GIB, MIB, TIB, is_power_of_two, log2_int
@@ -49,71 +50,71 @@ class DramGeometry:
 
     # -- capacity -----------------------------------------------------------
 
-    @property
+    @cached_property
     def total_ranks(self) -> int:
         """Total number of ranks across all channels."""
         return self.channels * self.ranks_per_channel
 
-    @property
+    @cached_property
     def channel_bytes(self) -> int:
         """Capacity of one channel."""
         return self.rank_bytes * self.ranks_per_channel
 
-    @property
+    @cached_property
     def total_bytes(self) -> int:
         """Total device capacity."""
         return self.channel_bytes * self.channels
 
     # -- segments -----------------------------------------------------------
 
-    @property
+    @cached_property
     def segments_per_rank(self) -> int:
         """Number of translation segments in one rank."""
         return self.rank_bytes // self.segment_bytes
 
-    @property
+    @cached_property
     def segments_per_channel(self) -> int:
         """Number of translation segments in one channel."""
         return self.segments_per_rank * self.ranks_per_channel
 
-    @property
+    @cached_property
     def total_segments(self) -> int:
         """Number of translation segments in the whole device."""
         return self.segments_per_channel * self.channels
 
-    @property
+    @cached_property
     def rank_group_bytes(self) -> int:
         """Capacity of one rank-group (same rank index across all channels)."""
         return self.rank_bytes * self.channels
 
-    @property
+    @cached_property
     def rank_group_segments(self) -> int:
         """Number of segments in one rank-group."""
         return self.rank_group_bytes // self.segment_bytes
 
     # -- bit widths (Figure 6) ----------------------------------------------
 
-    @property
+    @cached_property
     def segment_offset_bits(self) -> int:
         """Bits addressing a byte within one segment."""
         return log2_int(self.segment_bytes)
 
-    @property
+    @cached_property
     def channel_bits(self) -> int:
         """Bits selecting the channel (interleaved at segment granularity)."""
         return log2_int(self.channels)
 
-    @property
+    @cached_property
     def rank_bits(self) -> int:
         """Bits selecting the rank (placed as the most significant bits)."""
         return log2_int(self.ranks_per_channel)
 
-    @property
+    @cached_property
     def segment_index_bits(self) -> int:
         """Bits selecting a segment within one (rank, channel) slice."""
         return log2_int(self.segments_per_rank)
 
-    @property
+    @cached_property
     def dpa_bits(self) -> int:
         """Total width of a DRAM device physical address."""
         return (self.rank_bits + self.segment_index_bits + self.channel_bits

@@ -20,6 +20,8 @@ from repro.exec.hashing import canonical, derive_seed, stable_hash, task_key
 from repro.exec.runner import (EXEC_METRICS, ExecConfig, NESTED_ENV,
                                TaskOutcome, TaskSpec, WORKERS_ENV,
                                default_workers, run_tasks)
+from repro.exec.sharding import (ShardPlan, ShardReducer, run_shard,
+                                 shard_slices, shard_tasks)
 
 __all__ = [
     "CACHE_DIR_ENV",
@@ -31,9 +33,14 @@ __all__ = [
     "EXEC_METRICS",
     "ExecConfig",
     "NESTED_ENV",
+    "ShardPlan",
+    "ShardReducer",
     "TaskOutcome",
     "TaskSpec",
     "WORKERS_ENV",
     "default_workers",
+    "run_shard",
     "run_tasks",
+    "shard_slices",
+    "shard_tasks",
 ]

@@ -35,6 +35,7 @@ timeouts, cache hits, and serial fallbacks.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -92,6 +93,10 @@ class ExecConfig:
             pending task carries a ``cost_hint_s`` and the estimated
             per-worker share of the batch is below this threshold — the
             pool's setup cost would dominate.
+        force_pool: Always use the pool when ``workers > 1``, even when
+            the cost-hint / single-CPU heuristics would skip it.  Used by
+            bit-identity tests and soak verification legs that must
+            exercise the cross-process path regardless of host shape.
     """
 
     workers: int | None = None
@@ -100,6 +105,7 @@ class ExecConfig:
     fallback_serial: bool = True
     chunk_size: int | None = None
     min_parallel_cost_s: float = 0.2
+    force_pool: bool = False
 
     def resolved_workers(self) -> int:
         """The effective worker count for this config."""
@@ -143,6 +149,9 @@ class TaskOutcome:
     attempts: int = 0
     from_cache: bool = False
     worker_pid: int | None = None
+    #: Pickled size of ``value`` — what the task shipped (or would ship)
+    #: back through the pool.  0 for failures and unpicklable values.
+    result_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -166,11 +175,13 @@ class _Meter:
     def count(self, name: str, amount: float = 1) -> None:
         self.metrics.counter(f"exec.{name}").inc(amount)
 
-    def task_done(self, wall_s: float) -> None:
+    def task_done(self, wall_s: float, result_bytes: int = 0) -> None:
         self.count("tasks.completed")
         self.metrics.histogram(
             "exec.task_wall_s", bounds=TASK_WALL_BUCKETS_S).observe(wall_s)
         self.metrics.counter("exec.wall_time_s").inc(wall_s)
+        if result_bytes:
+            self.count("result_bytes", result_bytes)
 
 
 def _worker_init() -> None:
@@ -186,13 +197,29 @@ def _invoke(fn: Callable[..., Any], args: tuple,
     return value, time.perf_counter() - start, os.getpid()
 
 
+def _payload_size(value: Any) -> int:
+    """Pickled size of a task result (0 when unpicklable).
+
+    Measured in the worker — it is exactly what crosses the process
+    boundary — and on the serial path too, so ``exec.result_bytes``
+    stays comparable when a batch never reaches the pool (single-core
+    hosts, cost-hint skips).
+    """
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
 def _invoke_chunk(specs: list[tuple[Callable[..., Any], tuple, dict]],
-                  retries: int) -> list[tuple[bool, Any, float, int, int]]:
+                  retries: int
+                  ) -> list[tuple[bool, Any, float, int, int, int]]:
     """Run several tasks in one worker job, with in-worker retries.
 
-    Returns one ``(ok, value_or_error, wall_s, pid, attempts)`` record
-    per spec, in order.  Retrying inside the worker keeps a transient
-    failure from costing a round trip through the parent.
+    Returns one ``(ok, value_or_error, wall_s, pid, attempts,
+    result_bytes)`` record per spec, in order.  Retrying inside the
+    worker keeps a transient failure from costing a round trip through
+    the parent.
     """
     records = []
     for fn, args, kwargs in specs:
@@ -207,10 +234,10 @@ def _invoke_chunk(specs: list[tuple[Callable[..., Any], tuple, dict]],
                     continue
                 records.append((False, _describe_error(exc),
                                 time.perf_counter() - start, os.getpid(),
-                                attempts))
+                                attempts, 0))
                 break
             records.append((True, value, time.perf_counter() - start,
-                            os.getpid(), attempts))
+                            os.getpid(), attempts, _payload_size(value)))
             break
     return records
 
@@ -234,9 +261,11 @@ def _run_one_serial(task: TaskSpec, config: ExecConfig,
             meter.count("tasks.failed")
             return TaskOutcome(label=task.label, error=_describe_error(exc),
                                attempts=attempts)
-        meter.task_done(wall_s)
+        size = _payload_size(value)
+        meter.task_done(wall_s, size)
         return TaskOutcome(label=task.label, value=value, wall_time_s=wall_s,
-                           attempts=attempts, worker_pid=pid)
+                           attempts=attempts, worker_pid=pid,
+                           result_bytes=size)
 
 
 def _chunk_pending(pending: list[int], config: ExecConfig,
@@ -252,7 +281,8 @@ def _chunk_pending(pending: list[int], config: ExecConfig,
 
 def _run_pool(tasks: list[TaskSpec], pending: list[int],
               outcomes: list[TaskOutcome | None], config: ExecConfig,
-              workers: int, meter: _Meter) -> list[int]:
+              workers: int, meter: _Meter,
+              drain: Callable[[], None] | None = None) -> list[int]:
     """Run ``pending`` task indices on a pool; fill ``outcomes``.
 
     Tasks are submitted in chunks (see :meth:`ExecConfig.chunk_size`) so
@@ -321,20 +351,26 @@ def _run_pool(tasks: list[TaskSpec], pending: list[int],
                             attempts=attempts[position])
                 else:
                     for index, record in zip(chunk, records):
-                        ok, payload, wall_s, pid, task_attempts = record
+                        (ok, payload, wall_s, pid, task_attempts,
+                         result_bytes) = record
                         if task_attempts > 1:
                             meter.count("tasks.retries", task_attempts - 1)
                         if ok:
-                            meter.task_done(wall_s)
+                            meter.task_done(wall_s, result_bytes)
                             outcomes[index] = TaskOutcome(
                                 label=tasks[index].label, value=payload,
                                 wall_time_s=wall_s, attempts=task_attempts,
-                                worker_pid=pid)
+                                worker_pid=pid, result_bytes=result_bytes)
                         else:
                             meter.count("tasks.failed")
                             outcomes[index] = TaskOutcome(
                                 label=tasks[index].label, error=payload,
                                 attempts=task_attempts)
+            # The chunk is fully resolved: release its future (and the
+            # result payload it pins) before streaming the outcomes.
+            futures.pop(position, None)
+            if drain is not None:
+                drain()
     except BrokenProcessPool:
         meter.count("serial_fallbacks")
         leftovers = [index for index in pending if outcomes[index] is None]
@@ -377,8 +413,21 @@ def _should_skip_pool(tasks: list[TaskSpec], pending: list[int],
 
 def run_tasks(tasks: list[TaskSpec], config: ExecConfig | None = None,
               cache: ResultCache | None = None,
-              metrics: MetricsRegistry | None = None) -> list[TaskOutcome]:
-    """Execute ``tasks``; returns outcomes in submission order."""
+              metrics: MetricsRegistry | None = None,
+              stream: Callable[[int, TaskOutcome], None] | None = None,
+              ) -> list[TaskOutcome]:
+    """Execute ``tasks``; returns outcomes in submission order.
+
+    With ``stream``, every outcome is additionally handed to
+    ``stream(index, outcome)`` in strict submission order as soon as all
+    earlier tasks have resolved, and its ``value`` is released
+    immediately afterwards (the returned outcomes keep label, error,
+    timing, and ``result_bytes`` — not the payload).  This is the
+    streaming-aggregation path: the caller folds each result into an
+    accumulator and the batch never materialises all payloads at once.
+    Cacheable results are written to ``cache`` before the value is
+    dropped.
+    """
     config = config or ExecConfig()
     meter = _Meter(metrics if metrics is not None else EXEC_METRICS)
     workers = config.resolved_workers()
@@ -397,16 +446,37 @@ def run_tasks(tasks: list[TaskSpec], config: ExecConfig | None = None,
                 continue
         pending.append(index)
 
-    if workers > 1 and len(pending) > 1:
+    emitted = 0
+
+    def drain() -> None:
+        """Emit resolved outcomes contiguously, then drop their values."""
+        nonlocal emitted
+        while emitted < len(outcomes) and outcomes[emitted] is not None:
+            outcome = outcomes[emitted]
+            key = tasks[emitted].key
+            if (cache is not None and key is not None and outcome.ok
+                    and not outcome.from_cache):
+                cache.put(key, outcome.value)
+            stream(emitted, outcome)
+            outcome.value = None
+            emitted += 1
+
+    pool_drain = drain if stream is not None else None
+    use_pool = workers > 1 and len(pending) > 1
+    if use_pool and not config.force_pool:
         if _should_skip_pool(tasks, pending, config, workers):
             meter.count("pool_skips")
-        else:
-            pending = _run_pool(tasks, pending, outcomes, config, workers,
-                                meter)
+            use_pool = False
+    if use_pool:
+        pending = _run_pool(tasks, pending, outcomes, config, workers,
+                            meter, drain=pool_drain)
     for index in pending:
         outcomes[index] = _run_one_serial(tasks[index], config, meter)
-
-    if cache is not None:
+        if stream is not None:
+            drain()
+    if stream is not None:
+        drain()
+    elif cache is not None:
         for index, outcome in enumerate(outcomes):
             key = tasks[index].key
             if key is not None and outcome.ok and not outcome.from_cache:

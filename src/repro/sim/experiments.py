@@ -31,6 +31,8 @@ from repro.host.scheduler import SchedulerConfig
 from repro.sim.base import Experiment, ExperimentResult
 from repro.sim.comparison import PolicyComparisonExperiment
 from repro.sim.fleet import FleetConfig, FleetSimulator
+from repro.sim.fleet_soak import (FleetSoakConfig, FleetSoakExperiment,
+                                  quick_soak_config)
 from repro.sim.powerdown_sim import (ComparisonSimulator,
                                      PowerDownSimConfig, PowerDownSimulator)
 from repro.sim.rank_sweep import RankSweepExperiment, TraceRankSweepConfig
@@ -155,6 +157,13 @@ register(ExperimentSpec(
     tiny_config=lambda: FleetConfig(num_nodes=2,
                                     node=_tiny_powerdown_config()),
     summary="multi-node fleet fan-out with datacenter TCO roll-up"))
+
+register(ExperimentSpec(
+    name="fleet-soak",
+    config_type=FleetSoakConfig,
+    factory=FleetSoakExperiment,
+    tiny_config=lambda: quick_soak_config(num_nodes=6),
+    summary="sharded fleet soak: RSS ceiling + serial/parallel identity"))
 
 register(ExperimentSpec(
     name="rank_sweep",

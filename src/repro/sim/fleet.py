@@ -1,4 +1,4 @@
-"""Fleet-level study: many pool nodes, one datacenter.
+"""Fleet-level study: many pool nodes, racks, one datacenter.
 
 Scales the Figure 12 experiment out: a fleet of memory-pool nodes each
 runs its own Azure-like VM schedule through a DTL device, and the
@@ -10,28 +10,46 @@ Node heterogeneity comes from independent trace seeds: some nodes run
 hot (little to power down), others sit half-empty — the fleet mean is
 what a capacity planner sees.
 
-The nodes are independent simulations, so the fleet fans out through
-:mod:`repro.exec`: node ``i`` becomes one task running the paired
-baseline/DTL comparison on ``config.node.with_seed(base_seed + i)``.
-Results are ordered by node index and each node is fully determined by
-its seed, so a fleet run is bit-identical whether it executed serially
-or on workers.
+The fan-out is **sharded with streaming aggregation**: nodes are cut
+into contiguous shards (:mod:`repro.exec.sharding`), each shard runs
+inside one worker invocation, and the worker reduces its nodes' full
+:class:`~repro.sim.powerdown_sim.PowerDownComparisonResult` payloads to
+compact :class:`NodeSummary` objects before anything crosses the process
+boundary.  The parent folds each :class:`ShardAggregate` as it streams
+in (submission order) and releases it, so no process ever materialises
+the whole fleet's records — which is what lets a 10k-node soak run
+under a fixed memory ceiling.
+
+Determinism: nodes inside a shard run in index order and shards stream
+in index order, so every float fold (energies, counter sums) sees the
+exact same operand sequence regardless of shard size or worker count —
+``fleet_savings``, ``telemetry_totals()``, and ``to_record()`` are
+bit-identical between serial, sharded-serial, and sharded-parallel
+execution.
+
+:class:`RackConfig` layers rack structure on top: consecutive nodes
+share one pooled-memory fabric, and each rack's aggregate bandwidth
+demand (from the shard summaries) runs through the M/D/1 contention
+model in :mod:`repro.cxl.pool`, feeding a contended execution stretch
+back into the rack-level energy numbers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.analysis.tco import TcoModel
-from repro.exec import ExecConfig, TaskSpec, run_tasks, task_key
+from repro.cxl.pool import (PoolContention, PoolContentionConfig, PoolStats,
+                            pool_contention)
+from repro.exec import ExecConfig, run_tasks, shard_tasks
 from repro.host.scheduler import SchedulerConfig
 from repro.sim.powerdown_sim import (ComparisonSimulator,
                                      PowerDownComparisonResult,
-                                     PowerDownResult, PowerDownSimConfig,
-                                     energy_savings)
+                                     PowerDownSimConfig)
 from repro.telemetry import MetricsRegistry
 from repro.workloads.azure import AzureTraceConfig
 
@@ -45,34 +63,223 @@ class FleetConfig:
         node: Per-node simulation configuration template.
         base_seed: Node ``i`` uses seed ``base_seed + i``.
         tco: Cost model for the datacenter roll-up.
+        shard_size: Nodes executed per worker invocation.  1 reproduces
+            the old node-per-task fan-out (minus the payload shipping);
+            larger shards amortise process dispatch over more nodes.
     """
 
     num_nodes: int = 8
     node: PowerDownSimConfig = field(default_factory=PowerDownSimConfig)
     base_seed: int = 0
     tco: TcoModel = field(default_factory=TcoModel)
+    shard_size: int = 4
 
 
-@dataclass
-class NodeOutcome:
-    """One node's paired baseline/DTL results."""
+@dataclass(frozen=True)
+class RackConfig(FleetConfig):
+    """A fleet organised into racks sharing pooled-memory fabrics.
+
+    Consecutive nodes (``hosts_per_rack`` at a time, in seed order) form
+    one rack whose hosts all reach the pool through the same fabric;
+    their aggregate bandwidth demand contends per ``pool``.
+    """
+
+    hosts_per_rack: int = 8
+    pool: PoolContentionConfig = field(
+        default_factory=PoolContentionConfig)
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    """One node's results, reduced to the scalars the fleet aggregates.
+
+    Built inside the worker from the node's paired baseline/DTL run;
+    this — not the full result with its timeseries — is what ships
+    through the pool.  Energy fields are the exact floats the full
+    results would have produced (same operations, same order), so
+    aggregates over summaries are bit-identical to aggregates over full
+    results.
+    """
 
     seed: int
-    baseline: PowerDownResult
-    dtl: PowerDownResult
+    #: Stretched totals (``PowerDownResult.total_energy``) — what
+    #: ``fleet_savings`` folds.
+    baseline_energy_j: float
+    dtl_energy_j: float
+    #: Unstretched integrals plus the DTL stretch factor, for the rack
+    #: contention model (which adds its own latency penalty).
+    baseline_raw_energy_j: float
+    dtl_raw_energy_j: float
+    dtl_execution_factor: float
+    mean_active_ranks: float
+    mean_bandwidth_gbs: float
+    mean_reserved_bytes: float
+    migrated_bytes: int
+    power_transitions: int
+    #: The DTL run's final telemetry counters; folded into the fleet
+    #: totals in node order and then dropped from the retained summary.
+    counters: dict[str, float] | None = None
 
     @property
     def energy_savings(self) -> float:
         """This node's DRAM energy saving."""
-        return energy_savings(self.baseline, self.dtl)
+        return 1.0 - self.dtl_energy_j / self.baseline_energy_j
+
+    @classmethod
+    def from_comparison(cls, seed: int,
+                        pair: PowerDownComparisonResult) -> NodeSummary:
+        counters = (pair.dtl.telemetry or {}).get("counters") or None
+        return cls(
+            seed=seed,
+            baseline_energy_j=pair.baseline.total_energy,
+            dtl_energy_j=pair.dtl.total_energy,
+            baseline_raw_energy_j=pair.baseline.energy.total_j,
+            dtl_raw_energy_j=pair.dtl.energy.total_j,
+            dtl_execution_factor=pair.dtl.execution_time_factor,
+            mean_active_ranks=pair.dtl.mean_active_ranks,
+            mean_bandwidth_gbs=pair.dtl.mean_bandwidth_gbs,
+            mean_reserved_bytes=pair.dtl.mean_reserved_bytes,
+            migrated_bytes=pair.dtl.migrated_bytes,
+            power_transitions=pair.dtl.power_transitions,
+            counters=counters)
 
 
 @dataclass
 class NodeFailure:
-    """A node whose simulation task did not produce a result."""
+    """A node whose simulation did not produce a result."""
 
     seed: int
     error: str
+
+
+@dataclass
+class ShardAggregate:
+    """What one shard's worker ships back: summaries, not payloads."""
+
+    summaries: list[NodeSummary] = field(default_factory=list)
+    failures: list[NodeFailure] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _NodeRunner:
+    """Picklable per-node unit of work (index -> comparison result).
+
+    ``fail_seeds`` is a deterministic failure-injection hook for tests:
+    monkeypatches do not reach pool workers, but a field on the runner
+    ships with the task.
+    """
+
+    node: PowerDownSimConfig
+    base_seed: int
+    fail_seeds: tuple[int, ...] = ()
+
+    def __call__(self, index: int) -> PowerDownComparisonResult:
+        seed = self.base_seed + index
+        if seed in self.fail_seeds:
+            raise RuntimeError(f"injected failure for node {seed}")
+        return ComparisonSimulator(self.node.with_seed(seed)).run()
+
+
+@dataclass(frozen=True)
+class _FleetShardReducer:
+    """Worker-side fold: full comparison results -> one ShardAggregate."""
+
+    base_seed: int
+
+    def fresh(self) -> ShardAggregate:
+        return ShardAggregate()
+
+    def item(self, state: ShardAggregate, index: int,
+             value: PowerDownComparisonResult) -> None:
+        state.summaries.append(
+            NodeSummary.from_comparison(self.base_seed + index, value))
+
+    def failure(self, state: ShardAggregate, index: int,
+                error: str) -> None:
+        state.failures.append(NodeFailure(seed=self.base_seed + index,
+                                          error=error))
+
+    def finish(self, state: ShardAggregate) -> ShardAggregate:
+        return state
+
+
+@dataclass
+class CounterFold:
+    """Fleet counter totals folded during streaming aggregation."""
+
+    sums: dict[str, float] = field(default_factory=dict)
+    reporting: int = 0
+    missing: int = 0
+
+    def fold(self, counters: dict[str, float] | None) -> None:
+        """Fold one node's counters (in node order, for bit-identity)."""
+        if not counters:
+            self.missing += 1
+            return
+        self.reporting += 1
+        for name, value in counters.items():
+            self.sums[name] = self.sums.get(name, 0.0) + value
+
+
+class _FleetAccumulator:
+    """Streaming parent-side reducer over shard aggregates.
+
+    Receives shard outcomes in submission (node) order from
+    ``run_tasks(stream=...)``, folds each aggregate's summaries into the
+    running fleet state, and keeps only the stripped summaries — the
+    shard aggregate itself (and its per-node counter dicts) are released
+    as soon as the fold is done.
+    """
+
+    def __init__(self, slices: list[tuple[int, int]], base_seed: int):
+        self.slices = slices
+        self.base_seed = base_seed
+        self.nodes: list[NodeSummary] = []
+        self.failures: list[NodeFailure] = []
+        self.counter_fold = CounterFold()
+
+    def stream(self, index: int, outcome) -> None:
+        if not outcome.ok:
+            start, stop = self.slices[index]
+            self.failures.extend(
+                NodeFailure(seed=self.base_seed + node_index,
+                            error=outcome.error)
+                for node_index in range(start, stop))
+            return
+        aggregate: ShardAggregate = outcome.value
+        for summary in aggregate.summaries:
+            self.counter_fold.fold(summary.counters)
+            self.nodes.append(dataclasses.replace(summary, counters=None))
+        self.failures.extend(aggregate.failures)
+
+
+@dataclass(frozen=True)
+class RackSummary:
+    """One rack's pooled-fabric view, derived from its node summaries."""
+
+    rack_index: int
+    num_nodes: int
+    total_bytes: int
+    reserved_bytes: float
+    demand_gbs: float
+    contention: PoolContention
+    #: Contention-stretched energies: the fabric queueing delay adds to
+    #: each node's execution time the way the translation/interleaving
+    #: penalties do (additively), so the baseline pays the raw slowdown
+    #: while the DTL run adds it on top of its own stretch factor.
+    baseline_energy_j: float
+    dtl_energy_j: float
+
+    @property
+    def energy_savings(self) -> float:
+        """Contended DRAM energy saving of this rack."""
+        return 1.0 - self.dtl_energy_j / self.baseline_energy_j
+
+    def pool_stats(self) -> PoolStats:
+        """Capacity/occupancy of this rack's pool as :class:`PoolStats`."""
+        return PoolStats(devices=self.num_nodes,
+                         total_bytes=self.total_bytes,
+                         reserved_bytes=int(round(self.reserved_bytes)))
 
 
 @dataclass
@@ -80,11 +287,15 @@ class FleetResult:
     """Aggregate of every node's outcome."""
 
     config: FleetConfig
-    nodes: list[NodeOutcome]
+    nodes: list[NodeSummary]
     failures: list[NodeFailure] = field(default_factory=list)
-    #: Executor accounting for the fan-out (per-task wall times etc.);
-    #: not part of :meth:`to_record` so records stay deterministic.
+    #: Executor accounting for the fan-out (per-task wall times, shipped
+    #: bytes etc.); not part of :meth:`to_record` so records stay
+    #: deterministic.
     exec_telemetry: dict = field(default_factory=dict)
+    #: Counter totals folded during streaming; ``None`` when the result
+    #: was built directly from summaries that still carry counters.
+    counter_fold: CounterFold | None = None
 
     @property
     def per_node_savings(self) -> np.ndarray:
@@ -94,8 +305,8 @@ class FleetResult:
     @property
     def fleet_savings(self) -> float:
         """Energy-weighted fleet-level DRAM saving."""
-        baseline = sum(node.baseline.total_energy for node in self.nodes)
-        dtl = sum(node.dtl.total_energy for node in self.nodes)
+        baseline = sum(node.baseline_energy_j for node in self.nodes)
+        dtl = sum(node.dtl_energy_j for node in self.nodes)
         return 1.0 - dtl / baseline
 
     def tco_report(self) -> dict[str, float]:
@@ -107,40 +318,94 @@ class FleetResult:
 
         Counters (accesses, SMC hits, migrated segments, power
         transitions, ...) add across nodes; gauges and residency do not,
-        so only counters are aggregated here.
+        so only counters are aggregated here.  The sums are normally
+        folded during streaming aggregation (node order, so the float
+        totals are identical in every execution mode); a result built
+        directly from counter-carrying summaries folds here instead.
 
-        A node with no telemetry snapshot (e.g. produced by an older
-        serialised result) is *skipped*, not silently folded in as
-        zeros; the ``fleet.*`` meta-counters make the difference between
-        "no events" and "no data" visible:
+        A node with no telemetry counters is *skipped*, not silently
+        folded in as zeros; the ``fleet.*`` meta-counters make the
+        difference between "no events" and "no data" visible:
 
         * ``fleet.nodes_reporting`` — nodes whose counters were summed,
         * ``fleet.nodes_missing_telemetry`` — nodes skipped for lack of
           a snapshot,
-        * ``fleet.nodes_failed`` — nodes whose simulation task failed
+        * ``fleet.nodes_failed`` — nodes whose simulation failed
           outright (they appear in :attr:`failures`, not
           :attr:`nodes`).
         """
-        totals: dict[str, float] = {}
-        reporting = 0
-        missing = 0
-        for node in self.nodes:
-            counters = (node.dtl.telemetry or {}).get("counters")
-            if not counters:
-                missing += 1
-                continue
-            reporting += 1
-            for name, value in counters.items():
-                totals[name] = totals.get(name, 0.0) + value
-        totals["fleet.nodes_reporting"] = float(reporting)
-        totals["fleet.nodes_missing_telemetry"] = float(missing)
+        fold = self.counter_fold
+        if fold is None:
+            fold = CounterFold()
+            for node in self.nodes:
+                fold.fold(node.counters)
+        totals = dict(fold.sums)
+        totals["fleet.nodes_reporting"] = float(fold.reporting)
+        totals["fleet.nodes_missing_telemetry"] = float(fold.missing)
         totals["fleet.nodes_failed"] = float(len(self.failures))
         return totals
+
+    # -- rack view ----------------------------------------------------------
+
+    def rack_summaries(self) -> list[RackSummary]:
+        """Per-rack pooled-fabric contention, from the node summaries.
+
+        Requires a :class:`RackConfig`; nodes group into racks by seed
+        (``hosts_per_rack`` consecutive seeds per rack), so a failed
+        node simply leaves its rack one host short.
+        """
+        config = self.config
+        if not isinstance(config, RackConfig):
+            raise TypeError("rack summaries need a RackConfig, got "
+                            f"{type(config).__name__}")
+        per_rack: dict[int, list[NodeSummary]] = {}
+        for node in self.nodes:
+            rack = (node.seed - config.base_seed) // config.hosts_per_rack
+            per_rack.setdefault(rack, []).append(node)
+        node_bytes = config.node.geometry.total_bytes
+        summaries = []
+        for rack in sorted(per_rack):
+            nodes = per_rack[rack]
+            demand = sum(node.mean_bandwidth_gbs for node in nodes)
+            reserved = sum(node.mean_reserved_bytes for node in nodes)
+            contention = pool_contention(demand, config.pool)
+            extra = contention.slowdown - 1.0
+            baseline = sum(node.baseline_raw_energy_j * (1.0 + extra)
+                           for node in nodes)
+            dtl = sum(node.dtl_raw_energy_j
+                      * (node.dtl_execution_factor + extra)
+                      for node in nodes)
+            summaries.append(RackSummary(
+                rack_index=rack, num_nodes=len(nodes),
+                total_bytes=node_bytes * len(nodes),
+                reserved_bytes=reserved, demand_gbs=demand,
+                contention=contention,
+                baseline_energy_j=baseline, dtl_energy_j=dtl))
+        return summaries
+
+    def rack_report(self) -> dict[str, float]:
+        """Fleet-level roll-up of the rack contention model."""
+        racks = self.rack_summaries()
+        baseline = sum(rack.baseline_energy_j for rack in racks)
+        dtl = sum(rack.dtl_energy_j for rack in racks)
+        slowdowns = [rack.contention.slowdown for rack in racks]
+        utilizations = [rack.contention.utilization for rack in racks]
+        return {
+            "num_racks": float(len(racks)),
+            "fleet_savings": self.fleet_savings,
+            "contended_fleet_savings": 1.0 - dtl / baseline,
+            "mean_pool_slowdown": float(np.mean(slowdowns)),
+            "max_pool_utilization": float(max(utilizations)),
+            "saturated_racks": float(sum(rack.contention.saturated
+                                         for rack in racks)),
+        }
+
+    # -- reporting ----------------------------------------------------------
 
     def summary_rows(self) -> list[tuple]:
         """Per-node + fleet rows for reporting."""
         rows = [(f"node {node.seed}", f"{node.energy_savings:.1%}",
-                 f"{node.dtl.mean_active_ranks:.2f}")
+                 f"{node.mean_active_ranks:.2f}")
                 for node in self.nodes]
         rows.extend((f"node {failure.seed}", "FAILED", failure.error)
                     for failure in self.failures)
@@ -159,13 +424,13 @@ class FleetResult:
                for key, value in self.tco_report().items()}})
 
 
-def _run_node(config: PowerDownSimConfig) -> PowerDownComparisonResult:
-    """One fleet node's paired comparison (module-level: picklable)."""
-    return ComparisonSimulator(config).run()
-
-
 class FleetSimulator:
-    """Run the node-level comparison across the whole fleet."""
+    """Run the node-level comparison across the whole fleet.
+
+    The fan-out is shard-granular (see the module docstring); set
+    ``fail_seeds`` before :meth:`run` to deterministically fail specific
+    nodes (testing hook — it ships to the workers with the task).
+    """
 
     name = "fleet"
 
@@ -173,43 +438,54 @@ class FleetSimulator:
                  exec_config: ExecConfig | None = None):
         self.config = config or FleetConfig()
         self.exec_config = exec_config
+        self.fail_seeds: tuple[int, ...] = ()
 
     def node_configs(self) -> list[PowerDownSimConfig]:
         """The per-node configs (template + derived seed)."""
         return [self.config.node.with_seed(self.config.base_seed + index)
                 for index in range(self.config.num_nodes)]
 
+    def _exec_config(self) -> ExecConfig:
+        """The effective executor config for the shard fan-out.
+
+        Shard tasks are already chunky, so pool chunking is forced to
+        one shard per pool job — that is what gives the parent
+        shard-granular streaming (and bounds how much result data a
+        single pool round trip can pin).
+        """
+        config = self.exec_config or ExecConfig()
+        if config.chunk_size is None:
+            config = dataclasses.replace(config, chunk_size=1)
+        return config
+
     def run(self) -> FleetResult:
         """Simulate every node; returns the aggregate.
 
-        Nodes run through :func:`repro.exec.run_tasks` — serially by
-        default, in parallel when the exec config (or
-        ``REPRO_EXEC_WORKERS``) asks for workers.  A node whose task
-        fails after its retry budget lands in ``FleetResult.failures``
-        instead of aborting the surviving nodes.
+        Nodes run through :func:`repro.exec.run_tasks` as shard tasks —
+        serially by default, in parallel when the exec config (or
+        ``REPRO_EXEC_WORKERS``) asks for workers.  A node that fails
+        after its retry budget lands in ``FleetResult.failures`` instead
+        of aborting the shard; a shard-level failure (worker loss,
+        unpicklable result) fails all of its nodes.
         """
-        node_configs = self.node_configs()
-        tasks = [TaskSpec(fn=_run_node, args=(node_config,),
-                          key=task_key("powerdown_comparison", node_config),
-                          label=f"fleet-node-{node_config.seed}",
-                          cpu_bound=True)
-                 for node_config in node_configs]
+        config = self.config
+        exec_config = self._exec_config()
+        runner = _NodeRunner(node=config.node, base_seed=config.base_seed,
+                             fail_seeds=tuple(self.fail_seeds))
+        reducer = _FleetShardReducer(base_seed=config.base_seed)
+        plan, tasks = shard_tasks(
+            runner, reducer, count=config.num_nodes,
+            shard_size=config.shard_size, label="fleet-shard",
+            cpu_bound=True, item_retries=exec_config.retries)
+        accumulator = _FleetAccumulator(slices=list(plan.slices),
+                                        base_seed=config.base_seed)
         metrics = MetricsRegistry()
-        outcomes = run_tasks(tasks, config=self.exec_config, metrics=metrics)
-        nodes: list[NodeOutcome] = []
-        failures: list[NodeFailure] = []
-        for node_config, outcome in zip(node_configs, outcomes):
-            if outcome.ok:
-                pair = outcome.value
-                nodes.append(NodeOutcome(seed=node_config.seed,
-                                         baseline=pair.baseline,
-                                         dtl=pair.dtl))
-            else:
-                failures.append(NodeFailure(seed=node_config.seed,
-                                            error=outcome.error))
-        return FleetResult(config=self.config, nodes=nodes,
-                           failures=failures,
-                           exec_telemetry=metrics.snapshot().to_dict())
+        run_tasks(tasks, config=exec_config, metrics=metrics,
+                  stream=accumulator.stream)
+        return FleetResult(config=config, nodes=accumulator.nodes,
+                           failures=accumulator.failures,
+                           exec_telemetry=metrics.snapshot().to_dict(),
+                           counter_fold=accumulator.counter_fold)
 
 
 def quick_fleet(num_nodes: int = 4, duration_s: float = 3600.0,
@@ -230,10 +506,14 @@ def quick_fleet(num_nodes: int = 4, duration_s: float = 3600.0,
 
 
 __all__ = [
+    "CounterFold",
     "FleetConfig",
-    "NodeOutcome",
-    "NodeFailure",
     "FleetResult",
     "FleetSimulator",
+    "NodeFailure",
+    "NodeSummary",
+    "RackConfig",
+    "RackSummary",
+    "ShardAggregate",
     "quick_fleet",
 ]

@@ -55,6 +55,12 @@ class PowerDownSimConfig(SeededConfig):
     group_granularity: int = 2  # CKE pairs (Section 5.1)
     spare_migration_bandwidth_gbs: float = 18.0
     seed: int = 0
+    #: Keep the per-interval timeseries (`intervals`, `window_snapshots`)
+    #: on the result.  Fleet shards turn this off: the records dominate
+    #: the result's pickled size, and every scalar the fleet aggregates
+    #: (energies, mean bandwidth/occupancy, final counters) is computed
+    #: identically either way.
+    keep_timeseries: bool = True
 
 
 @dataclass
@@ -89,6 +95,11 @@ class PowerDownResult:
     power_transitions: int
     execution_time_factor: float
     mean_active_ranks: float
+    #: Time-weighted means over the whole run — computed from running
+    #: sums, so they are present (and bit-identical) whether or not the
+    #: interval timeseries was kept.
+    mean_bandwidth_gbs: float = 0.0
+    mean_reserved_bytes: float = 0.0
     telemetry: dict = field(default_factory=dict)
     window_snapshots: list[dict] = field(default_factory=list)
 
@@ -168,6 +179,9 @@ class PowerDownSimulator:
         window_snapshots: list[dict] = []
         energy = EnergyAccumulator()
         active_rank_samples: list[int] = []
+        bandwidth_weighted = 0.0
+        reserved_weighted = 0.0
+        duration_total = 0.0
         # Pending migration work spills into the interval it occurred in.
         pending_migration_bytes = 0.0
 
@@ -202,7 +216,12 @@ class PowerDownSimulator:
             duration = interval_end - time_s
             counts = device.state_counts()
             background = power_model.background_power(counts)
-            active = power_model.active_power(bandwidth_gbs)
+            # bandwidth_gbs is a +=/-= accumulator over VM rates, so on
+            # a node that empties it can drift to ~-1e-16; clamp only
+            # at the observation point (the accumulator itself must
+            # stay untouched to keep non-drifted schedules bit-stable).
+            observed_gbs = max(0.0, bandwidth_gbs)
+            active = power_model.active_power(observed_gbs)
             # Migration pulse: the pending bytes move at the spare
             # bandwidth; the pulse is much shorter than the interval, so we
             # spread its energy over the interval (same integral).
@@ -219,17 +238,23 @@ class PowerDownSimulator:
                 active_ranks = config.geometry.ranks_per_channel
             active_rank_samples.append(active_ranks)
             reserved = controller.reserved_bytes()
-            intervals.append(IntervalRecord(
-                time_s=time_s, duration_s=duration, reserved_bytes=reserved,
-                live_vms=len(handles),
-                active_ranks_per_channel=active_ranks,
-                background_power=background, active_power=active,
-                migration_power=migration_power,
-                bandwidth_gbs=bandwidth_gbs))
+            bandwidth_weighted += observed_gbs * duration
+            reserved_weighted += reserved * duration
+            duration_total += duration
+            if config.keep_timeseries:
+                intervals.append(IntervalRecord(
+                    time_s=time_s, duration_s=duration,
+                    reserved_bytes=reserved,
+                    live_vms=len(handles),
+                    active_ranks_per_channel=active_ranks,
+                    background_power=background, active_power=active,
+                    migration_power=migration_power,
+                    bandwidth_gbs=observed_gbs))
             controller.end_window()
-            window_snapshots.append({
-                "time_s": interval_end,
-                "counters": controller.metrics.counter_values()})
+            if config.keep_timeseries:
+                window_snapshots.append({
+                    "time_s": interval_end,
+                    "counters": controller.metrics.counter_values()})
             time_s = interval_end
 
         mean_active = float(np.mean(active_rank_samples))
@@ -245,6 +270,10 @@ class PowerDownSimulator:
             power_transitions=transitions,
             execution_time_factor=execution_factor,
             mean_active_ranks=mean_active,
+            mean_bandwidth_gbs=(bandwidth_weighted / duration_total
+                                if duration_total else 0.0),
+            mean_reserved_bytes=(reserved_weighted / duration_total
+                                 if duration_total else 0.0),
             telemetry=telemetry,
             window_snapshots=window_snapshots)
 

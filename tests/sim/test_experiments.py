@@ -88,9 +88,13 @@ def test_experiment_task_rejects_unknown_name():
 
 
 def test_fleet_serial_parallel_bit_identical():
-    config = FleetConfig(num_nodes=2, node=_small_node())
+    # force_pool: on a single-CPU host the cpu-bound heuristic would
+    # otherwise keep the "parallel" run in-process, and the test would
+    # silently stop exercising the cross-process path.
+    config = FleetConfig(num_nodes=2, node=_small_node(), shard_size=1)
     serial = FleetSimulator(config, ExecConfig(workers=1)).run()
-    parallel = FleetSimulator(config, ExecConfig(workers=2)).run()
+    parallel = FleetSimulator(
+        config, ExecConfig(workers=2, force_pool=True)).run()
     assert _record_json(serial) == _record_json(parallel)
     assert serial.telemetry_totals() == parallel.telemetry_totals()
 
@@ -122,8 +126,7 @@ def test_node_configs_derive_seeds():
 
 
 def _node(counters):
-    telemetry = {"counters": counters} if counters is not None else {}
-    return SimpleNamespace(seed=0, dtl=SimpleNamespace(telemetry=telemetry))
+    return SimpleNamespace(seed=0, counters=counters)
 
 
 def test_telemetry_totals_distinguishes_missing_from_failed():

@@ -22,8 +22,8 @@ class TestFleet:
         assert len(np.unique(np.round(savings, 4))) > 1
 
     def test_fleet_savings_is_energy_weighted(self, fleet):
-        baseline = sum(node.baseline.total_energy for node in fleet.nodes)
-        dtl = sum(node.dtl.total_energy for node in fleet.nodes)
+        baseline = sum(node.baseline_energy_j for node in fleet.nodes)
+        dtl = sum(node.dtl_energy_j for node in fleet.nodes)
         assert fleet.fleet_savings == pytest.approx(1 - dtl / baseline)
 
     def test_fleet_saves_energy(self, fleet):

@@ -1,0 +1,160 @@
+"""Bit-identity and memory contracts of the sharded fleet datapath.
+
+The fleet's determinism promise: ``to_record()`` and
+``telemetry_totals()`` are *bit-identical* — compared as exact floats
+through JSON, no tolerance — between serial, sharded-serial, and
+sharded-parallel execution, with and without node failures inside a
+shard.  Plus the streaming-memory contract: the parent never holds more
+than one shard's aggregate at a time.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import weakref
+
+import pytest
+
+from repro.exec import ExecConfig
+from repro.host.scheduler import SchedulerConfig
+from repro.sim import fleet as fleet_mod
+from repro.sim.fleet import FleetConfig, FleetSimulator, RackConfig
+from repro.sim.powerdown_sim import PowerDownSimConfig
+from repro.workloads.azure import AzureTraceConfig
+
+
+def _small_node() -> PowerDownSimConfig:
+    return PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=4, duration_s=600.0),
+        scheduler=SchedulerConfig(duration_s=600.0))
+
+
+def _fingerprint(result) -> str:
+    """Exact-float JSON of everything the identity contract covers."""
+    return json.dumps({
+        "record": result.to_record().to_dict(),
+        "telemetry": result.telemetry_totals(),
+    }, sort_keys=True)
+
+
+def _run(num_nodes=5, shard_size=2, exec_config=None, fail_seeds=(),
+         config=None):
+    config = config or FleetConfig(num_nodes=num_nodes, node=_small_node(),
+                                   shard_size=shard_size)
+    simulator = FleetSimulator(config, exec_config)
+    simulator.fail_seeds = tuple(fail_seeds)
+    return simulator.run()
+
+
+SERIAL = ExecConfig(workers=1)
+# force_pool: the nodes are cpu_bound, so on a single-CPU host the
+# heuristic would silently keep the "parallel" leg in-process and the
+# identity assertion would stop testing the cross-process path.
+PARALLEL = ExecConfig(workers=2, force_pool=True)
+
+
+class TestBitIdentity:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        """Serial, one node per shard: the old flat fan-out shape."""
+        return _run(shard_size=1, exec_config=SERIAL)
+
+    def test_sharded_serial_matches(self, reference):
+        sharded = _run(shard_size=2, exec_config=SERIAL)
+        assert _fingerprint(sharded) == _fingerprint(reference)
+
+    def test_whole_fleet_in_one_shard_matches(self, reference):
+        sharded = _run(shard_size=5, exec_config=SERIAL)
+        assert _fingerprint(sharded) == _fingerprint(reference)
+
+    def test_sharded_parallel_matches(self, reference):
+        parallel = _run(shard_size=2, exec_config=PARALLEL)
+        assert _fingerprint(parallel) == _fingerprint(reference)
+
+    def test_fleet_savings_exactly_equal(self, reference):
+        parallel = _run(shard_size=3, exec_config=PARALLEL)
+        assert parallel.fleet_savings == reference.fleet_savings  # bitwise
+
+
+class TestFailureInsideShard:
+    """Node 2 of 5 fails inside the middle shard; its shard-mates
+    survive and every mode reports the identical result."""
+
+    FAIL = (2,)
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return _run(shard_size=1, exec_config=SERIAL, fail_seeds=self.FAIL)
+
+    def test_failure_is_isolated(self, reference):
+        assert [node.seed for node in reference.nodes] == [0, 1, 3, 4]
+        assert [f.seed for f in reference.failures] == [2]
+        assert "injected failure" in reference.failures[0].error
+
+    def test_failed_node_counted_in_telemetry(self, reference):
+        totals = reference.telemetry_totals()
+        assert totals["fleet.nodes_failed"] == 1.0
+        assert totals["fleet.nodes_reporting"] == 4.0
+
+    def test_sharded_serial_matches_with_failure(self, reference):
+        sharded = _run(shard_size=2, exec_config=SERIAL,
+                       fail_seeds=self.FAIL)
+        assert _fingerprint(sharded) == _fingerprint(reference)
+
+    def test_sharded_parallel_matches_with_failure(self, reference):
+        parallel = _run(shard_size=2, exec_config=PARALLEL,
+                        fail_seeds=self.FAIL)
+        assert _fingerprint(parallel) == _fingerprint(reference)
+
+
+class TestRackIdentity:
+    def test_rack_report_identical_serial_vs_parallel(self):
+        config = RackConfig(num_nodes=4, node=_small_node(), shard_size=2,
+                            hosts_per_rack=2)
+        serial = _run(exec_config=SERIAL, config=config)
+        parallel = _run(exec_config=PARALLEL, config=config)
+        assert json.dumps(serial.rack_report(), sort_keys=True) == \
+            json.dumps(parallel.rack_report(), sort_keys=True)
+
+
+class TestStreamingMemory:
+    def test_parent_holds_at_most_one_shard_aggregate(self, monkeypatch):
+        """By the time shard N streams in, every earlier shard's
+        aggregate (and its counter-carrying summaries) must already be
+        garbage — the streaming reducer's whole reason to exist."""
+        live_aggregates = []
+        original = fleet_mod._FleetAccumulator.stream
+
+        def spy(self, index, outcome):
+            gc.collect()
+            assert sum(ref() is not None for ref in live_aggregates) == 0, \
+                f"earlier shard aggregate still alive at shard {index}"
+            if outcome.ok:
+                live_aggregates.append(weakref.ref(outcome.value))
+            original(self, index, outcome)
+
+        monkeypatch.setattr(fleet_mod._FleetAccumulator, "stream", spy)
+        result = _run(num_nodes=6, shard_size=2, exec_config=SERIAL)
+        assert len(live_aggregates) == 3  # all three shards streamed
+        gc.collect()
+        assert all(ref() is None for ref in live_aggregates)
+        # The retained summaries are the stripped copies.
+        assert all(node.counters is None for node in result.nodes)
+
+    def test_counter_dicts_not_retained(self):
+        result = _run(num_nodes=4, shard_size=2, exec_config=SERIAL)
+        assert all(node.counters is None for node in result.nodes)
+        # ... yet the totals were folded before stripping.
+        totals = result.telemetry_totals()
+        assert totals["fleet.nodes_reporting"] == 4.0
+        node_counters = {name: value for name, value in totals.items()
+                        if not name.startswith("fleet.")}
+        assert node_counters
+        assert any(value > 0 for value in node_counters.values())
+
+    def test_result_bytes_accounted_per_shard(self):
+        result = _run(num_nodes=4, shard_size=2, exec_config=SERIAL)
+        counters = result.exec_telemetry["counters"]
+        assert counters["exec.tasks.completed"] == 2  # two shard tasks
+        assert counters["exec.result_bytes"] > 0

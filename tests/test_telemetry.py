@@ -251,11 +251,27 @@ class TestSimulationSurface:
         assert "event.window_close" in flat
 
     def test_fleet_telemetry_totals_sum_nodes(self):
-        from repro.sim.fleet import quick_fleet
+        """A 2-node fleet's totals equal the sum of two 1-node fleets."""
+        from repro.exec import ExecConfig
+        from repro.host.scheduler import SchedulerConfig
+        from repro.sim.fleet import FleetConfig, FleetSimulator
+        from repro.sim.powerdown_sim import PowerDownSimConfig
+        from repro.workloads.azure import AzureTraceConfig
 
-        fleet = quick_fleet(num_nodes=2, duration_s=1800.0, num_vms=15)
-        totals = fleet.telemetry_totals()
-        assert totals
-        expected = sum(node.dtl.telemetry["counters"].get(
-            "migration.segments_migrated", 0.0) for node in fleet.nodes)
-        assert totals["migration.segments_migrated"] == expected
+        node = PowerDownSimConfig(
+            azure=AzureTraceConfig(num_vms=15, duration_s=1800.0),
+            scheduler=SchedulerConfig(duration_s=1800.0))
+        serial = ExecConfig(workers=1)
+
+        def totals(num_nodes, base_seed):
+            config = FleetConfig(num_nodes=num_nodes, node=node,
+                                 base_seed=base_seed)
+            return FleetSimulator(config, serial).run().telemetry_totals()
+
+        both = totals(2, base_seed=0)
+        assert both
+        assert both["fleet.nodes_reporting"] == 2.0
+        first = totals(1, base_seed=0)
+        second = totals(1, base_seed=1)
+        key = "migration.segments_migrated"
+        assert both[key] == first[key] + second[key]
