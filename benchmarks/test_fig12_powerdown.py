@@ -8,8 +8,8 @@ drops 31.6 % vs the 8-rank baseline at a 1.6 % execution-time cost.
 import numpy as np
 import pytest
 
-from repro.sim.powerdown_sim import (energy_savings, power_savings,
-                                     run_comparison)
+from repro.sim.powerdown_sim import (ComparisonSimulator, energy_savings,
+                                     power_savings)
 
 from conftest import report
 
@@ -19,7 +19,7 @@ PAPER_EXEC_OVERHEAD = 0.016
 
 @pytest.fixture(scope="module")
 def results():
-    return run_comparison()
+    return ComparisonSimulator().run().as_tuple()
 
 
 def test_fig12b_energy_savings(benchmark, results):

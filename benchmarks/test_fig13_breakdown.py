@@ -7,8 +7,8 @@ total power reduction.
 
 import pytest
 
-from repro.sim.powerdown_sim import (background_power_savings, power_savings,
-                                     run_comparison)
+from repro.sim.powerdown_sim import (ComparisonSimulator,
+                                     background_power_savings, power_savings)
 
 from conftest import report
 
@@ -18,7 +18,7 @@ PAPER_TOTAL_SAVINGS = 0.327
 
 @pytest.fixture(scope="module")
 def results():
-    return run_comparison()
+    return ComparisonSimulator().run().as_tuple()
 
 
 def test_fig13_power_breakdown(benchmark, results):

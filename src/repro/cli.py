@@ -11,6 +11,7 @@ Usage::
     python -m repro fleet [--quick]     # racked fleet + TCO roll-up
     python -m repro fleet-soak [--quick]  # sharded soak under an RSS ceiling
     python -m repro chaos [--quick]     # fault-injection reliability soak
+    python -m repro tournament [--quick]  # policy Pareto tournament
     python -m repro exp --list          # unified experiment registry
     python -m repro tables              # Tables 5 and 6 + Section 6.1
     python -m repro stats [--json]      # telemetry snapshot of a short run
@@ -473,6 +474,39 @@ def cmd_chaos(args: argparse.Namespace) -> list[ExperimentRecord]:
     return [result.to_record()]
 
 
+def cmd_tournament(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Policy tournament: savings/overhead Pareto front over the grid."""
+    from repro.sim.tournament import (PolicyTournament, TournamentConfig,
+                                      quick_tournament_config)
+    config = (quick_tournament_config(seed=args.seed) if args.quick
+              else TournamentConfig(seed=args.seed))
+    cells = len(config.policies) * len(config.workloads)
+    workers = _exec_config(args).resolved_workers()
+    print(f"Tournament: {len(config.policies)} policies x "
+          f"{len(config.workloads)} workload mixes = {cells} cells "
+          f"({config.duration_s:.0f}s each, {workers} worker(s))...")
+    result = PolicyTournament(config).run(exec_config=_exec_config(args),
+                                          cache=_SESSION_CACHE)
+    front = {(cell.policy, cell.workload) for cell in result.pareto_front()}
+    rows = [(cell.policy, cell.workload, f"{cell.savings:.2%}",
+             f"{cell.overhead:.4f}", str(cell.sr_entries),
+             format_bytes(cell.migrated_bytes),
+             "*" if (cell.policy, cell.workload) in front else "")
+            for cell in result.cells]
+    _print("Policy tournament (energy savings vs performance overhead)",
+           rows, header=("policy", "mix", "savings", "overhead",
+                         "sr entries", "migrated", "pareto"))
+    mean_rows = [(policy, f"{means[0]:.2%}", f"{means[1]:.4f}")
+                 for policy, means in result.policy_means().items()]
+    _print("Per-policy means", mean_rows,
+           header=("policy", "mean savings", "mean overhead"))
+    for policy, label, error in result.failures:
+        print(f"FAILED cell {policy}/{label}: {error}")
+    if result.failures:
+        raise SystemExit(1)
+    return [result.to_record()]
+
+
 def cmd_all(args: argparse.Namespace) -> list[ExperimentRecord]:
     # Warm the session cache: every heavy simulation the subcommands
     # below will ask for, fanned out in one executor batch.  The
@@ -504,6 +538,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "fleet": cmd_fleet,
     "fleet-soak": cmd_fleet_soak,
     "chaos": cmd_chaos,
+    "tournament": cmd_tournament,
     "exp": cmd_exp,
     "validate": cmd_validate,
     "tables": cmd_tables,

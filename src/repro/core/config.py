@@ -31,6 +31,10 @@ class DtlConfig:
         tsp_scan_limit: CLOCK-scan bound per TSP search.
         sr_victim_granularity: Ranks per self-refresh victim unit (2 models
             the CKE-pair constraint of the paper's testbed).
+        policy: Registered policy driving victim selection, hotness
+            prediction, and demotion depth for both power subsystems
+            (see :func:`repro.policies.available_policies`; "paper" is
+            the published behaviour).
     """
 
     geometry: DramGeometry = PAPER_1TB_GEOMETRY
@@ -51,6 +55,7 @@ class DtlConfig:
     #: Ablation switch: False disables the CLOCK migration-table planner,
     #: so self-refresh relies on naturally quiet ranks only.
     sr_planning: bool = True
+    policy: str = "paper"
 
     def __post_init__(self) -> None:
         if self.au_bytes % self.geometry.segment_bytes:

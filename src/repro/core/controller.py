@@ -36,6 +36,7 @@ from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
 from repro.dram.timing import CXL_MEMORY_LATENCY_NS
 from repro.errors import AllocationError, PerformanceWarning
+from repro.policies import Policy, PolicyConfig, make_policy
 from repro.telemetry import (EventKind, EventTrace, MetricsRegistry,
                              Snapshot, TraceEvent)
 from repro.units import CACHELINE_BYTES
@@ -131,23 +132,33 @@ class DtlController:
         self.migration = MigrationEngine(
             geometry, on_complete=self._on_migration_complete,
             registry=self.metrics, trace=self.trace)
+        # One PolicyConfig + one shared Policy instance for both hosts, so
+        # idle-gap observations made on the power-down side inform
+        # self-refresh demotions and vice versa.
+        self.policy_config = PolicyConfig(
+            name=self.config.policy,
+            group_granularity=self.config.group_granularity,
+            min_active_groups=self.config.min_active_groups,
+            background_migration=self.config.background_migration,
+            window_ns=self.config.window_ns,
+            profiling_threshold_ns=self.config.profiling_threshold_ns,
+            tsp_scan_limit=self.config.tsp_scan_limit,
+            victim_granularity=self.config.sr_victim_granularity,
+            enable_planning=self.config.sr_planning)
+        self.policy: Policy | None = None
+        if self.config.enable_power_down or self.config.enable_self_refresh:
+            self.policy = make_policy(self.policy_config)
         self.power_down: RankPowerDownPolicy | None = None
         if self.config.enable_power_down:
             self.power_down = RankPowerDownPolicy(
                 self.device, self.allocator, self.tables, self.migration,
-                group_granularity=self.config.group_granularity,
-                min_active_groups=self.config.min_active_groups,
-                background_migration=self.config.background_migration,
+                self.policy_config, policy=self.policy,
                 registry=self.metrics, trace=self.trace)
         self.self_refresh: HotnessSelfRefreshPolicy | None = None
         if self.config.enable_self_refresh:
             self.self_refresh = HotnessSelfRefreshPolicy(
                 self.device, self.allocator, self.tables, self.translation,
-                self.migration, window_ns=self.config.window_ns,
-                profiling_threshold_ns=self.config.profiling_threshold_ns,
-                tsp_scan_limit=self.config.tsp_scan_limit,
-                victim_granularity=self.config.sr_victim_granularity,
-                enable_planning=self.config.sr_planning,
+                self.migration, self.policy_config, policy=self.policy,
                 registry=self.metrics, trace=self.trace)
         self.retirement: RankRetirementManager | None = None
         if self.power_down is not None:

@@ -4,8 +4,8 @@ At every VM deallocation the DTL checks whether the unallocated capacity
 among the *active* ranks exceeds the size of one rank-group (one rank per
 channel, same index — or a CKE pair of them on hardware where two ranks
 share a clock-enable pin, Section 5.1).  If so, the live segments of the
-least-allocated victim group are consolidated into the other active ranks
-and the victim group enters Maximum Power Saving Mode (MPSM).
+victim group are consolidated into the other active ranks and the victim
+group enters a parked power state (MPSM in the paper).
 
 When a later allocation does not fit into the active ranks, the policy
 reactivates powered-down groups (``MPSM_exit``).  The exit penalty overlaps
@@ -14,13 +14,19 @@ with the new VM's initialisation, so running VMs never observe it
 
 Because hotness-aware self-refresh migrates at segment granularity, rank
 utilisation inside a group can drift apart across channels; the policy then
-forms a *virtual rank-group* from the least-allocated rank of each channel
-(Section 4.3).
+forms a *virtual rank-group* from one rank per channel (Section 4.3).
+
+*Which* ranks become victims, *where* their data goes, and *how deep* the
+group parks are delegated to a pluggable :class:`repro.policies.Policy`;
+the default :class:`~repro.policies.PaperPolicy` reproduces the published
+behaviour bit-for-bit (least-allocated victims, most-utilised targets,
+static MPSM).  This class owns everything policies must not touch:
+capacity invariants, migration submission, fencing, device transitions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.allocator import RankId, SegmentAllocator
 from repro.core.migration import MigrationEngine
@@ -28,7 +34,19 @@ from repro.core.tables import TranslationTables
 from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
 from repro.errors import AllocationError
+from repro.policies import (
+    DemotionLevel,
+    Policy,
+    PolicyConfig,
+    RankStats,
+    legacy_policy_config,
+    make_policy,
+)
 from repro.telemetry import EventTrace, MetricsRegistry
+
+#: Loose keywords the constructor accepted before PolicyConfig existed.
+_LEGACY_KWARGS = ("group_granularity", "min_active_groups",
+                  "background_migration")
 
 
 @dataclass
@@ -47,7 +65,7 @@ class PowerTransition:
 class PendingPowerDown:
     """A consolidation still copying in the background.
 
-    The victim ranks are already fenced from new allocations; the MPSM
+    The victim ranks are already fenced from new allocations; the park
     transition happens once the migration engine drains (the paper copies
     "in background by utilizing unused DRAM bandwidth").
     """
@@ -56,6 +74,7 @@ class PendingPowerDown:
     started_s: float
     migrated_segments: int
     migrated_bytes: int
+    park_state: PowerState = PowerState.MPSM
 
 
 class RankPowerDownPolicy:
@@ -63,23 +82,27 @@ class RankPowerDownPolicy:
 
     def __init__(self, device: DramDevice, allocator: SegmentAllocator,
                  tables: TranslationTables, migration: MigrationEngine,
-                 group_granularity: int = 1,
-                 min_active_groups: int = 1,
-                 background_migration: bool = False,
+                 config: PolicyConfig | None = None, *,
+                 policy: Policy | None = None,
                  registry: MetricsRegistry | None = None,
-                 trace: EventTrace | None = None):
+                 trace: EventTrace | None = None,
+                 **legacy):
+        config = legacy_policy_config(
+            config, legacy, _LEGACY_KWARGS, type(self).__name__)
         geometry = device.geometry
-        if geometry.ranks_per_channel % group_granularity:
+        if geometry.ranks_per_channel % config.group_granularity:
             raise ValueError("group_granularity must divide ranks_per_channel")
-        if min_active_groups < 1:
+        if config.min_active_groups < 1:
             raise ValueError("at least one rank-group must stay active")
         self.device = device
         self.geometry = geometry
         self.allocator = allocator
         self.tables = tables
         self.migration = migration
-        self.group_granularity = group_granularity
-        self.min_active_groups = min_active_groups
+        self.config = config
+        self.policy = policy if policy is not None else make_policy(config)
+        self.group_granularity = config.group_granularity
+        self.min_active_groups = config.min_active_groups
         # Active ranks, tracked per channel so virtual groups are possible.
         self._active: dict[int, set[int]] = {
             channel: set(range(geometry.ranks_per_channel))
@@ -87,18 +110,25 @@ class RankPowerDownPolicy:
         # Quarantined (retired) ranks: never reactivated, never allocated.
         self._quarantined: set[RankId] = set()
         #: When True, consolidation copies proceed only as idle bandwidth
-        #: is granted via :meth:`pump`, and MPSM entry waits for them.
-        self.background_migration = background_migration
+        #: is granted via :meth:`pump`, and the park waits for them.
+        self.background_migration = config.background_migration
         self._pending: list[PendingPowerDown] = []
         self.transitions: list[PowerTransition] = []
+        # Park timestamps feeding the policy's idle-gap observations.
+        self._parked_at: dict[RankId, tuple[float, PowerState]] = {}
         registry = registry if registry is not None else MetricsRegistry()
         self._trace = trace
         self._mpsm_entries = registry.counter("power.mpsm_entries")
+        self._sr_parks = registry.counter("power.sr_parks")
         self._reactivations = registry.counter("power.reactivations")
         self._consolidated_segments = registry.counter(
             "power.consolidated_segments")
         self._consolidated_bytes = registry.counter(
             "power.consolidated_bytes")
+        self._demotion_counters = {
+            level: registry.counter(f"policy.demotion.{level.value}")
+            for level in DemotionLevel}
+        self._idle_gap_hist = registry.histogram("policy.rank_idle_gap_ns")
         # Armed fault injector (None = zero-overhead no-op hooks).
         self._faults = None
 
@@ -124,7 +154,7 @@ class RankPowerDownPolicy:
         return min(len(ranks) for ranks in self._active.values())
 
     def powered_down_ranks(self) -> set[RankId]:
-        """Ranks currently in MPSM."""
+        """Ranks currently parked (MPSM or policy-chosen self-refresh)."""
         all_ranks = {(channel, rank)
                      for channel in range(self.geometry.channels)
                      for rank in range(self.geometry.ranks_per_channel)}
@@ -133,6 +163,19 @@ class RankPowerDownPolicy:
     def free_segments_in_active(self) -> int:
         """Unallocated segments among active ranks."""
         return self.allocator.free_count(self.active_rank_ids())
+
+    def _rank_stats(self, channel: int, rank: int) -> RankStats:
+        """Snapshot one rank for a policy decision."""
+        usage = self.allocator.usage((channel, rank))
+        rank_obj = self.device.rank(channel, rank)
+        return RankStats(
+            channel=channel, rank=rank,
+            allocated=usage.allocated,
+            free=usage.capacity - usage.allocated,
+            utilization=usage.utilization,
+            access_count=rank_obj.access_count,
+            window_count=0, last_window_count=0,
+            state=rank_obj.state)
 
     # -- victim selection -------------------------------------------------------
 
@@ -151,11 +194,12 @@ class RankPowerDownPolicy:
         return busy
 
     def _victim_group(self) -> list[RankId] | None:
-        """Pick the virtual rank-group with the least allocated data.
+        """Ask the policy for a virtual victim rank-group.
 
-        Returns ``group_granularity`` ranks per channel — the least-allocated
-        active ranks of each channel — or ``None`` if too few groups would
-        remain active.
+        Returns ``group_granularity`` ranks per channel — chosen by the
+        policy from each channel's standby, migration-free ranks — or
+        ``None`` if too few groups would remain active (or the policy
+        declines).
         """
         active_groups = self.active_ranks_per_channel() // self.group_granularity
         if active_groups - 1 < self.min_active_groups:
@@ -166,17 +210,24 @@ class RankPowerDownPolicy:
             # Only standby ranks qualify: a self-refreshed rank holds cold
             # data and would need waking + evacuation first.  Ranks with
             # in-flight migrations are skipped until those drain.
-            standby = [rank for rank in self._active[channel]
-                       if self.device.rank(channel, rank).state
-                       is PowerState.STANDBY
-                       and (channel, rank) not in busy]
-            if len(standby) < self.group_granularity:
+            candidates = [self._rank_stats(channel, rank)
+                          for rank in self._active[channel]
+                          if self.device.rank(channel, rank).state
+                          is PowerState.STANDBY
+                          and (channel, rank) not in busy]
+            if len(candidates) < self.group_granularity:
                 return None
-            ranked = sorted(
-                standby,
-                key=lambda rank: self.allocator.usage((channel, rank)).allocated)
-            victims.extend((channel, rank)
-                           for rank in ranked[:self.group_granularity])
+            chosen = self.policy.powerdown_victims(
+                channel, candidates, self.group_granularity)
+            if chosen is None:
+                return None
+            valid = {stats.rank for stats in candidates}
+            if len(chosen) != self.group_granularity \
+                    or not set(chosen) <= valid:
+                raise ValueError(
+                    f"policy {self.policy.name!r} returned invalid victims "
+                    f"{chosen} for channel {channel}")
+            victims.extend((channel, rank) for rank in chosen)
         return victims
 
     def _victim_live_segments(self, victims: list[RankId]) -> dict[RankId, list[int]]:
@@ -219,6 +270,14 @@ class RankPowerDownPolicy:
                        for rank_id in remaining_active if rank_id[0] == channel)
             if have < need:
                 return None
+        # How deep to park — decided *before* any data moves, so a
+        # STAY_ACTIVE answer costs nothing.
+        level = self.policy.demotion_level(
+            "powerdown", [self._rank_stats(*rank_id) for rank_id in victims])
+        self._demotion_counters[level].inc()
+        park_state = level.park_state()
+        if park_state is None:
+            return None
         migrated_bytes = self._consolidate(live, remaining_active, now_s)
         per_channel: dict[int, list[int]] = {}
         for channel, rank in victims:
@@ -230,11 +289,12 @@ class RankPowerDownPolicy:
             pending = PendingPowerDown(
                 victims=tuple(victims), started_s=now_s,
                 migrated_segments=total_live,
-                migrated_bytes=migrated_bytes)
+                migrated_bytes=migrated_bytes,
+                park_state=park_state)
             self._pending.append(pending)
             return PowerTransition(
                 time_s=now_s, rank_ids=tuple(victims),
-                new_state=PowerState.STANDBY,  # not yet MPSM
+                new_state=PowerState.STANDBY,  # not yet parked
                 migrated_segments=total_live,
                 migrated_bytes=migrated_bytes, exit_penalty_ns=0.0)
         # Transition one virtual rank-group (one rank per channel) per
@@ -244,21 +304,30 @@ class RankPowerDownPolicy:
             group = [(channel, per_channel[channel][step])
                      for channel in range(self.geometry.channels)]
             penalty = max(penalty, self.device.set_virtual_rank_group_state(
-                group, PowerState.MPSM, now_s))
+                group, park_state, now_s))
+        for rank_id in victims:
+            self._parked_at[rank_id] = (now_s, park_state)
         transition = PowerTransition(
-            time_s=now_s, rank_ids=tuple(victims), new_state=PowerState.MPSM,
+            time_s=now_s, rank_ids=tuple(victims), new_state=park_state,
             migrated_segments=total_live, migrated_bytes=migrated_bytes,
             exit_penalty_ns=penalty)
         self.transitions.append(transition)
-        self._mpsm_entries.inc(len(victims))
+        self._count_parks(park_state, len(victims))
         return transition
+
+    def _count_parks(self, park_state: PowerState, ranks: int) -> None:
+        if park_state is PowerState.MPSM:
+            self._mpsm_entries.inc(ranks)
+        else:
+            self._sr_parks.inc(ranks)
 
     def _consolidate(self, live: dict[RankId, list[int]],
                      remaining_active: set[RankId], now_s: float) -> int:
         """Copy every live segment off the victim ranks.
 
-        Targets are chosen with the allocator's most-utilised-first policy
-        restricted to the surviving active ranks of the same channel.
+        Targets are scored by the policy (the paper's: most-utilised
+        first) restricted to the surviving active ranks of the same
+        channel.
         """
         migrated_bytes = 0
         for rank_id, dsns in live.items():
@@ -278,17 +347,14 @@ class RankPowerDownPolicy:
 
     def _reserve_target(self, channel: int, allowed: set[RankId],
                         now_s: float) -> int:
-        best: RankId | None = None
-        best_util = -1.0
-        for rank_id in allowed:
-            if not self.allocator.free_in_rank(rank_id):
-                continue
-            util = self.allocator.usage(rank_id).utilization
-            if util > best_util:
-                best, best_util = rank_id, util
-        if best is None:
+        candidates = [self._rank_stats(*rank_id) for rank_id in allowed
+                      if self.allocator.free_in_rank(rank_id)]
+        chosen = (self.policy.consolidation_target(candidates)
+                  if candidates else None)
+        if chosen is None:
             raise AllocationError(
                 f"no free target segments on channel {channel}")
+        best = chosen.rank_id
         # Writing into a self-refreshed rank wakes it (the DRAM cannot
         # accept commands in SR).
         if self.device.ranks[best].state is PowerState.SELF_REFRESH:
@@ -347,14 +413,17 @@ class RankPowerDownPolicy:
                 if self.device.rank(channel, rank).state \
                         is PowerState.STANDBY:
                     penalty = max(penalty, self.device.set_rank_state(
-                        (channel, rank), PowerState.MPSM, now_s))
+                        (channel, rank), pending.park_state, now_s))
+                    self._parked_at[(channel, rank)] = (
+                        now_s, pending.park_state)
         self.transitions.append(PowerTransition(
             time_s=now_s, rank_ids=pending.victims,
-            new_state=PowerState.MPSM,
+            new_state=pending.park_state,
             migrated_segments=pending.migrated_segments,
             migrated_bytes=pending.migrated_bytes,
             exit_penalty_ns=penalty))
-        self._mpsm_entries.inc(
+        self._count_parks(
+            pending.park_state,
             sum(len(ranks) for ranks in per_channel.values()))
 
     def pending_power_downs(self) -> list[PendingPowerDown]:
@@ -372,6 +441,7 @@ class RankPowerDownPolicy:
         """
         self._quarantined.add(rank_id)
         self._active[rank_id[0]].discard(rank_id[1])
+        self._parked_at.pop(rank_id, None)
 
     def quarantined_ranks(self) -> set[RankId]:
         """Ranks permanently removed from service."""
@@ -406,6 +476,17 @@ class RankPowerDownPolicy:
             rank_id = (channel, idle[0])
             self.device.set_rank_state(rank_id, PowerState.STANDBY, now_s)
             self._active[channel].add(idle[0])
+            self._observe_wake(rank_id, now_s)
+
+    def _observe_wake(self, rank_id: RankId, now_s: float) -> None:
+        """Feed one completed park into the policy's idle histograms."""
+        parked = self._parked_at.pop(rank_id, None)
+        if parked is None:
+            return
+        gap_ns = (now_s - parked[0]) * 1e9
+        self._idle_gap_hist.observe(gap_ns)
+        self.policy.observe_idle_gap("powerdown", rank_id[0], rank_id[1],
+                                     gap_ns)
 
     def _reactivate_group(self, now_s: float) -> PowerTransition | None:
         """Wake the next powered-down rank(s), one group step at a time."""
@@ -419,14 +500,21 @@ class RankPowerDownPolicy:
                          for rank in idle[:self.group_granularity])
         if not woken:
             return None
+        # The fault hook kind reflects the state actually being exited;
+        # PaperPolicy always parks in MPSM.
+        exited_sr = any(
+            self.device.ranks[rank_id].state is PowerState.SELF_REFRESH
+            for rank_id in woken)
         penalty = 0.0
         for rank_id in woken:
             penalty = max(penalty, self.device.set_rank_state(
                 rank_id, PowerState.STANDBY, now_s))
             self._active[rank_id[0]].add(rank_id[1])
-        # Injected delayed/failed MPSM exit (hook: power.mpsm_exit).
+            self._observe_wake(rank_id, now_s)
+        # Injected delayed/failed park exit (hook: power.mpsm_exit).
         if self._faults is not None:
-            penalty += self._faults.on_power_exit("mpsm", penalty)
+            penalty += self._faults.on_power_exit(
+                "sr" if exited_sr else "mpsm", penalty)
         transition = PowerTransition(
             time_s=now_s, rank_ids=tuple(woken),
             new_state=PowerState.STANDBY, migrated_segments=0,
@@ -436,4 +524,4 @@ class RankPowerDownPolicy:
         return transition
 
 
-__all__ = ["PowerTransition", "RankPowerDownPolicy"]
+__all__ = ["PowerTransition", "PendingPowerDown", "RankPowerDownPolicy"]

@@ -26,6 +26,13 @@ so the trace-driven simulator can apply whole access windows at once
 (:meth:`HotnessSelfRefreshPolicy.on_batch`); the per-access path
 (:meth:`~HotnessSelfRefreshPolicy.on_access`) applies exactly the same
 updates one at a time.
+
+Victim-block choice, cold-partner search order, and the demotion depth at
+SR entry are delegated to a pluggable :class:`repro.policies.Policy`; the
+default :class:`~repro.policies.PaperPolicy` (fewest-window-accesses
+victim, round-robin CLOCK search, always SELF_REFRESH) reproduces the
+published behaviour bit-for-bit.  Policies see the migration table only
+through the bounded :class:`_TspSearch` surface — never the arrays.
 """
 
 from __future__ import annotations
@@ -42,19 +49,24 @@ from repro.core.tables import TranslationTables
 from repro.core.translation import TranslationEngine
 from repro.dram.device import DramDevice
 from repro.dram.power import PowerState
+from repro.policies import (
+    DEFAULT_PROFILING_THRESHOLD_NS,
+    DEFAULT_REVISIT_DELAY_NS,
+    DEFAULT_TSP_SCAN_LIMIT,
+    DEFAULT_WINDOW_NS,
+    DemotionLevel,
+    Policy,
+    PolicyConfig,
+    RankStats,
+    legacy_policy_config,
+    make_policy,
+)
 from repro.telemetry import EventKind, EventTrace, MetricsRegistry
-from repro.units import NS_PER_MS
 
-DEFAULT_WINDOW_NS = 0.5 * NS_PER_MS
-DEFAULT_PROFILING_THRESHOLD_NS = 50 * NS_PER_MS
-#: TSP entries examined per search; the paper bounds the search at 40 ns,
-#: which at one SRAM probe per 1.5 GHz cycle is 60 entries.
-DEFAULT_TSP_SCAN_LIMIT = 60
-#: Quiet time after a successful self-refresh entry before the channel
-#: profiles for an *additional* victim rank.  Profiling a second victim too
-#: early is counter-productive: the new victim's TSP would raid the cold
-#: segments just collected into the sleeping rank's neighbourhood.
-DEFAULT_REVISIT_DELAY_NS = 20 * DEFAULT_PROFILING_THRESHOLD_NS
+#: Loose keywords the constructor accepted before PolicyConfig existed.
+_LEGACY_KWARGS = ("window_ns", "profiling_threshold_ns", "tsp_scan_limit",
+                  "revisit_delay_ns", "victim_granularity",
+                  "enable_planning")
 
 
 class ChannelPhase(enum.Enum):
@@ -91,6 +103,39 @@ class _ChannelState:
     last_sr_entry_ns: float = 0.0
 
 
+class _TspSearch:
+    """The :class:`repro.policies.ColdSearch` surface over one channel's
+    migration table.
+
+    Every scan stays bounded by ``tsp_scan_limit`` and clears access bits
+    in passing, whichever order the policy walks the target ranks in.
+    """
+
+    __slots__ = ("_host", "_channel", "_state")
+
+    def __init__(self, host: "HotnessSelfRefreshPolicy", channel: int,
+                 state: _ChannelState):
+        self._host = host
+        self._channel = channel
+        self._state = state
+
+    @property
+    def target_ranks(self) -> list[int]:
+        return list(self._state.target_ranks)
+
+    def window_count(self, rank: int) -> int:
+        return self._state.window_counts.get(rank, 0)
+
+    def last_window_count(self, rank: int) -> int:
+        return self._state.last_window_counts.get(rank, 0)
+
+    def clock_scan(self) -> int | None:
+        return self._host._tsp_find_cold(self._channel, self._state)
+
+    def scan_rank(self, rank: int) -> int | None:
+        return self._host._tsp_scan_rank(self._channel, self._state, rank)
+
+
 class HotnessSelfRefreshPolicy:
     """Per-channel hotness-aware self-refresh controller."""
 
@@ -98,14 +143,13 @@ class HotnessSelfRefreshPolicy:
                  tables: TranslationTables,
                  translation: TranslationEngine,
                  migration: MigrationEngine,
-                 window_ns: float = DEFAULT_WINDOW_NS,
-                 profiling_threshold_ns: float = DEFAULT_PROFILING_THRESHOLD_NS,
-                 tsp_scan_limit: int = DEFAULT_TSP_SCAN_LIMIT,
-                 revisit_delay_ns: float | None = None,
-                 victim_granularity: int = 1,
-                 enable_planning: bool = True,
+                 config: PolicyConfig | None = None, *,
+                 policy: Policy | None = None,
                  registry: MetricsRegistry | None = None,
-                 trace: EventTrace | None = None):
+                 trace: EventTrace | None = None,
+                 **legacy):
+        config = legacy_policy_config(
+            config, legacy, _LEGACY_KWARGS, type(self).__name__)
         self.device = device
         self.geometry = device.geometry
         self.layout = DeviceAddressLayout(self.geometry)
@@ -113,21 +157,23 @@ class HotnessSelfRefreshPolicy:
         self.tables = tables
         self.translation = translation
         self.migration = migration
-        self.window_ns = window_ns
-        self.profiling_threshold_ns = profiling_threshold_ns
-        self.tsp_scan_limit = tsp_scan_limit
-        self.revisit_delay_ns = (revisit_delay_ns if revisit_delay_ns
-                                 is not None
-                                 else 20 * profiling_threshold_ns)
-        if device.geometry.ranks_per_channel % victim_granularity:
+        self.config = config
+        self.policy = policy if policy is not None else make_policy(config)
+        self.window_ns = config.window_ns
+        self.profiling_threshold_ns = config.profiling_threshold_ns
+        self.tsp_scan_limit = config.tsp_scan_limit
+        self.revisit_delay_ns = (config.revisit_delay_ns
+                                 if config.revisit_delay_ns is not None
+                                 else 20 * config.profiling_threshold_ns)
+        if device.geometry.ranks_per_channel % config.victim_granularity:
             raise ValueError(
                 "victim_granularity must divide ranks_per_channel")
-        self.victim_granularity = victim_granularity
+        self.victim_granularity = config.victim_granularity
         #: With planning disabled the migration table never swaps entries:
         #: a victim only reaches self-refresh if it is *naturally* quiet.
         #: Exists for the ablation that isolates the CLOCK planner's
         #: contribution.
-        self.enable_planning = enable_planning
+        self.enable_planning = config.enable_planning
         total = self.geometry.total_segments
         # Migration table (Figure 8): one row per device segment.
         self.access_bits = np.zeros(total, dtype=bool)
@@ -155,6 +201,10 @@ class HotnessSelfRefreshPolicy:
         self._swaps_executed = registry.counter("sr.swaps")
         self._exit_penalty_ns = registry.counter("sr.exit_penalty_total_ns")
         self._migrated_bytes = registry.counter("sr.migrated_bytes")
+        self._demotion_counters = {
+            level: registry.counter(f"policy.demotion.{level.value}")
+            for level in DemotionLevel}
+        self._idle_gap_hist = registry.histogram("policy.rank_idle_gap_ns")
         # Armed fault injector (None = zero-overhead no-op hooks).
         self._faults = None
 
@@ -206,12 +256,28 @@ class HotnessSelfRefreshPolicy:
         return [rank.index for rank in self.device.ranks_in_channel(channel)
                 if rank.state is not PowerState.MPSM]
 
+    def _rank_stats(self, channel: int, rank: int,
+                    state: _ChannelState) -> RankStats:
+        """Snapshot one rank (window counters included) for the policy."""
+        usage = self.allocator.usage((channel, rank))
+        rank_obj = self.device.rank(channel, rank)
+        return RankStats(
+            channel=channel, rank=rank,
+            allocated=usage.allocated,
+            free=usage.capacity - usage.allocated,
+            utilization=usage.utilization,
+            access_count=rank_obj.access_count,
+            window_count=state.window_counts.get(rank, 0),
+            last_window_count=state.last_window_counts.get(rank, 0),
+            state=rank_obj.state)
+
     def start_profiling(self, channel: int, now_ns: float) -> int | None:
         """Enter the profiling phase and pick a victim rank.
 
-        The victim is the standby rank with the fewest accesses in the last
-        completed window.  Returns the victim rank index, or ``None`` when
-        fewer than two ranks are in standby (nothing to consolidate into).
+        The victim block is chosen by the policy (the paper's: fewest
+        accesses in the last completed window).  Returns the victim rank
+        index, or ``None`` when fewer than two blocks are in standby
+        (nothing to consolidate into).
         """
         state = self._channels[channel]
         candidates = [rank for rank in self.active_ranks(channel)
@@ -233,9 +299,13 @@ class HotnessSelfRefreshPolicy:
         # migration table restarts from identity (Section 3.4: the table is
         # re-initialised around each migration).
         self._reset_channel_table(channel)
-        counts = state.last_window_counts
-        victims = min(blocks, key=lambda block: (
-            sum(counts.get(rank, 0) for rank in block), block))
+        stats = {rank: self._rank_stats(channel, rank, state)
+                 for block in blocks for rank in block}
+        victims = tuple(self.policy.sr_victim_block(channel, blocks, stats))
+        if victims not in blocks:
+            raise ValueError(
+                f"policy {self.policy.name!r} returned victim block "
+                f"{victims} not among candidates {blocks}")
         victim = victims[0]
         state.phase = ChannelPhase.PROFILING
         state.victim_rank = victim
@@ -315,6 +385,12 @@ class HotnessSelfRefreshPolicy:
         victim rank by its own hit), so the scan count stays small; a
         channel that somehow exceeds ``_batch_event_limit`` events
         replays its remaining tail element-wise.
+
+        The event screen is policy-independent: a policy only changes
+        *which* segments are planned into the victim ranks, and the
+        screen reads the live ``planned`` array, so scalar/batch
+        identity holds for every policy (proven over all registered
+        policies in ``tests/policies/test_paper_identity.py``).
         """
         dsns = np.asarray(dsns, dtype=np.int64)
         penalties = np.zeros(len(dsns), dtype=np.float64)
@@ -467,6 +543,12 @@ class HotnessSelfRefreshPolicy:
             if self._trace is not None:
                 self._trace.record(EventKind.SR_EXIT, time=now_ns,
                                    channel=channel, rank=member)
+            # One completed residency: how long the rank actually slept
+            # before this access woke it (feeds adaptive demotion).
+            if state.last_sr_entry_ns > 0.0:
+                gap_ns = now_ns - state.last_sr_entry_ns
+                self._idle_gap_hist.observe(gap_ns)
+                self.policy.observe_idle_gap("sr", channel, member, gap_ns)
         # Injected delayed/failed self-refresh exit (hook: sr.exit).
         if self._faults is not None:
             penalty += self._faults.on_power_exit("sr", penalty)
@@ -487,10 +569,11 @@ class HotnessSelfRefreshPolicy:
         if not self.enable_planning:
             return
         channel = self._channel_of(dsn)
+        search = _TspSearch(self, channel, state)
         if rank in victims and int(self.planned[dsn]) == dsn:
             # Case (b): hot segment physically in the victim rank, not yet
-            # planned out.  Find a cold partner with the TSP.
-            partner = self._tsp_find_cold(channel, state)
+            # planned out.  Ask the policy for a cold partner.
+            partner = self.policy.sr_cold_partner(channel, search)
             if partner is not None:
                 self._swap_entries(dsn, partner)
         elif rank not in victims:
@@ -499,7 +582,7 @@ class HotnessSelfRefreshPolicy:
             # cold partner for the victim-rank entry it was paired with.
             partner_victim_dsn = int(self.planned[dsn])
             self._swap_entries(dsn, partner_victim_dsn)
-            replacement = self._tsp_find_cold(channel, state)
+            replacement = self.policy.sr_cold_partner(channel, search)
             if replacement is not None:
                 self._swap_entries(partner_victim_dsn, replacement)
 
@@ -537,12 +620,41 @@ class HotnessSelfRefreshPolicy:
         state.target_cursor = (state.target_cursor + 1) % len(state.target_ranks)
         return None
 
+    def _tsp_scan_rank(self, channel: int, state: _ChannelState,
+                       target: int) -> int | None:
+        """Bounded CLOCK scan of one *specific* target rank.
+
+        Same walk as :meth:`_tsp_find_cold` — persistent per-rank
+        pointer, second-chance bit clearing, ``tsp_scan_limit`` bound —
+        but the rank is the caller's choice and the round-robin cursor
+        is left alone.  Policies that order target ranks themselves
+        (e.g. DReAM's coldest-first) use this via ``ColdSearch``.
+        """
+        if target not in state.target_ranks:
+            return None
+        segments = self.geometry.segments_per_rank
+        pointer = state.tsp.setdefault(target, 0)
+        for _ in range(self.tsp_scan_limit):
+            index = pointer % segments
+            pointer += 1
+            dsn = self._dsn(channel, target, index)
+            if int(self.planned[dsn]) != dsn:
+                continue
+            if self.access_bits[dsn]:
+                self.access_bits[dsn] = False
+                continue
+            state.tsp[target] = pointer
+            return dsn
+        state.tsp[target] = pointer
+        return None
+
     # -- windows and timers ----------------------------------------------------------
 
     def end_window(self) -> None:
         """Close the current access-count window on every channel."""
-        for state in self._channels.values():
+        for channel, state in self._channels.items():
             state.last_window_counts = dict(state.window_counts)
+            self.policy.observe_window(channel, state.last_window_counts)
             state.window_counts.clear()
 
     def tick(self, now_ns: float) -> list[SelfRefreshEvent]:
@@ -601,13 +713,29 @@ class HotnessSelfRefreshPolicy:
                is not PowerState.STANDBY for rank in state.victim_ranks):
             self.start_profiling(channel, now_ns)
             return None
+        victim_stats = [self._rank_stats(channel, rank, state)
+                        for rank in state.victim_ranks]
+        level = self.policy.demotion_level("sr", victim_stats)
+        self._demotion_counters[level].inc()
+        if level is DemotionLevel.STAY_ACTIVE:
+            # The policy predicts wake-thrash: skip this entry and re-arm
+            # the quiet timer; the plan stays in place, so a genuinely
+            # quiet block just re-fires one threshold later.
+            state.quiet_since_ns = now_ns
+            return None
+        park_state = PowerState.SELF_REFRESH
+        if level is DemotionLevel.MPSM:
+            # MPSM loses contents; only an entirely *empty* victim block
+            # can take it.  Live data downgrades to self-refresh.
+            if all(stats.allocated == 0 for stats in victim_stats):
+                park_state = PowerState.MPSM
         swaps = self._planned_swaps(channel, state)
         migrated_bytes = self._execute_swaps(swaps)
         self._reset_channel_table(channel)
         victim = state.victim_rank
         for rank in state.victim_ranks:
             self.device.set_rank_state((channel, rank),
-                                       PowerState.SELF_REFRESH, now_ns / 1e9)
+                                       park_state, now_ns / 1e9)
         state.phase = ChannelPhase.SELF_REFRESH
         self._migrated_bytes.inc(migrated_bytes)
         self._sr_entries.inc(len(state.victim_ranks))
@@ -718,6 +846,7 @@ __all__ = [
     "DEFAULT_WINDOW_NS",
     "DEFAULT_PROFILING_THRESHOLD_NS",
     "DEFAULT_TSP_SCAN_LIMIT",
+    "DEFAULT_REVISIT_DELAY_NS",
     "ChannelPhase",
     "SelfRefreshEvent",
     "HotnessSelfRefreshPolicy",

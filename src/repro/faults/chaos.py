@@ -64,6 +64,9 @@ class ChaosSoakConfig:
         profiling_threshold_ns: Self-refresh quiet threshold, shrunk so
             the soak actually reaches SR entry and wake.
         access_period_ns: Simulated time per access.
+        policy: Registered migration/demotion policy the soak arms
+            (faults must compose with every policy, not just the
+            paper's — see repro.policies).
     """
 
     seed: int = 0
@@ -78,6 +81,7 @@ class ChaosSoakConfig:
     au_bytes: int = 1 * MIB
     profiling_threshold_ns: float = 200_000.0
     access_period_ns: float = 100.0
+    policy: str = "paper"
 
     def replace(self, **changes: Any) -> ChaosSoakConfig:
         """A copy with ``changes`` applied (``dataclasses.replace``)."""
@@ -99,7 +103,8 @@ class ChaosSoakConfig:
         return DtlConfig(
             geometry=self.geometry(), au_bytes=self.au_bytes,
             profiling_threshold_ns=self.profiling_threshold_ns,
-            background_migration=True)
+            background_migration=True,
+            policy=self.policy)
 
     def base_plan(self) -> FaultPlan:
         """The level-0 fault schedule (every spec kind, spread out)."""

@@ -1,0 +1,79 @@
+"""Adaptive demotion: MPSM vs self-refresh from observed idle gaps.
+
+The paper picks the park depth statically per deployment; Lu et al.
+(PAPERS.md) argue the break-even point depends on how long ranks
+actually stay idle.  MPSM draws 0.068 RSU against self-refresh's 0.2,
+but costs a deeper 700 ns exit and loses contents — so short, frequent
+parks want the shallow state and long quiet spells want the deep one.
+
+This policy keeps the paper's victim selection and hotness prediction
+untouched and swaps only :meth:`demotion_level`, reading the per-rank
+idle-gap histograms that both hosts feed via ``observe_idle_gap``:
+
+* power-down site: if the median observed park is shorter than
+  ``short_park_ns``, park in SELF_REFRESH (cheap 500 ns exit) instead
+  of MPSM; with no history yet, trust the paper's MPSM default.
+* self-refresh site: if the median residency is shorter than
+  ``sr_thrash_ns``, the block is wake-thrashing — answer STAY_ACTIVE
+  and let the quiet timer re-arm rather than paying another
+  entry/exit round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.policies.idle import RankIdleTracker
+from repro.policies.paper import PaperPolicy
+from repro.policies.protocol import (
+    DemotionLevel,
+    PolicyConfig,
+    RankStats,
+    register_policy,
+)
+
+
+@register_policy
+class AdaptiveDemotionPolicy(PaperPolicy):
+    """Paper victim selection with idle-histogram-driven demotion."""
+
+    name = "adaptive"
+
+    def __init__(self, config: PolicyConfig | None = None):
+        super().__init__(config)
+        self.idle = RankIdleTracker(self.config.idle_history)
+
+    def observe_idle_gap(self, site: str, channel: int, rank: int,
+                         gap_ns: float) -> None:
+        self.idle.observe(site, channel, rank, gap_ns)
+
+    def _median_gap(self, site: str,
+                    stats: Sequence[RankStats]) -> float | None:
+        """Worst (smallest) per-rank median across the group, requiring
+        ``min_idle_samples`` history on every rank; the group parks and
+        wakes together, so its most restless member sets the depth."""
+        worst: float | None = None
+        for entry in stats:
+            if (self.idle.samples(site, entry.channel, entry.rank)
+                    < self.config.min_idle_samples):
+                return None
+            gap = self.idle.typical_gap_ns(site, entry.channel, entry.rank)
+            if gap is None:
+                return None
+            if worst is None or gap < worst:
+                worst = gap
+        return worst
+
+    def demotion_level(self, site: str,
+                       stats: Sequence[RankStats]) -> DemotionLevel:
+        gap = self._median_gap(site, stats)
+        if site == "powerdown":
+            if gap is not None and gap < self.config.short_park_ns:
+                return DemotionLevel.SELF_REFRESH
+            return DemotionLevel.MPSM
+        if gap is not None and gap < self.config.sr_thrash_ns:
+            return DemotionLevel.STAY_ACTIVE
+        return DemotionLevel.SELF_REFRESH
+
+
+__all__ = ["AdaptiveDemotionPolicy"]

@@ -1,0 +1,56 @@
+"""Per-rank idle-gap histograms feeding adaptive demotion.
+
+Both controller hosts report one observation per completed park (see
+:meth:`repro.policies.protocol.Policy.observe_idle_gap`): how many
+nanoseconds a rank actually stayed in MPSM/self-refresh before being
+woken.  :class:`RankIdleTracker` keeps a bounded history per
+``(site, channel, rank)`` and answers with the median — robust to the
+occasional marathon park that would wreck a mean — which is the only
+statistic the adaptive policies consult.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import deque
+
+
+class RankIdleTracker:
+    """Bounded per-rank history of observed idle gaps.
+
+    Args:
+        history: Observations retained per ``(site, channel, rank)``;
+            older samples fall off the deque.
+    """
+
+    def __init__(self, history: int = 32):
+        if history < 1:
+            raise ValueError(f"history must be >= 1, got {history}")
+        self.history = history
+        self._gaps: dict[tuple[str, int, int], deque[float]] = {}
+
+    def observe(self, site: str, channel: int, rank: int,
+                gap_ns: float) -> None:
+        """Record one completed park of ``gap_ns`` nanoseconds."""
+        key = (site, channel, rank)
+        bucket = self._gaps.get(key)
+        if bucket is None:
+            bucket = deque(maxlen=self.history)
+            self._gaps[key] = bucket
+        bucket.append(gap_ns)
+
+    def samples(self, site: str, channel: int, rank: int) -> int:
+        """Observations currently held for the rank at ``site``."""
+        bucket = self._gaps.get((site, channel, rank))
+        return len(bucket) if bucket is not None else 0
+
+    def typical_gap_ns(self, site: str, channel: int,
+                       rank: int) -> float | None:
+        """Median observed gap, or ``None`` with no observations."""
+        bucket = self._gaps.get((site, channel, rank))
+        if not bucket:
+            return None
+        return statistics.median(bucket)
+
+
+__all__ = ["RankIdleTracker"]

@@ -1,0 +1,80 @@
+"""The paper's own behaviour, re-expressed through the protocol.
+
+Every decision below is a verbatim transplant of the logic that used to
+live inline in ``RankPowerDownPolicy`` / ``HotnessSelfRefreshPolicy``;
+``tests/policies/test_paper_identity.py`` pins it bit-identical to the
+pre-refactor simulators.  Tie-breaking subtleties are load-bearing:
+
+* power-down victims — stable sort by allocated segments, so equal
+  ranks keep the host's iteration order;
+* consolidation target — first maximum under strict ``>``, so the
+  earliest candidate wins utilisation ties;
+* SR victim block — ``min`` over ``(window count, block)``, so the
+  lowest-numbered block wins count ties;
+* cold partner — the CLOCK hand (``clock_scan``), persistent pointer
+  and round-robin rotation included.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.policies.protocol import (
+    ColdSearch,
+    DemotionLevel,
+    Policy,
+    RankStats,
+    register_policy,
+)
+
+
+@register_policy
+class PaperPolicy(Policy):
+    """CLOCK victim selection + static demotion, exactly as published.
+
+    Demotion is static per site: power-down parks in MPSM (victims are
+    evacuated first, so losing contents is free), self-refresh parks in
+    SELF_REFRESH (victims keep live, cold data).
+    """
+
+    name = "paper"
+
+    def powerdown_victims(self, channel: int,
+                          candidates: Sequence[RankStats],
+                          count: int) -> list[int] | None:
+        ranked = sorted(candidates, key=lambda stats: stats.allocated)
+        return [stats.rank for stats in ranked[:count]]
+
+    def consolidation_target(self, candidates: Sequence[RankStats],
+                             ) -> RankStats | None:
+        best: RankStats | None = None
+        best_util = -1.0
+        for stats in candidates:
+            if stats.utilization > best_util:
+                best = stats
+                best_util = stats.utilization
+        return best
+
+    def sr_victim_block(self, channel: int,
+                        blocks: Sequence[tuple[int, ...]],
+                        stats: dict[int, RankStats]) -> tuple[int, ...]:
+        return min(
+            blocks,
+            key=lambda block: (
+                sum(stats[rank].last_window_count for rank in block),
+                block,
+            ),
+        )
+
+    def sr_cold_partner(self, channel: int,
+                        search: ColdSearch) -> int | None:
+        return search.clock_scan()
+
+    def demotion_level(self, site: str,
+                       stats: Sequence[RankStats]) -> DemotionLevel:
+        if site == "powerdown":
+            return DemotionLevel.MPSM
+        return DemotionLevel.SELF_REFRESH
+
+
+__all__ = ["PaperPolicy"]

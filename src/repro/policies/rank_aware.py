@@ -1,0 +1,60 @@
+"""Rank-aware migrations after Lu et al. (PAPERS.md).
+
+Where the paper evacuates the *emptiest* ranks and refills the
+*fullest*, Lu et al. migrate by heat: hot pages concentrate on few
+ranks so the rest idle long enough for deep power states.  Translated
+to this repo's rank granularity:
+
+* power-down victims — the *coldest* standby ranks (fewest observed
+  accesses), least-allocated breaking ties, so evacuation both moves
+  little data and retires the ranks least likely to be woken;
+* consolidation target — the *hottest* rank with free capacity, so
+  displaced segments land where traffic already goes and the cold
+  ranks stay quiet.
+
+Demotion depth is adaptive (inherited from
+:class:`~repro.policies.adaptive.AdaptiveDemotionPolicy`), matching the
+paper's characterisation of Lu et al. as "adaptive demotions from
+observed idle distributions".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.policies.adaptive import AdaptiveDemotionPolicy
+from repro.policies.protocol import RankStats, register_policy
+
+
+def _heat(stats: RankStats) -> int:
+    """Best available access signal: windowed counts when the SR host
+    is tracking them, cumulative rank accesses otherwise."""
+    windowed = stats.window_count + stats.last_window_count
+    return windowed if windowed else stats.access_count
+
+
+@register_policy
+class RankAwareMigrationPolicy(AdaptiveDemotionPolicy):
+    """Heat-ordered victims and targets, adaptive demotion depth."""
+
+    name = "rank_aware"
+
+    def powerdown_victims(self, channel: int,
+                          candidates: Sequence[RankStats],
+                          count: int) -> list[int] | None:
+        ranked = sorted(
+            candidates,
+            key=lambda stats: (_heat(stats), stats.allocated, stats.rank),
+        )
+        return [stats.rank for stats in ranked[:count]]
+
+    def consolidation_target(self, candidates: Sequence[RankStats],
+                             ) -> RankStats | None:
+        best: RankStats | None = None
+        for stats in candidates:
+            if best is None or _heat(stats) > _heat(best):
+                best = stats
+        return best
+
+
+__all__ = ["RankAwareMigrationPolicy"]

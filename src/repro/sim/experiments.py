@@ -38,6 +38,8 @@ from repro.sim.powerdown_sim import (ComparisonSimulator,
 from repro.sim.rank_sweep import RankSweepExperiment, TraceRankSweepConfig
 from repro.sim.selfrefresh_sim import (SelfRefreshSimConfig,
                                        SelfRefreshSimulator)
+from repro.sim.tournament import (PolicyTournament, TournamentConfig,
+                                  quick_tournament_config)
 from repro.workloads.azure import AzureTraceConfig
 from repro.workloads.cloudsuite import TRACED_BENCHMARKS
 
@@ -188,6 +190,13 @@ register(ExperimentSpec(
     tiny_config=lambda: SelfRefreshSimConfig(
         workloads=TRACED_BENCHMARKS[:3], duration_s=1.0),
     summary="DTL self-refresh vs the RAMZzz epoch baseline"))
+
+register(ExperimentSpec(
+    name="tournament",
+    config_type=TournamentConfig,
+    factory=PolicyTournament,
+    tiny_config=quick_tournament_config,
+    summary="policy x workload Pareto tournament (savings vs overhead)"))
 
 register(ExperimentSpec(
     name="chaos",

@@ -37,7 +37,6 @@ back into the rack-level energy numbers.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -488,23 +487,6 @@ class FleetSimulator:
                            counter_fold=accumulator.counter_fold)
 
 
-def quick_fleet(num_nodes: int = 4, duration_s: float = 3600.0,
-                num_vms: int = 60, base_seed: int = 0) -> FleetResult:
-    """Deprecated: build a :class:`FleetConfig` and run
-    :class:`FleetSimulator` directly.
-
-    A small fleet on one-hour schedules (for tests and examples).
-    """
-    warnings.warn("quick_fleet() is deprecated; use "
-                  "FleetSimulator(FleetConfig(...)).run()",
-                  DeprecationWarning, stacklevel=2)
-    node = PowerDownSimConfig(
-        azure=AzureTraceConfig(num_vms=num_vms, duration_s=duration_s),
-        scheduler=SchedulerConfig(duration_s=duration_s))
-    return FleetSimulator(FleetConfig(num_nodes=num_nodes, node=node,
-                                      base_seed=base_seed)).run()
-
-
 __all__ = [
     "CounterFold",
     "FleetConfig",
@@ -515,5 +497,4 @@ __all__ = [
     "RackConfig",
     "RackSummary",
     "ShardAggregate",
-    "quick_fleet",
 ]

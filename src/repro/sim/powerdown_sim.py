@@ -19,7 +19,6 @@ standby), matching the paper's 8-rank baseline.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +53,9 @@ class PowerDownSimConfig(SeededConfig):
     enable_power_down: bool = True
     group_granularity: int = 2  # CKE pairs (Section 5.1)
     spare_migration_bandwidth_gbs: float = 18.0
+    #: Registered policy name driving victim selection / demotion depth
+    #: (see repro.policies.available_policies()).
+    policy: str = "paper"
     seed: int = 0
     #: Keep the per-interval timeseries (`intervals`, `window_snapshots`)
     #: on the result.  Fleet shards turn this off: the records dominate
@@ -151,7 +153,8 @@ class PowerDownSimulator:
             geometry=config.geometry,
             enable_power_down=config.enable_power_down,
             enable_self_refresh=False,
-            group_granularity=config.group_granularity))
+            group_granularity=config.group_granularity,
+            policy=config.policy))
 
     def _vm_bandwidth_gbs(self, spec: VmSpec) -> float:
         profile = PROFILES[spec.workload]
@@ -366,19 +369,6 @@ class ComparisonSimulator:
                                          dtl=dtl)
 
 
-def run_comparison(config: PowerDownSimConfig | None = None,
-                   ) -> tuple[PowerDownResult, PowerDownResult]:
-    """Deprecated: use ``ComparisonSimulator(config).run()``.
-
-    Returns:
-        ``(baseline_result, dtl_result)``.
-    """
-    warnings.warn("run_comparison() is deprecated; use "
-                  "ComparisonSimulator(config).run()",
-                  DeprecationWarning, stacklevel=2)
-    return ComparisonSimulator(config).run().as_tuple()
-
-
 __all__ = [
     "PowerDownSimConfig",
     "IntervalRecord",
@@ -386,7 +376,6 @@ __all__ = [
     "PowerDownComparisonResult",
     "PowerDownSimulator",
     "ComparisonSimulator",
-    "run_comparison",
     "energy_savings",
     "power_savings",
     "background_power_savings",

@@ -85,7 +85,33 @@ def flatten_selfrefresh(result: SelfRefreshResult) -> dict[str, Any]:
         "sr_exits": result.sr_exits,
         "migrated_bytes": result.migrated_bytes,
         "baseline_power_rsu": result.baseline_power,
+        "exit_penalty_ns": result.exit_penalty_ns,
     }
+
+
+def flatten_tournament(result) -> dict[str, Any]:
+    """Flatten a policy-tournament result into plain metrics.
+
+    One ``<policy>.<workload>.*`` triple per cell plus per-policy means
+    and the Pareto front (annotated directly in
+    :class:`~repro.sim.tournament.TournamentResult`, not re-derived).
+    """
+    flat: dict[str, Any] = {
+        "policies": list(result.config.policies),
+        "cells": len(result.cells),
+        "pareto": [(cell.policy, cell.workload)
+                   for cell in result.pareto_front()],
+    }
+    for cell in result.cells:
+        prefix = f"{cell.policy}.{cell.workload}"
+        flat[f"{prefix}.savings"] = cell.savings
+        flat[f"{prefix}.overhead"] = cell.overhead
+        flat[f"{prefix}.sr_entries"] = cell.sr_entries
+        flat[f"{prefix}.migrated_bytes"] = cell.migrated_bytes
+    for policy, means in result.policy_means().items():
+        flat[f"{policy}.mean_savings"] = means[0]
+        flat[f"{policy}.mean_overhead"] = means[1]
+    return flat
 
 
 def save_records(records: list[ExperimentRecord], path: str | Path) -> Path:
@@ -137,6 +163,7 @@ __all__ = [
     "flatten_powerdown",
     "flatten_selfrefresh",
     "flatten_telemetry",
+    "flatten_tournament",
     "save_records",
     "load_records",
     "render_table",

@@ -79,6 +79,9 @@ class SelfRefreshSimConfig(SeededConfig):
     #: (the paper's simulator "randomly mixes" traces over the allocated
     #: memory); "pack" keeps the DTL allocator's most-utilised-first layout.
     placement: str = "scatter"
+    #: Registered policy name driving victim selection / cold search /
+    #: demotion depth (see repro.policies.available_policies()).
+    policy: str = "paper"
     seed: int = 0
 
 
@@ -112,6 +115,9 @@ class SelfRefreshResult:
     sr_exits: int
     migrated_bytes: int
     ever_stable: bool
+    #: Cumulative SR wake penalty the accesses paid (policy counter view);
+    #: the tournament's performance-overhead axis reads this.
+    exit_penalty_ns: float = 0.0
 
     def savings_timeseries(self) -> tuple[np.ndarray, np.ndarray]:
         """(time_s, fractional savings) samples — the Figure 14 curves."""
@@ -147,7 +153,8 @@ class SelfRefreshSimulator:
             profiling_threshold_ns=config.step_ns,
             window_ns=config.window_ns,
             sr_victim_granularity=config.group_granularity,
-            sr_planning=config.sr_planning))
+            sr_planning=config.sr_planning,
+            policy=config.policy))
         total_aus = config.allocated_bytes // config.au_bytes
         if total_aus < len(config.workloads):
             raise ValueError("allocated_bytes too small for the mix")
@@ -365,7 +372,8 @@ class SelfRefreshSimulator:
             warmup_s=warmup_s, stable_savings=stable, mean_savings=mean,
             sr_entries=entries, sr_exits=exits,
             migrated_bytes=policy.migrated_bytes_total,
-            ever_stable=ever_stable)
+            ever_stable=ever_stable,
+            exit_penalty_ns=policy.exit_penalty_total_ns)
 
 
 #: The paper's Figure 14 capacity points, as fractions of the 8-rank

@@ -6,8 +6,8 @@ from repro.analysis.sensitivity import (recompute_savings, savings_range,
                                         sensitivity_grid)
 from repro.dram.power import DramPowerModel
 from repro.host.scheduler import SchedulerConfig
-from repro.sim.powerdown_sim import (PowerDownSimConfig, energy_savings,
-                                     run_comparison)
+from repro.sim.powerdown_sim import (ComparisonSimulator, PowerDownSimConfig,
+                                     energy_savings)
 from repro.workloads.azure import AzureTraceConfig
 
 
@@ -16,7 +16,7 @@ def results():
     config = PowerDownSimConfig(
         azure=AzureTraceConfig(num_vms=50, duration_s=3600.0),
         scheduler=SchedulerConfig(duration_s=3600.0), seed=4)
-    return run_comparison(config)
+    return ComparisonSimulator(config).run().as_tuple()
 
 
 class TestRecompute:

@@ -11,6 +11,7 @@ from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.dram.power import PowerState
 from repro.errors import AllocationError
+from repro.policies import PolicyConfig
 from repro.units import MIB
 
 
@@ -28,8 +29,9 @@ def make_stack(ranks_per_channel=4, group_granularity=1):
         allocator.move_allocation(request.old_dsn, request.new_dsn)
 
     migration.on_complete = on_complete
-    policy = RankPowerDownPolicy(device, allocator, tables, migration,
-                                 group_granularity=group_granularity)
+    policy = RankPowerDownPolicy(
+        device, allocator, tables, migration,
+        PolicyConfig(group_granularity=group_granularity))
     return geometry, device, allocator, layout, tables, policy
 
 
@@ -61,7 +63,7 @@ class TestPowerDown:
         geometry, device, allocator, layout, tables, _ = make_stack()
         migration = MigrationEngine(geometry)
         policy = RankPowerDownPolicy(device, allocator, tables, migration,
-                                     min_active_groups=2)
+                                     PolicyConfig(min_active_groups=2))
         policy.maybe_power_down(0.0)
         assert policy.active_ranks_per_channel() == 2
 

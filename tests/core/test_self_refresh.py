@@ -13,6 +13,7 @@ from repro.core.translation import TranslationEngine
 from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.dram.power import PowerState
+from repro.policies import PolicyConfig
 from repro.units import MIB
 
 MS = 1e6  # ns per ms
@@ -30,8 +31,10 @@ def make_stack(window_ns=0.5 * MS, threshold_ns=50 * MS, scan_limit=60,
     migration = MigrationEngine(geometry)
     policy = HotnessSelfRefreshPolicy(
         device, allocator, tables, translation, migration,
-        window_ns=window_ns, profiling_threshold_ns=threshold_ns,
-        tsp_scan_limit=scan_limit, victim_granularity=victim_granularity)
+        PolicyConfig(window_ns=window_ns,
+                     profiling_threshold_ns=threshold_ns,
+                     tsp_scan_limit=scan_limit,
+                     victim_granularity=victim_granularity))
     return geometry, device, allocator, layout, tables, translation, policy
 
 

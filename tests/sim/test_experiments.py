@@ -2,8 +2,8 @@
 
 Covers the registry round-trip on every spec's tiny config, the
 serial-vs-parallel determinism guarantee for the fan-out simulators,
-the ``SeededConfig`` helpers, the deprecated wrappers, and the
-``telemetry_totals`` missing/failed accounting.
+the ``SeededConfig`` helpers, and the ``telemetry_totals``
+missing/failed accounting.
 """
 
 from __future__ import annotations
@@ -21,14 +21,15 @@ from repro.sim.experiments import (EXPERIMENTS, experiment_task, get_spec,
                                    make_experiment, run_experiment,
                                    run_experiments)
 from repro.sim.fleet import (FleetConfig, FleetResult, FleetSimulator,
-                             NodeFailure, quick_fleet)
-from repro.sim.powerdown_sim import PowerDownSimConfig, run_comparison
+                             NodeFailure)
+from repro.sim.powerdown_sim import PowerDownSimConfig
 from repro.sim.rank_sweep import RankSweepExperiment, TraceRankSweepConfig
 from repro.sim.selfrefresh_sim import SelfRefreshSimConfig
 from repro.workloads.azure import AzureTraceConfig
 
 EXPECTED_NAMES = {"powerdown", "powerdown_comparison", "fleet",
-                  "rank_sweep", "selfrefresh", "ramzzz_comparison"}
+                  "rank_sweep", "selfrefresh", "ramzzz_comparison",
+                  "tournament"}
 
 
 def _small_node() -> PowerDownSimConfig:
@@ -149,14 +150,3 @@ def test_telemetry_totals_empty_fleet_reports_zeroes():
         "fleet.nodes_missing_telemetry": 0.0,
         "fleet.nodes_failed": 0.0,
     }
-
-
-def test_deprecated_wrappers_warn_and_work():
-    with pytest.warns(DeprecationWarning):
-        baseline, dtl = run_comparison(_small_node())
-    assert not baseline.config.enable_power_down
-    assert dtl.config.enable_power_down
-    assert baseline.intervals and dtl.intervals
-    with pytest.warns(DeprecationWarning):
-        fleet = quick_fleet(num_nodes=1, duration_s=600.0, num_vms=4)
-    assert len(fleet.nodes) == 1

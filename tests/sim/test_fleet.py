@@ -4,12 +4,18 @@ import numpy as np
 import pytest
 
 from repro.analysis.tco import TcoModel
-from repro.sim.fleet import FleetConfig, FleetSimulator, quick_fleet
+from repro.host.scheduler import SchedulerConfig
+from repro.sim.fleet import FleetConfig, FleetSimulator
+from repro.sim.powerdown_sim import PowerDownSimConfig
+from repro.workloads.azure import AzureTraceConfig
 
 
 @pytest.fixture(scope="module")
 def fleet():
-    return quick_fleet(num_nodes=3, duration_s=1800.0, num_vms=30)
+    node = PowerDownSimConfig(
+        azure=AzureTraceConfig(num_vms=30, duration_s=1800.0),
+        scheduler=SchedulerConfig(duration_s=1800.0))
+    return FleetSimulator(FleetConfig(num_nodes=3, node=node)).run()
 
 
 class TestFleet:

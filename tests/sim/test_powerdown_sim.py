@@ -3,9 +3,10 @@
 import pytest
 
 from repro.host.scheduler import SchedulerConfig
-from repro.sim.powerdown_sim import (PowerDownSimConfig, PowerDownSimulator,
+from repro.sim.powerdown_sim import (ComparisonSimulator, PowerDownSimConfig,
+                                     PowerDownSimulator,
                                      background_power_savings, energy_savings,
-                                     power_savings, run_comparison)
+                                     power_savings)
 from repro.units import GIB
 from repro.workloads.azure import AzureTraceConfig
 
@@ -17,7 +18,7 @@ def quick_results():
         azure=AzureTraceConfig(num_vms=60, duration_s=3600.0),
         scheduler=SchedulerConfig(duration_s=3600.0),
         seed=1)
-    return run_comparison(config)
+    return ComparisonSimulator(config).run().as_tuple()
 
 
 class TestComparison:
@@ -104,7 +105,6 @@ class TestBandwidthDrift:
         The observation-point clamp must keep the run alive and every
         recorded bandwidth non-negative."""
         from repro.sim.fleet_soak import soak_node_config
-        from repro.sim.powerdown_sim import ComparisonSimulator
         result = ComparisonSimulator(
             soak_node_config().replace(keep_timeseries=True,
                                        seed=14)).run()
