@@ -19,15 +19,27 @@ comparisons:
   process boundary) against the sharded shape (worker-side reduction
   to :class:`~repro.sim.fleet.NodeSummary`).  This is the payload
   reduction that made the streaming 10k-node soak fit under a fixed
-  memory ceiling.
+  memory ceiling;
+* **warm_start** — a tournament-shaped self-refresh grid (policies x
+  duration ladder) where every cell shares >=85% of its work with its
+  class's shortest cell: cold runs every cell from step 0, warm
+  simulates each distinct prefix once, snapshots it, and forks the
+  cells from the snapshot (:mod:`repro.exec.warmstart`).  Both legs
+  run serial (one worker), so the recorded speedup is purely prefix
+  sharing, not pool overlap, and holds on any host.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_exec.py
+
+``--check-warm-speedup X`` exits non-zero unless the recorded
+warm-start speedup is at least ``X`` (the CI gate asserts 2x).
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
 import json
 import os
 import platform
@@ -35,7 +47,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro.exec import ExecConfig, TaskSpec, run_tasks
+from repro.exec import (ExecConfig, TaskSpec, clear_prefix_memo, run_tasks,
+                        run_warm_task)
 from repro.host.scheduler import SchedulerConfig
 from repro.sim.fleet import FleetConfig, FleetSimulator
 from repro.sim.powerdown_sim import ComparisonSimulator, PowerDownSimConfig
@@ -49,6 +62,8 @@ SLEEP_S = 0.5
 FLEET_NODES = 16
 SHARD_SIZE = 4
 WORKERS = 4
+WARM_POLICIES = ("paper", "adaptive")
+WARM_DURATIONS_S = (2.0, 2.1, 2.2, 2.3)
 
 
 def _sleep(seconds: float) -> float:
@@ -148,7 +163,62 @@ def bench_result_bytes() -> dict:
     }
 
 
-def main() -> int:
+def bench_warm_start(repeats: int = 3) -> dict:
+    """Cold grid vs checkpoint/fork warm start, both strictly serial.
+
+    The grid is tournament-shaped: every policy runs a ladder of
+    durations on an otherwise identical config, so each policy's cells
+    form one prefix equivalence class whose shared span is the shortest
+    duration (>=85% of every cell here).  Cold simulates each cell from
+    step 0; warm simulates each class prefix once, snapshots it, and
+    forks the cells.  Best-of-``repeats`` per leg, like the fleet leg.
+    """
+    from repro.sim.experiments import EXPERIMENTS, run_experiment
+    from repro.sim.warm import plan_selfrefresh_grid
+    base = EXPERIMENTS["selfrefresh"].tiny_config()
+    cells = [dataclasses.replace(base, policy=policy, duration_s=duration)
+             for policy in WARM_POLICIES
+             for duration in WARM_DURATIONS_S]
+    plan = plan_selfrefresh_grid(cells)
+
+    def cold_leg():
+        return run_tasks([TaskSpec(fn=run_experiment,
+                                   args=("selfrefresh", cell))
+                          for cell in cells],
+                         config=ExecConfig(workers=1))
+
+    def warm_leg():
+        clear_prefix_memo()
+        return run_tasks(plan.tasks(), config=ExecConfig(workers=1))
+
+    cold = warm = None
+    cold_s = warm_s = float("inf")
+    for _ in range(repeats):
+        result, wall = _timed(cold_leg)
+        cold, cold_s = result, min(cold_s, wall)
+        result, wall = _timed(warm_leg)
+        warm, warm_s = result, min(warm_s, wall)
+    for a, b in zip(cold, warm):
+        if a.value.to_record().metrics != b.value.to_record().metrics:
+            raise AssertionError("warm-started cell diverged from cold run")
+    shortest, longest = min(WARM_DURATIONS_S), max(WARM_DURATIONS_S)
+    return {
+        "cells": len(cells),
+        "classes": plan.num_classes,
+        "shared_prefix_fraction": round(shortest / longest, 3),
+        "workers": 1,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check-warm-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless warm-start speedup >= X")
+    options = parser.parse_args(argv)
     cores = os.cpu_count() or 1
     print(f"host: {cores} core(s); overlap batch "
           f"({SLEEP_TASKS} x {SLEEP_S}s sleep)...")
@@ -165,6 +235,11 @@ def main() -> int:
     print(f"  flat {payload['flat_bytes_per_node']} B/node  sharded "
           f"{payload['sharded_bytes_per_node']} B/node  "
           f"reduction {payload['reduction_factor']}x")
+    print(f"warm start ({len(WARM_POLICIES)} policies x "
+          f"{len(WARM_DURATIONS_S)} durations, serial both legs)...")
+    warm = bench_warm_start()
+    print(f"  cold {warm['cold_s']}s  warm {warm['warm_s']}s  "
+          f"speedup {warm['speedup']}x")
     document = {
         "host": {
             "cpu_count": cores,
@@ -180,9 +255,15 @@ def main() -> int:
         "overlap": overlap,
         "fleet": fleet,
         "result_bytes": payload,
+        "warm_start": warm,
     }
     OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
+    if (options.check_warm_speedup is not None
+            and warm["speedup"] < options.check_warm_speedup):
+        print(f"FAIL: warm-start speedup {warm['speedup']}x < "
+              f"required {options.check_warm_speedup}x")
+        return 1
     return 0
 
 

@@ -1,0 +1,135 @@
+"""The stepping protocol: experiments as resumable state machines.
+
+Every registered experiment implements three methods on top of its
+existing ``run()``:
+
+* ``begin() -> state`` — build the full run state (controller,
+  workload generators, RNG streams, accumulators) without advancing it.
+* ``advance(state) -> bool`` — perform one unit of work (a simulation
+  step, one sweep cell, one fleet shard...); returns True while more
+  work remains.  Must be a no-op returning False once the run is
+  complete, so resuming from a final checkpoint is safe.
+* ``finish(state) -> result`` — summarise the state into the same
+  result object ``run()`` returns.
+
+``run()`` itself is (re)written as exactly
+``finish(drive(begin()))`` wherever feasible, so the stepped and
+monolithic paths cannot drift: bit-identity of a restored run is a
+property of construction, then *proven* by the restore-at-step-k suite
+in ``tests/checkpoint/``.
+
+The run *state* object must be picklable; :func:`checkpoint_state`
+captures it, :func:`resume_state` reconstructs it, and
+:func:`run_with_checkpoints` strings those into a preemptible run for
+``repro exp --checkpoint/--resume``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.checkpoint.state import (Checkpoint, CheckpointError,
+                                    load_checkpoint, restore,
+                                    save_checkpoint, snapshot)
+
+
+@runtime_checkable
+class Stepper(Protocol):
+    """An experiment that can run one unit of work at a time."""
+
+    name: str
+
+    def begin(self) -> Any:
+        """Build and return the initial run state."""
+
+    def advance(self, state: Any) -> bool:
+        """Do one unit of work; True while more remains."""
+
+    def finish(self, state: Any) -> Any:
+        """Summarise a completed (or to-be-abandoned) run state."""
+
+
+def run_stepped(stepper: Stepper) -> Any:
+    """Drive a stepper from ``begin`` to ``finish``; returns the result."""
+    state = stepper.begin()
+    while stepper.advance(state):
+        pass
+    return stepper.finish(state)
+
+
+def run_to_step(stepper: Stepper, steps: int) -> tuple[Any, int, bool]:
+    """Advance a fresh run by up to ``steps`` units.
+
+    Returns ``(state, steps_taken, more)`` where ``more`` is False when
+    the run completed before (or exactly at) the requested step count.
+    """
+    state = stepper.begin()
+    taken = 0
+    more = True
+    while more and taken < steps:
+        more = stepper.advance(state)
+        taken += 1
+    return state, taken, more
+
+
+def checkpoint_state(stepper: Stepper, state: Any, step: int,
+                     meta: dict[str, Any] | None = None) -> Checkpoint:
+    """Capture a stepper's run state as a versioned checkpoint."""
+    return snapshot(stepper.name, step, state, meta=meta)
+
+
+def resume_state(stepper: Stepper, checkpoint: Checkpoint) -> Any:
+    """Reconstruct a run state captured from the same experiment kind."""
+    if checkpoint.kind != stepper.name:
+        raise CheckpointError(
+            f"checkpoint is for {checkpoint.kind!r}, "
+            f"not {stepper.name!r}")
+    return restore(checkpoint)
+
+
+def run_with_checkpoints(stepper: Stepper, path: str | None = None,
+                         every: int = 0, resume: bool = False,
+                         on_step: Callable[[int], None] | None = None) -> Any:
+    """Run a stepper to completion, periodically persisting its state.
+
+    Args:
+        stepper: The experiment to drive.
+        path: Checkpoint file.  ``None`` disables persistence (the run
+            is then just :func:`run_stepped`).
+        every: Save every N advances (0 = only on completion).
+        resume: Start from the state in ``path`` when it exists; a
+            missing file falls back to a fresh ``begin()``.
+        on_step: Optional progress callback, called with the step count
+            after each advance.
+
+    Returns:
+        The experiment result, exactly as ``run()`` would produce it.
+    """
+    step = 0
+    state = None
+    if resume and path is not None and os.path.exists(path):
+        checkpoint = load_checkpoint(path)
+        state = resume_state(stepper, checkpoint)
+        step = checkpoint.step
+    if state is None:
+        state = stepper.begin()
+    more = True
+    while more:
+        more = stepper.advance(state)
+        step += 1
+        if on_step is not None:
+            on_step(step)
+        if path is not None and ((every and step % every == 0) or not more):
+            save_checkpoint(checkpoint_state(stepper, state, step), path)
+    return stepper.finish(state)
+
+
+__all__ = [
+    "Stepper",
+    "run_stepped",
+    "run_to_step",
+    "checkpoint_state",
+    "resume_state",
+    "run_with_checkpoints",
+]

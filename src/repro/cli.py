@@ -13,6 +13,8 @@ Usage::
     python -m repro chaos [--quick]     # fault-injection reliability soak
     python -m repro tournament [--quick]  # policy Pareto tournament
     python -m repro exp --list          # unified experiment registry
+    python -m repro exp --name chaos --checkpoint run.ckpt --resume
+    python -m repro cache prune --max-mb 256   # cap the on-disk cache
     python -m repro tables              # Tables 5 and 6 + Section 6.1
     python -m repro stats [--json]      # telemetry snapshot of a short run
     python -m repro all [--quick]       # everything, JSON to --output
@@ -26,6 +28,11 @@ The heavy simulations dispatch through the unified experiment registry
 multi-point commands out over processes, and a per-invocation result
 cache keeps ``repro all`` from simulating the same capacity point twice
 (fig14 and fig15 share their self-refresh runs).
+
+``repro exp --checkpoint PATH`` runs the named experiment through the
+stepping protocol (:mod:`repro.checkpoint`), persisting its state every
+``--checkpoint-every`` units of work; ``--resume`` restarts a preempted
+run from the saved state and is bit-identical to the uninterrupted run.
 """
 
 from __future__ import annotations
@@ -410,6 +417,22 @@ def cmd_validate(args: argparse.Namespace) -> list[ExperimentRecord]:
         "problems": problems})]
 
 
+def _run_checkpointed(spec: Any, args: argparse.Namespace) -> Any:
+    """Run one experiment through the stepping protocol with persistence."""
+    import os
+
+    from repro.sim.stepping import make_stepper, run_with_checkpoints
+    resuming = args.resume and os.path.exists(args.checkpoint)
+    every = args.checkpoint_every
+    print(f"{'Resuming' if resuming else 'Running'} {spec.name} with "
+          f"checkpoints at {args.checkpoint!r} "
+          f"({'every ' + str(every) + ' steps' if every else 'final only'})"
+          "...")
+    stepper = make_stepper(spec.name, spec.tiny_config())
+    return run_with_checkpoints(stepper, path=args.checkpoint,
+                                every=every, resume=args.resume)
+
+
 def cmd_exp(args: argparse.Namespace) -> list[ExperimentRecord]:
     """Run a registered experiment by name (on its smoke-test config)."""
     if args.list or not args.name:
@@ -422,8 +445,11 @@ def cmd_exp(args: argparse.Namespace) -> list[ExperimentRecord]:
     if spec is None:
         raise SystemExit(f"unknown experiment {args.name!r}; "
                          f"choices: {sorted(EXPERIMENTS)}")
-    print(f"Running {spec.name} on its smoke-test config...")
-    result = _run_experiment(spec.name, spec.tiny_config(), args)
+    if args.checkpoint:
+        result = _run_checkpointed(spec, args)
+    else:
+        print(f"Running {spec.name} on its smoke-test config...")
+        result = _run_experiment(spec.name, spec.tiny_config(), args)
     record = result.to_record()
     rows = [(key, f"{value:.6g}" if isinstance(value, float) else str(value))
             for key, value in sorted(record.metrics.items())]
@@ -507,6 +533,38 @@ def cmd_tournament(args: argparse.Namespace) -> list[ExperimentRecord]:
     return [result.to_record()]
 
 
+def cmd_cache(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Inspect or prune the on-disk result cache (REPRO_EXEC_CACHE_DIR)."""
+    from repro.exec import EXEC_METRICS
+    cache = ResultCache()
+    if cache.directory is None:
+        print("Result cache is memory-only: set REPRO_EXEC_CACHE_DIR to "
+              "enable a persistent on-disk cache.")
+        return []
+    action = args.action or "stats"
+    total = cache.total_bytes()
+    evicted = 0
+    if action == "prune":
+        max_bytes = int(args.max_mb * 1024 * 1024)
+        evicted = cache.prune(max_bytes)
+        EXEC_METRICS.counter("exec.cache_evictions").inc(evicted)
+        total = cache.total_bytes()
+    elif action != "stats":
+        raise SystemExit(f"unknown cache action {action!r}; "
+                         "choices: ['prune', 'stats']")
+    EXEC_METRICS.gauge("exec.cache_bytes").set(total)
+    rows = [("directory", str(cache.directory), ""),
+            ("entries", str(len(cache)), ""),
+            ("size", format_bytes(total), "")]
+    if action == "prune":
+        rows.append(("evicted", str(evicted),
+                     f"LRU by mtime, cap {args.max_mb:g} MiB"))
+    _print("Result cache", rows, header=("metric", "value", "note"))
+    return [ExperimentRecord("cache", {"cache_bytes": total,
+                                       "entries": len(cache),
+                                       "evicted": evicted})]
+
+
 def cmd_all(args: argparse.Namespace) -> list[ExperimentRecord]:
     # Warm the session cache: every heavy simulation the subcommands
     # below will ask for, fanned out in one executor batch.  The
@@ -540,6 +598,7 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "chaos": cmd_chaos,
     "tournament": cmd_tournament,
     "exp": cmd_exp,
+    "cache": cmd_cache,
     "validate": cmd_validate,
     "tables": cmd_tables,
     "stats": cmd_stats,
@@ -554,6 +613,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the DTL paper's experiments (ISCA 2023).")
     parser.add_argument("command", choices=sorted(COMMANDS),
                         help="experiment to run")
+    parser.add_argument("action", nargs="?", default=None,
+                        help="subaction for 'cache' (prune|stats)")
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed (default 0)")
     parser.add_argument("--quick", action="store_true",
@@ -574,6 +635,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the experiment registry with 'exp'")
     parser.add_argument("--json", action="store_true",
                         help="emit the stats snapshot as raw JSON")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="run 'exp' through the stepping protocol, "
+                             "persisting run state to PATH")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume 'exp' from the --checkpoint file "
+                             "when it exists")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="save every N units of work "
+                             "(default: only on completion)")
+    parser.add_argument("--max-mb", type=float, default=256.0,
+                        help="size cap for 'cache prune' (default 256)")
     parser.add_argument("--output", default=None,
                         help="write JSON records to this path")
     return parser

@@ -129,6 +129,55 @@ class TranslationTables:
     def _slice_base(self, host_id: int, au_id: int) -> int:
         return self._prefix(host_id, au_id) << self.layout.au_offset_bits
 
+    def _make_slice(self, host_id: int, au_id: int) -> AuMappingSlice:
+        """Build the view object aliasing ``_forward`` for one AU."""
+        base = self._slice_base(host_id, au_id)
+        segments = self.layout.segments_per_au
+        return AuMappingSlice(au_id, segments,
+                              backing=self._forward[base:base + segments])
+
+    # -- serialisation --------------------------------------------------------
+
+    def __getstate__(self):
+        # The AuMappingSlice objects alias _forward; pickling them as-is
+        # would materialise independent copies and silently break the
+        # aliasing on load.  Serialise just the AU ids and rebuild the
+        # views in __setstate__.
+        state = self.__dict__.copy()
+        state["_hosts"] = {host_id: sorted(aus)
+                          for host_id, aus in self._hosts.items()}
+        return state
+
+    def __setstate__(self, state):
+        host_aus = state.pop("_hosts")
+        self.__dict__.update(state)
+        self._hosts = {
+            host_id: {au_id: self._make_slice(host_id, au_id)
+                      for au_id in au_ids}
+            for host_id, au_ids in host_aus.items()}
+
+    def state_dict(self) -> dict:
+        """All mapping state as plain data (arrays are copies)."""
+        return {"forward": self._forward.copy(),
+                "au_allocated": self._au_allocated.copy(),
+                "hosts": {host_id: sorted(aus)
+                          for host_id, aus in self._hosts.items()},
+                "reverse": dict(self._reverse)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (same layout required)."""
+        if len(state["forward"]) != len(self._forward):
+            raise ValueError(
+                "forward table size mismatch: checkpoint was taken with "
+                "a different address layout")
+        self._forward[:] = state["forward"]
+        self._au_allocated[:] = state["au_allocated"]
+        self._reverse = dict(state["reverse"])
+        self._hosts = {
+            host_id: {au_id: self._make_slice(host_id, au_id)
+                      for au_id in au_ids}
+            for host_id, au_ids in state["hosts"].items()}
+
     # -- AU lifecycle ---------------------------------------------------------
 
     def register_host(self, host_id: int) -> None:
@@ -146,11 +195,9 @@ class TranslationTables:
                 f"AU {au_id} of host {host_id} already allocated")
         if not 0 <= au_id < self.layout.max_aus_per_host:
             raise AddressError(f"au_id {au_id} out of range")
-        base = self._slice_base(host_id, au_id)
-        segments = self.layout.segments_per_au
-        backing = self._forward[base:base + segments]
-        backing[:] = UNMAPPED
-        aus[au_id] = AuMappingSlice(au_id, segments, backing=backing)
+        au_slice = self._make_slice(host_id, au_id)
+        au_slice._dsns[:] = UNMAPPED
+        aus[au_id] = au_slice
         self._au_allocated[self._prefix(host_id, au_id)] = True
         return aus[au_id]
 

@@ -9,6 +9,14 @@ an error.
 The default directory comes from ``REPRO_EXEC_CACHE_DIR``; when unset
 the cache is memory-only (it still deduplicates work within one
 process, e.g. across the ``repro all`` subcommands).
+
+A persistent directory grows without bound as configs and code evolve
+(stale keys are never rewritten), so the cache supports size-capped
+pruning: :meth:`ResultCache.prune` evicts least-recently-*used* entries
+(by file mtime — reads touch the file, so a hit refreshes recency)
+until the directory fits the cap.  ``repro cache prune --max-mb`` is
+the CLI face; ``exec.cache_bytes`` / ``exec.cache_evictions`` report
+the footprint and eviction count.
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ class ResultCache:
             else:
                 self._memory[key] = value
                 self.hits += 1
+                self._touch(path)
                 return True, value
         self.misses += 1
         return False, None
@@ -78,6 +87,61 @@ class ResultCache:
                 os.unlink(temp_name)
             except OSError:
                 pass
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh ``path``'s mtime so LRU pruning sees the use."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def total_bytes(self) -> int:
+        """Total size of the on-disk entries (0 when memory-only)."""
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until the disk cache fits.
+
+        Recency is file mtime: every ``put`` writes and every disk
+        ``get`` touches, so eviction order tracks actual use, not
+        creation.  Evicted keys are also dropped from the memory layer
+        (a later ``get`` must not resurrect a pruned entry from this
+        process's dict while other processes miss).  Returns the number
+        of entries evicted; memory-only caches never evict.
+        """
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()  # oldest mtime first
+        evicted = 0
+        for mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._memory.pop(path.stem, None)
+            total -= size
+            evicted += 1
+        return evicted
 
     def clear(self) -> None:
         """Drop every entry (memory and disk)."""

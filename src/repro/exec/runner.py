@@ -483,6 +483,8 @@ def run_tasks(tasks: list[TaskSpec], config: ExecConfig | None = None,
                 cache.put(key, outcome.value)
     meter.metrics.gauge("exec.last_batch_wall_s").set(
         time.perf_counter() - batch_start)
+    if cache is not None:
+        meter.metrics.gauge("exec.cache_bytes").set(cache.total_bytes())
     return outcomes  # type: ignore[return-value]
 
 

@@ -1,0 +1,232 @@
+"""Checkpoint/fork warm-start: simulate shared prefixes once.
+
+A parameter sweep (tournament grid, duration ladder, sensitivity scan)
+often contains cells that are *identical* for their first K units of
+work — same controller build, same workload replay, same RNG stream —
+and only diverge afterwards.  The cold executor simulates that shared
+prefix once per cell.  This module teaches the exec layer to simulate
+each distinct prefix once per worker process, snapshot the run state
+(:mod:`repro.checkpoint`), and fork every cell in the equivalence class
+from the snapshot:
+
+* :class:`PrefixSpec` — one cell split into (shared-prefix key,
+  stepper factories).  The *prefix key* identifies the equivalence
+  class; cells with equal keys share a snapshot.
+* :func:`run_warm_task` — the picklable task body: obtain the prefix
+  snapshot (per-process memo, then spilled snapshot in the
+  :class:`~repro.exec.cache.ResultCache`, then compute), fork it, and
+  drive the divergent suffix to the result.
+* :func:`warm_task_key` — folds the checkpoint identity (prefix key,
+  prefix step count, format version) into
+  :func:`~repro.exec.hashing.task_key`, so a warm-started result can
+  never collide with a cold-started one in the result cache.
+
+Layering: this module knows nothing about simulators.  The experiment
+side (``repro.sim.warm``) decides *which* cells share a prefix and how
+to retarget a prefix state at a cell's full workload; this side only
+memoises, forks, and accounts.  Snapshot bytes are the fork medium on
+purpose — ``pickle.loads`` of the captured blob is exactly the restore
+path the checkpoint contract proves bit-identical.
+
+Accounting (on the task's metrics registry, under ``exec.``):
+``warm.prefix_runs`` (prefixes simulated), ``warm.forks`` (cells forked
+from a snapshot), ``warm.memo_hits`` / ``warm.spill_hits`` (snapshot
+reuse from the in-process memo / the spilled cache entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.checkpoint import (CHECKPOINT_VERSION, Checkpoint, restore,
+                              snapshot)
+from repro.exec.cache import ResultCache
+from repro.exec.hashing import task_key
+from repro.exec.runner import EXEC_METRICS, TaskSpec
+
+#: Per-process snapshot memo: prefix key -> checkpoint.  Worker
+#: processes fill it on first use; every later cell of the same
+#: equivalence class forks from memory without touching disk.
+_PREFIX_MEMO: dict[str, Checkpoint] = {}
+
+#: Result-cache key prefix for spilled prefix snapshots.
+_SPILL_PREFIX = "warmstart-prefix"
+
+
+def clear_prefix_memo() -> None:
+    """Drop every memoised prefix snapshot (tests, memory pressure)."""
+    _PREFIX_MEMO.clear()
+
+
+def prefix_memo_size() -> int:
+    """Number of prefix snapshots currently memoised in this process."""
+    return len(_PREFIX_MEMO)
+
+
+@dataclass(frozen=True)
+class PrefixSpec:
+    """One sweep cell split into a shared prefix and a divergent suffix.
+
+    Attributes:
+        experiment: Experiment name (labels, cache keys).
+        prefix_key: Stable hash identifying the prefix equivalence
+            class — typically ``stable_hash`` of the cell config with
+            the divergent fields normalised out plus the prefix length.
+        prefix_steps: ``advance()`` calls the shared prefix covers.
+        make_prefix_stepper: Builds the stepper that simulates the
+            *prefix* (the cell config truncated to the shared span).
+        make_stepper: Builds the stepper for the *full* cell.
+        retarget: ``(stepper, state) -> None`` — mutate a restored
+            prefix state so that driving it to completion under the full
+            cell's stepper yields the cell's result (e.g. raise
+            ``state.num_steps`` to the cell's own duration).
+    """
+
+    experiment: str
+    prefix_key: str
+    prefix_steps: int
+    make_prefix_stepper: Callable[[], Any]
+    make_stepper: Callable[[], Any]
+    retarget: Callable[[Any, Any], None]
+
+
+@dataclass
+class WarmOutcomeMeta:
+    """How one warm task obtained its prefix (telemetry sidecar)."""
+
+    prefix_key: str
+    source: str  # "memo" | "spill" | "computed"
+
+
+def warm_task_key(spec: PrefixSpec, config: Any,
+                  context: Any = None) -> str:
+    """Cache key of a warm-started cell.
+
+    Folds the prefix identity (key, step count, checkpoint format
+    version) into the normal :func:`task_key` context, so warm and cold
+    runs of the same config key apart if the prefix machinery ever
+    changes what it computes.
+    """
+    warm_context = {
+        "warm_start": {
+            "prefix": spec.prefix_key,
+            "prefix_steps": spec.prefix_steps,
+            "version": CHECKPOINT_VERSION,
+        }
+    }
+    if context is not None:
+        warm_context["ambient"] = context
+    return task_key(spec.experiment, config, context=warm_context)
+
+
+def _obtain_prefix(spec: PrefixSpec,
+                   cache: ResultCache | None) -> tuple[Checkpoint, str]:
+    """The prefix snapshot: memo, then spilled cache entry, then compute."""
+    checkpoint = _PREFIX_MEMO.get(spec.prefix_key)
+    if checkpoint is not None:
+        return checkpoint, "memo"
+    if cache is not None:
+        hit, blob = cache.get(f"{_SPILL_PREFIX}-{spec.prefix_key}")
+        if hit and isinstance(blob, Checkpoint) \
+                and blob.version == CHECKPOINT_VERSION:
+            _PREFIX_MEMO[spec.prefix_key] = blob
+            return blob, "spill"
+    stepper = spec.make_prefix_stepper()
+    state = stepper.begin()
+    taken = 0
+    more = True
+    while more and taken < spec.prefix_steps:
+        more = stepper.advance(state)
+        taken += 1
+    checkpoint = snapshot(spec.experiment, taken, state,
+                          meta={"prefix_key": spec.prefix_key})
+    _PREFIX_MEMO[spec.prefix_key] = checkpoint
+    if cache is not None:
+        cache.put(f"{_SPILL_PREFIX}-{spec.prefix_key}", checkpoint)
+    return checkpoint, "computed"
+
+
+def run_warm_task(spec: PrefixSpec,
+                  cache: ResultCache | None = None) -> Any:
+    """Execute one cell by forking its shared prefix; returns the result.
+
+    The fork medium is the snapshot's pickled blob: ``restore`` gives
+    this cell a private copy of the prefix state (aliasing intact), the
+    ``retarget`` hook points it at the cell's full workload, and the
+    cell's own stepper drives the divergent suffix.
+    """
+    checkpoint, source = _obtain_prefix(spec, cache)
+    meter = EXEC_METRICS
+    meter.counter("exec.warm.forks").inc()
+    if source == "computed":
+        meter.counter("exec.warm.prefix_runs").inc()
+    else:
+        meter.counter(f"exec.warm.{source}_hits").inc()
+    state = restore(checkpoint)
+    stepper = spec.make_stepper()
+    spec.retarget(stepper, state)
+    while stepper.advance(state):
+        pass
+    return stepper.finish(state)
+
+
+def warm_task_spec(spec: PrefixSpec, config: Any,
+                   cache: ResultCache | None = None,
+                   context: Any = None,
+                   label: str | None = None,
+                   cacheable: bool = True) -> TaskSpec:
+    """Wrap one warm cell as an executor task.
+
+    The task's cache key is :func:`warm_task_key`; the spilled-snapshot
+    cache rides along as a positional argument (it is process-local
+    state plus a directory path, both picklable).
+    """
+    key = warm_task_key(spec, config, context=context) if cacheable else None
+    return TaskSpec(fn=run_warm_task, args=(spec, cache), key=key,
+                    label=label or f"warm:{spec.experiment}",
+                    cpu_bound=True)
+
+
+@dataclass
+class WarmStartPlan:
+    """A batch of sweep cells grouped by shared prefix.
+
+    Built by the experiment layer (see
+    :func:`repro.sim.warm.plan_selfrefresh_grid`); consumed by
+    :func:`run_tasks` via :meth:`tasks`.  ``run_tasks(stream=...)`` and
+    sharding compose unchanged — warm tasks are ordinary
+    :class:`TaskSpec` objects whose bodies happen to share snapshots.
+    """
+
+    specs: list[PrefixSpec] = field(default_factory=list)
+    configs: list[Any] = field(default_factory=list)
+
+    def add(self, spec: PrefixSpec, config: Any) -> None:
+        self.specs.append(spec)
+        self.configs.append(config)
+
+    @property
+    def num_classes(self) -> int:
+        """Distinct prefix equivalence classes in the plan."""
+        return len({spec.prefix_key for spec in self.specs})
+
+    def tasks(self, cache: ResultCache | None = None,
+              context: Any = None,
+              cacheable: bool = True) -> list[TaskSpec]:
+        """One executor task per cell, in plan order."""
+        return [warm_task_spec(spec, config, cache=cache, context=context,
+                               cacheable=cacheable)
+                for spec, config in zip(self.specs, self.configs)]
+
+
+__all__ = [
+    "PrefixSpec",
+    "WarmOutcomeMeta",
+    "WarmStartPlan",
+    "clear_prefix_memo",
+    "prefix_memo_size",
+    "run_warm_task",
+    "warm_task_key",
+    "warm_task_spec",
+]

@@ -177,6 +177,16 @@ class _Clock:
         self.now_ns += accesses * self.period_ns
 
 
+@dataclass
+class ChaosRunState:
+    """Level progress of one stepped chaos campaign."""
+
+    base: FaultPlan
+    reports: list[ReliabilityReport] = field(default_factory=list)
+    snapshot: dict[str, Any] = field(default_factory=dict)
+    level: int = 0
+
+
 class ChaosSoakExperiment:
     """Escalating fault-injection soak over the full DTL datapath."""
 
@@ -187,16 +197,38 @@ class ChaosSoakExperiment:
 
     def run(self) -> ChaosSoakResult:
         """Run every escalation level; returns the combined result."""
-        reports: list[ReliabilityReport] = []
-        snapshot: dict[str, Any] = {}
-        base = self.config.base_plan()
-        for level in range(self.config.levels):
-            report, snapshot = self._run_level(base.escalated(level))
-            reports.append(report)
-        combined = ReliabilityReport.combine(reports)
-        combined.plan_name = base.name
+        state = self.begin()
+        while self.advance(state):
+            pass
+        return self.finish(state)
+
+    # -- stepped execution -------------------------------------------------------
+    # One escalation level per advance.  Each level builds its own fresh
+    # controller, injector, and RNG (from the level plan's name), so a
+    # checkpoint between levels carries only the completed reports.
+
+    def begin(self) -> "ChaosRunState":
+        """Derive the level-0 plan; no levels have run yet."""
+        return ChaosRunState(base=self.config.base_plan())
+
+    def advance(self, state: "ChaosRunState") -> bool:
+        """Run one escalation level; True while more remain after."""
+        if state.level >= self.config.levels:
+            return False
+        report, snapshot = self._run_level(
+            state.base.escalated(state.level))
+        state.reports.append(report)
+        state.snapshot = snapshot
+        state.level += 1
+        return state.level < self.config.levels
+
+    def finish(self, state: "ChaosRunState") -> ChaosSoakResult:
+        """Combine the level reports into the campaign verdict."""
+        combined = ReliabilityReport.combine(state.reports)
+        combined.plan_name = state.base.name
         return ChaosSoakResult(config=self.config, report=combined,
-                               level_reports=reports, snapshot=snapshot)
+                               level_reports=state.reports,
+                               snapshot=state.snapshot)
 
     # -- one level ---------------------------------------------------------------
 
@@ -325,5 +357,5 @@ class ChaosSoakExperiment:
             dtype=np.int64)
 
 
-__all__ = ["DRAIN_STEP_LIMIT", "ChaosSoakConfig", "ChaosSoakResult",
-           "ChaosSoakExperiment"]
+__all__ = ["DRAIN_STEP_LIMIT", "ChaosRunState", "ChaosSoakConfig",
+           "ChaosSoakResult", "ChaosSoakExperiment"]

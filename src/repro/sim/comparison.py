@@ -47,6 +47,28 @@ class ComparisonResult:
                 flatten_selfrefresh(self.ramzzz).items()}})
 
 
+@dataclass
+class RamzzzRunState:
+    """Loop state of one RAMZzz replay — one window step per advance."""
+
+    rng: np.random.Generator
+    inner: SelfRefreshSimulator
+    controller: object
+    policy: RamzzzPolicy
+    hsns: np.ndarray
+    dsns: np.ndarray
+    step_s: float
+    p_touch: np.ndarray
+    active_per_channel: int
+    baseline_power: float
+    active_power: float
+    steps: list[StepRecord]
+    num_steps: int
+    epoch_steps: int
+    migrated_before: int = 0
+    step: int = 0
+
+
 class RamzzzSimulator:
     """Drives :class:`RamzzzPolicy` with the windowed replay model."""
 
@@ -59,8 +81,8 @@ class RamzzzSimulator:
             victim_granularity=config.group_granularity)
         self._dtl_sim = SelfRefreshSimulator(config)
 
-    def run(self) -> tuple[SelfRefreshResult, RamzzzPolicy]:
-        """Replay the experiment; returns (result, policy)."""
+    def begin(self) -> RamzzzRunState:
+        """Build the shared substrate with RAMZzz in place of DTL SR."""
         config = self.config
         rng = np.random.default_rng(config.seed)
         # Build the same substrate, minus the DTL SR policy.
@@ -85,35 +107,61 @@ class RamzzzSimulator:
                               config.aggregate_bandwidth_gbs))
         active_power = power_model.active_power(
             config.aggregate_bandwidth_gbs)
+        return RamzzzRunState(
+            rng=rng, inner=inner, controller=controller, policy=policy,
+            hsns=hsns, dsns=dsns, step_s=step_s, p_touch=p_touch,
+            active_per_channel=active_per_channel,
+            baseline_power=baseline_power, active_power=active_power,
+            steps=[], num_steps=int(config.duration_s / step_s),
+            epoch_steps=max(1, int(self.ramzzz_config.epoch_ns
+                                   / config.step_ns)))
 
-        steps: list[StepRecord] = []
-        num_steps = int(config.duration_s / step_s)
-        epoch_steps = max(1, int(self.ramzzz_config.epoch_ns
-                                 / config.step_ns))
-        migrated_before = 0
-        for step in range(num_steps):
-            now_ns = (step + 1) * config.step_ns
-            touched_mask = rng.random(len(dsns)) < p_touch
-            policy.on_batch(dsns[touched_mask], now_ns)
-            if (step + 1) % epoch_steps == 0:
-                policy.end_epoch(now_ns)
-                dsns = inner._dsn_of(controller, hsns)
-            migrated_now = policy.migrated_bytes_total
-            step_migrated = migrated_now - migrated_before
-            migrated_before = migrated_now
-            counts = device.state_counts()
-            migration_power = (power_model.active_power_per_gbs
-                               * step_migrated / 1e9) / step_s
-            steps.append(StepRecord(
-                time_s=step * step_s,
-                sr_ranks=counts[PowerState.SELF_REFRESH],
-                background_power=power_model.background_power(counts)
-                + active_power,
-                migration_power=migration_power))
+    def advance(self, state: RamzzzRunState) -> bool:
+        """Replay one step if any remain; True while more remain after."""
+        if state.step >= state.num_steps:
+            return False
+        config = self.config
+        controller = state.controller
+        policy = state.policy
+        device = controller.device
+        power_model = device.power_model
 
-        result = self._summarise(config, steps, baseline_power,
-                                 active_per_channel, policy)
-        return result, policy
+        step = state.step
+        now_ns = (step + 1) * config.step_ns
+        touched_mask = state.rng.random(len(state.dsns)) < state.p_touch
+        policy.on_batch(state.dsns[touched_mask], now_ns)
+        if (step + 1) % state.epoch_steps == 0:
+            policy.end_epoch(now_ns)
+            state.dsns = state.inner._dsn_of(controller, state.hsns)
+        migrated_now = policy.migrated_bytes_total
+        step_migrated = migrated_now - state.migrated_before
+        state.migrated_before = migrated_now
+        counts = device.state_counts()
+        migration_power = (power_model.active_power_per_gbs
+                           * step_migrated / 1e9) / state.step_s
+        state.steps.append(StepRecord(
+            time_s=step * state.step_s,
+            sr_ranks=counts[PowerState.SELF_REFRESH],
+            background_power=power_model.background_power(counts)
+            + state.active_power,
+            migration_power=migration_power))
+        state.step += 1
+        return state.step < state.num_steps
+
+    def finish(self, state: RamzzzRunState
+               ) -> tuple[SelfRefreshResult, RamzzzPolicy]:
+        """Summarise a fully-advanced state; returns (result, policy)."""
+        result = self._summarise(self.config, state.steps,
+                                 state.baseline_power,
+                                 state.active_per_channel, state.policy)
+        return result, state.policy
+
+    def run(self) -> tuple[SelfRefreshResult, RamzzzPolicy]:
+        """Replay the experiment; returns (result, policy)."""
+        state = self.begin()
+        while self.advance(state):
+            pass
+        return self.finish(state)
 
     def _summarise(self, config, steps, baseline_power, active_per_channel,
                    policy) -> SelfRefreshResult:
@@ -146,6 +194,19 @@ def compare_policies(config: SelfRefreshSimConfig,
                             ramzzz_wakeups=policy.wakeups)
 
 
+@dataclass
+class PolicyComparisonRunState:
+    """Both policies' replays, advanced one step at a time: the DTL leg
+    runs to completion first (matching :func:`compare_policies`' serial
+    order), then the RAMZzz leg."""
+
+    dtl_sim: SelfRefreshSimulator
+    dtl_state: object
+    ramzzz_sim: RamzzzSimulator
+    ramzzz_state: RamzzzRunState
+    dtl_done: bool = False
+
+
 class PolicyComparisonExperiment:
     """Registry adapter: DTL-vs-RAMZzz head-to-head from one SR config."""
 
@@ -156,10 +217,38 @@ class PolicyComparisonExperiment:
         self.config = config or SelfRefreshSimConfig()
         self.ramzzz = ramzzz
 
+    def begin(self) -> PolicyComparisonRunState:
+        """Open both legs on identical configurations."""
+        dtl_sim = SelfRefreshSimulator(self.config)
+        ramzzz_sim = RamzzzSimulator(self.config, self.ramzzz)
+        return PolicyComparisonRunState(
+            dtl_sim=dtl_sim, dtl_state=dtl_sim.begin(),
+            ramzzz_sim=ramzzz_sim, ramzzz_state=ramzzz_sim.begin())
+
+    def advance(self, state: PolicyComparisonRunState) -> bool:
+        """One step of whichever leg is currently running."""
+        if not state.dtl_done:
+            if not state.dtl_sim.advance(state.dtl_state):
+                state.dtl_done = True
+            return True  # the RAMZzz leg still has work
+        return state.ramzzz_sim.advance(state.ramzzz_state)
+
+    def finish(self, state: PolicyComparisonRunState) -> ComparisonResult:
+        """Pair both fully-advanced legs into the comparison result."""
+        dtl_result = state.dtl_sim.finish(state.dtl_state)
+        ramzzz_result, policy = state.ramzzz_sim.finish(state.ramzzz_state)
+        return ComparisonResult(dtl=dtl_result, ramzzz=ramzzz_result,
+                                ramzzz_demotions=policy.demotions,
+                                ramzzz_wakeups=policy.wakeups)
+
     def run(self) -> ComparisonResult:
         """Run both policies on the configured experiment."""
-        return compare_policies(self.config, self.ramzzz)
+        state = self.begin()
+        while self.advance(state):
+            pass
+        return self.finish(state)
 
 
-__all__ = ["ComparisonResult", "RamzzzSimulator",
-           "PolicyComparisonExperiment", "compare_policies"]
+__all__ = ["ComparisonResult", "RamzzzRunState", "RamzzzSimulator",
+           "PolicyComparisonRunState", "PolicyComparisonExperiment",
+           "compare_policies"]

@@ -44,7 +44,8 @@ import numpy as np
 from repro.analysis.tco import TcoModel
 from repro.cxl.pool import (PoolContention, PoolContentionConfig, PoolStats,
                             pool_contention)
-from repro.exec import ExecConfig, run_tasks, shard_tasks
+from repro.exec import (ExecConfig, TaskOutcome, run_shard, run_tasks,
+                        shard_slices, shard_tasks)
 from repro.host.scheduler import SchedulerConfig
 from repro.sim.powerdown_sim import (ComparisonSimulator,
                                      PowerDownComparisonResult,
@@ -486,11 +487,74 @@ class FleetSimulator:
                            exec_telemetry=metrics.snapshot().to_dict(),
                            counter_fold=accumulator.counter_fold)
 
+    # -- stepped execution -----------------------------------------------------
+    # One shard per advance, executed in-process through the exact same
+    # worker-side fold (:func:`repro.exec.sharding.run_shard`) and the
+    # same submission-order streaming fold, so the stepped fleet result
+    # is bit-identical to :meth:`run` in every execution mode (the
+    # determinism contract of the shard fan-out).  Only the
+    # ``exec_telemetry`` side channel differs — it is explicitly not
+    # part of :meth:`FleetResult.to_record`.
+
+    def begin(self) -> "FleetRunState":
+        """Plan the shards and open the streaming accumulator."""
+        config = self.config
+        exec_config = self._exec_config()
+        runner = _NodeRunner(node=config.node, base_seed=config.base_seed,
+                             fail_seeds=tuple(self.fail_seeds))
+        reducer = _FleetShardReducer(base_seed=config.base_seed)
+        slices = shard_slices(config.num_nodes, config.shard_size)
+        return FleetRunState(
+            runner=runner, reducer=reducer, slices=slices,
+            item_retries=exec_config.retries,
+            accumulator=_FleetAccumulator(slices=slices,
+                                          base_seed=config.base_seed))
+
+    def advance(self, state: "FleetRunState") -> bool:
+        """Run one pending shard; True while more remain after."""
+        if state.shard_index >= len(state.slices):
+            return False
+        start, stop = state.slices[state.shard_index]
+        try:
+            aggregate = run_shard(state.runner, state.reducer, start, stop,
+                                  item_retries=state.item_retries)
+        except Exception as exc:  # shard-level failure: all nodes fail
+            outcome = TaskOutcome(label=f"fleet-shard[{start}:{stop}]",
+                                  error=f"{type(exc).__name__}: {exc}")
+        else:
+            outcome = TaskOutcome(label=f"fleet-shard[{start}:{stop}]",
+                                  value=aggregate)
+        state.accumulator.stream(state.shard_index, outcome)
+        state.shard_index += 1
+        return state.shard_index < len(state.slices)
+
+    def finish(self, state: "FleetRunState") -> FleetResult:
+        """Assemble the aggregate from the streamed shard folds."""
+        accumulator = state.accumulator
+        return FleetResult(config=self.config, nodes=accumulator.nodes,
+                           failures=accumulator.failures,
+                           exec_telemetry=MetricsRegistry()
+                           .snapshot().to_dict(),
+                           counter_fold=accumulator.counter_fold)
+
+
+@dataclass
+class FleetRunState:
+    """Shard progress of one stepped fleet run."""
+
+    runner: _NodeRunner
+    reducer: _FleetShardReducer
+    slices: list[tuple[int, int]]
+    item_retries: int
+    accumulator: _FleetAccumulator
+    shard_index: int = 0
+
 
 __all__ = [
     "CounterFold",
     "FleetConfig",
     "FleetResult",
+    "FleetRunState",
     "FleetSimulator",
     "NodeFailure",
     "NodeSummary",

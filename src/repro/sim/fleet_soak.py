@@ -144,52 +144,91 @@ class FleetSoakExperiment:
                           shard_size=config.shard_size,
                           hosts_per_rack=config.hosts_per_rack)
 
-    def run(self) -> FleetSoakResult:
+    # -- stepped execution -----------------------------------------------------
+    # One whole fleet leg per advance (serial, then the optional
+    # parallel-verification leg).  Wall times and RSS are measured, not
+    # simulated — they are the only fields that differ between a stepped
+    # and a one-shot soak.
+
+    def begin(self) -> "FleetSoakRunState":
+        """Record the starting RSS; no legs have run yet."""
+        return FleetSoakRunState(rss_before_mb=peak_rss_mb())
+
+    def advance(self, state: "FleetSoakRunState") -> bool:
+        """Run one pending leg; True while more remain after."""
         config = self.config
         rack_config = self._rack_config()
-        rss_before = peak_rss_mb()
-
-        start = time.perf_counter()
-        serial = FleetSimulator(rack_config,
-                                ExecConfig(workers=1)).run()
-        serial_wall = time.perf_counter() - start
-        serial_savings = serial.fleet_savings
-        rack_report = serial.rack_report()
-        nodes_ok = len(serial.nodes)
-        nodes_failed = len(serial.failures)
-        counters = serial.exec_telemetry.get("counters", {})
-        result_bytes = float(counters.get("exec.result_bytes", 0.0))
-
-        parallel_savings = None
-        parallel_wall = None
-        bit_identical = True
-        if config.verify_parallel:
+        if not state.serial_done:
+            start = time.perf_counter()
+            serial = FleetSimulator(rack_config,
+                                    ExecConfig(workers=1)).run()
+            state.serial_wall_s = time.perf_counter() - start
+            state.serial_savings = serial.fleet_savings
+            state.rack_report = serial.rack_report()
+            state.nodes_ok = len(serial.nodes)
+            state.nodes_failed = len(serial.failures)
+            counters = serial.exec_telemetry.get("counters", {})
+            state.result_bytes = float(
+                counters.get("exec.result_bytes", 0.0))
+            state.serial_done = True
+            return config.verify_parallel
+        if config.verify_parallel and not state.parallel_done:
             # Same fleet, pool forced on even on a single-core host —
             # the identity claim is about the cross-process path.
             start = time.perf_counter()
             parallel = FleetSimulator(
                 rack_config,
                 ExecConfig(workers=config.workers, force_pool=True)).run()
-            parallel_wall = time.perf_counter() - start
-            parallel_savings = parallel.fleet_savings
-            bit_identical = parallel_savings == serial_savings
+            state.parallel_wall_s = time.perf_counter() - start
+            state.parallel_savings = parallel.fleet_savings
+            state.bit_identical = (state.parallel_savings
+                                   == state.serial_savings)
             del parallel
+            state.parallel_done = True
+        return False
 
+    def finish(self, state: "FleetSoakRunState") -> FleetSoakResult:
+        """Gate on the lifetime peak RSS and assemble the verdict."""
+        config = self.config
         peak = peak_rss_mb()
         return FleetSoakResult(
             config=config,
-            fleet_savings=serial_savings,
-            parallel_savings=parallel_savings,
-            bit_identical=bit_identical,
-            rss_before_mb=rss_before,
+            fleet_savings=state.serial_savings,
+            parallel_savings=state.parallel_savings,
+            bit_identical=state.bit_identical,
+            rss_before_mb=state.rss_before_mb,
             peak_rss_mb=peak,
             within_ceiling=peak <= config.rss_ceiling_mb,
-            serial_wall_s=serial_wall,
-            parallel_wall_s=parallel_wall,
-            nodes_ok=nodes_ok,
-            nodes_failed=nodes_failed,
-            rack_report=rack_report,
-            result_bytes=result_bytes)
+            serial_wall_s=state.serial_wall_s,
+            parallel_wall_s=state.parallel_wall_s,
+            nodes_ok=state.nodes_ok,
+            nodes_failed=state.nodes_failed,
+            rack_report=state.rack_report,
+            result_bytes=state.result_bytes)
+
+    def run(self) -> FleetSoakResult:
+        state = self.begin()
+        while self.advance(state):
+            pass
+        return self.finish(state)
+
+
+@dataclass
+class FleetSoakRunState:
+    """Leg progress of one stepped soak."""
+
+    rss_before_mb: float
+    serial_done: bool = False
+    parallel_done: bool = False
+    serial_savings: float = 0.0
+    serial_wall_s: float = 0.0
+    rack_report: dict = field(default_factory=dict)
+    nodes_ok: int = 0
+    nodes_failed: int = 0
+    result_bytes: float = 0.0
+    parallel_savings: float | None = None
+    parallel_wall_s: float | None = None
+    bit_identical: bool = True
 
 
 def quick_soak_config(num_nodes: int = 64) -> FleetSoakConfig:
@@ -203,6 +242,7 @@ __all__ = [
     "FleetSoakConfig",
     "FleetSoakExperiment",
     "FleetSoakResult",
+    "FleetSoakRunState",
     "peak_rss_mb",
     "quick_soak_config",
     "soak_node_config",

@@ -138,6 +138,36 @@ def background_power_savings(baseline: PowerDownResult,
     return 1.0 - dtl.energy.background_j / baseline.energy.background_j
 
 
+@dataclass
+class PowerDownRunState:
+    """Loop state of one schedule replay — one interval per advance.
+
+    Picklable as a single graph (the controller keeps its internal
+    sharing through the pickle memo), so a checkpoint taken between
+    intervals resumes bit-identically.
+    """
+
+    controller: DtlController
+    events: list
+    event_index: int
+    handles: dict[str, VmHandle]
+    energy: EnergyAccumulator
+    intervals: list[IntervalRecord]
+    window_snapshots: list[dict]
+    active_rank_samples: list[int]
+    interval_s: float
+    end_s: float
+    time_s: float = 0.0
+    bandwidth_gbs: float = 0.0
+    migrated_bytes_total: int = 0
+    migration_time_total: float = 0.0
+    bandwidth_weighted: float = 0.0
+    reserved_weighted: float = 0.0
+    duration_total: float = 0.0
+    #: Pending migration work spills into the interval it occurred in.
+    pending_migration_bytes: float = 0.0
+
+
 class PowerDownSimulator:
     """Replays a VM schedule through the DTL controller."""
 
@@ -160,125 +190,140 @@ class PowerDownSimulator:
         profile = PROFILES[spec.workload]
         return profile.bandwidth_gbs(spec.vcpus)
 
-    def run(self, specs: list[VmSpec] | None = None) -> PowerDownResult:
-        """Simulate the schedule; returns interval records and energy."""
+    def begin(self, specs: list[VmSpec] | None = None) -> PowerDownRunState:
+        """Schedule the trace and build the controller; interval-0 state."""
         config = self.config
         if specs is None:
             specs = generate_vm_trace(config.azure, seed=config.seed)
         schedule = VmScheduler(config.scheduler).run(specs)
-        controller = self._make_controller()
+        return PowerDownRunState(
+            controller=self._make_controller(),
+            events=list(schedule.events), event_index=0, handles={},
+            energy=EnergyAccumulator(), intervals=[], window_snapshots=[],
+            active_rank_samples=[],
+            interval_s=config.scheduler.sample_interval_s,
+            end_s=config.scheduler.duration_s)
+
+    def _apply_events_until(self, state: PowerDownRunState,
+                            limit_s: float) -> None:
+        config = self.config
+        controller = state.controller
+        while state.event_index < len(state.events) and \
+                state.events[state.event_index].time_s <= limit_s:
+            event = state.events[state.event_index]
+            state.event_index += 1
+            spec = event.spec
+            if event.kind == "start":
+                state.handles[spec.vm_name] = controller.allocate_vm(
+                    0, spec.memory_bytes, now_s=event.time_s)
+                state.bandwidth_gbs += self._vm_bandwidth_gbs(spec)
+            else:
+                handle = state.handles.pop(spec.vm_name)
+                state.bandwidth_gbs -= self._vm_bandwidth_gbs(spec)
+                transitions = controller.deallocate_vm(
+                    handle, now_s=event.time_s)
+                moved = sum(t.migrated_bytes for t in transitions)
+                state.migrated_bytes_total += moved
+                state.pending_migration_bytes += moved
+                if moved:
+                    state.migration_time_total += moved / (
+                        config.spare_migration_bandwidth_gbs * 1e9)
+
+    def advance(self, state: PowerDownRunState) -> bool:
+        """Simulate one interval if any remain; True while more remain."""
+        if state.time_s >= state.end_s:
+            return False
+        config = self.config
+        controller = state.controller
         device = controller.device
         power_model = device.power_model
 
-        interval_s = config.scheduler.sample_interval_s
-        end_s = config.scheduler.duration_s
-        events = list(schedule.events)
-        event_index = 0
-        handles: dict[str, VmHandle] = {}
-        bandwidth_gbs = 0.0
-        migrated_bytes_total = 0
-        migration_time_total = 0.0
-        intervals: list[IntervalRecord] = []
-        window_snapshots: list[dict] = []
-        energy = EnergyAccumulator()
-        active_rank_samples: list[int] = []
-        bandwidth_weighted = 0.0
-        reserved_weighted = 0.0
-        duration_total = 0.0
-        # Pending migration work spills into the interval it occurred in.
-        pending_migration_bytes = 0.0
+        time_s = state.time_s
+        interval_end = min(time_s + state.interval_s, state.end_s)
+        self._apply_events_until(state, interval_end)
+        duration = interval_end - time_s
+        counts = device.state_counts()
+        background = power_model.background_power(counts)
+        # bandwidth_gbs is a +=/-= accumulator over VM rates, so on
+        # a node that empties it can drift to ~-1e-16; clamp only
+        # at the observation point (the accumulator itself must
+        # stay untouched to keep non-drifted schedules bit-stable).
+        observed_gbs = max(0.0, state.bandwidth_gbs)
+        active = power_model.active_power(observed_gbs)
+        # Migration pulse: the pending bytes move at the spare
+        # bandwidth; the pulse is much shorter than the interval, so we
+        # spread its energy over the interval (same integral).
+        migration_time = state.pending_migration_bytes / (
+            config.spare_migration_bandwidth_gbs * 1e9)
+        migration_energy = (power_model.active_power(
+            config.spare_migration_bandwidth_gbs) * migration_time)
+        migration_power = migration_energy / duration if duration else 0.0
+        state.pending_migration_bytes = 0.0
+        state.energy.add_interval(duration, background, active,
+                                  migration_power)
+        if config.enable_power_down and controller.power_down is not None:
+            active_ranks = controller.power_down.active_ranks_per_channel()
+        else:
+            active_ranks = config.geometry.ranks_per_channel
+        state.active_rank_samples.append(active_ranks)
+        reserved = controller.reserved_bytes()
+        state.bandwidth_weighted += observed_gbs * duration
+        state.reserved_weighted += reserved * duration
+        state.duration_total += duration
+        if config.keep_timeseries:
+            state.intervals.append(IntervalRecord(
+                time_s=time_s, duration_s=duration,
+                reserved_bytes=reserved,
+                live_vms=len(state.handles),
+                active_ranks_per_channel=active_ranks,
+                background_power=background, active_power=active,
+                migration_power=migration_power,
+                bandwidth_gbs=observed_gbs))
+        controller.end_window()
+        if config.keep_timeseries:
+            state.window_snapshots.append({
+                "time_s": interval_end,
+                "counters": controller.metrics.counter_values()})
+        state.time_s = interval_end
+        return state.time_s < state.end_s
 
-        def apply_events_until(limit_s: float) -> None:
-            nonlocal event_index, bandwidth_gbs, migrated_bytes_total, \
-                pending_migration_bytes, migration_time_total
-            while event_index < len(events) and \
-                    events[event_index].time_s <= limit_s:
-                event = events[event_index]
-                event_index += 1
-                spec = event.spec
-                if event.kind == "start":
-                    handles[spec.vm_name] = controller.allocate_vm(
-                        0, spec.memory_bytes, now_s=event.time_s)
-                    bandwidth_gbs += self._vm_bandwidth_gbs(spec)
-                else:
-                    handle = handles.pop(spec.vm_name)
-                    bandwidth_gbs -= self._vm_bandwidth_gbs(spec)
-                    transitions = controller.deallocate_vm(
-                        handle, now_s=event.time_s)
-                    moved = sum(t.migrated_bytes for t in transitions)
-                    migrated_bytes_total += moved
-                    pending_migration_bytes += moved
-                    if moved:
-                        migration_time_total += moved / (
-                            config.spare_migration_bandwidth_gbs * 1e9)
-
-        time_s = 0.0
-        while time_s < end_s:
-            interval_end = min(time_s + interval_s, end_s)
-            apply_events_until(interval_end)
-            duration = interval_end - time_s
-            counts = device.state_counts()
-            background = power_model.background_power(counts)
-            # bandwidth_gbs is a +=/-= accumulator over VM rates, so on
-            # a node that empties it can drift to ~-1e-16; clamp only
-            # at the observation point (the accumulator itself must
-            # stay untouched to keep non-drifted schedules bit-stable).
-            observed_gbs = max(0.0, bandwidth_gbs)
-            active = power_model.active_power(observed_gbs)
-            # Migration pulse: the pending bytes move at the spare
-            # bandwidth; the pulse is much shorter than the interval, so we
-            # spread its energy over the interval (same integral).
-            migration_time = pending_migration_bytes / (
-                config.spare_migration_bandwidth_gbs * 1e9)
-            migration_energy = (power_model.active_power(
-                config.spare_migration_bandwidth_gbs) * migration_time)
-            migration_power = migration_energy / duration if duration else 0.0
-            pending_migration_bytes = 0.0
-            energy.add_interval(duration, background, active, migration_power)
-            if config.enable_power_down and controller.power_down is not None:
-                active_ranks = controller.power_down.active_ranks_per_channel()
-            else:
-                active_ranks = config.geometry.ranks_per_channel
-            active_rank_samples.append(active_ranks)
-            reserved = controller.reserved_bytes()
-            bandwidth_weighted += observed_gbs * duration
-            reserved_weighted += reserved * duration
-            duration_total += duration
-            if config.keep_timeseries:
-                intervals.append(IntervalRecord(
-                    time_s=time_s, duration_s=duration,
-                    reserved_bytes=reserved,
-                    live_vms=len(handles),
-                    active_ranks_per_channel=active_ranks,
-                    background_power=background, active_power=active,
-                    migration_power=migration_power,
-                    bandwidth_gbs=observed_gbs))
-            controller.end_window()
-            if config.keep_timeseries:
-                window_snapshots.append({
-                    "time_s": interval_end,
-                    "counters": controller.metrics.counter_values()})
-            time_s = interval_end
-
-        mean_active = float(np.mean(active_rank_samples))
+    def finish(self, state: PowerDownRunState) -> PowerDownResult:
+        """Summarise a fully-advanced state into the experiment result."""
+        config = self.config
+        controller = state.controller
+        mean_active = float(np.mean(state.active_rank_samples))
         execution_factor = self._execution_time_factor(mean_active)
         transitions = 0
         if controller.power_down is not None:
             transitions = len(controller.power_down.transitions)
-        telemetry = controller.telemetry_snapshot(now_s=end_s).to_dict()
+        telemetry = controller.telemetry_snapshot(
+            now_s=state.end_s).to_dict()
         return PowerDownResult(
-            config=config, intervals=intervals, energy=energy,
-            migrated_bytes=migrated_bytes_total,
-            migration_time_s=migration_time_total,
+            config=config, intervals=state.intervals, energy=state.energy,
+            migrated_bytes=state.migrated_bytes_total,
+            migration_time_s=state.migration_time_total,
             power_transitions=transitions,
             execution_time_factor=execution_factor,
             mean_active_ranks=mean_active,
-            mean_bandwidth_gbs=(bandwidth_weighted / duration_total
-                                if duration_total else 0.0),
-            mean_reserved_bytes=(reserved_weighted / duration_total
-                                 if duration_total else 0.0),
+            mean_bandwidth_gbs=(state.bandwidth_weighted
+                                / state.duration_total
+                                if state.duration_total else 0.0),
+            mean_reserved_bytes=(state.reserved_weighted
+                                 / state.duration_total
+                                 if state.duration_total else 0.0),
             telemetry=telemetry,
-            window_snapshots=window_snapshots)
+            window_snapshots=state.window_snapshots)
+
+    def run(self, specs: list[VmSpec] | None = None) -> PowerDownResult:
+        """Simulate the schedule; returns interval records and energy.
+
+        Implemented as ``finish(drive(begin()))`` so the stepped path
+        and the one-shot path are the same code.
+        """
+        state = self.begin(specs)
+        while self.advance(state):
+            pass
+        return self.finish(state)
 
     def _execution_time_factor(self, mean_active_ranks: float) -> float:
         """Section 5.1 post-processing of the execution time.
@@ -344,6 +389,19 @@ class PowerDownComparisonResult:
                 for key, value in flatten_powerdown(self.dtl).items()}})
 
 
+@dataclass
+class ComparisonRunState:
+    """Both legs of a baseline-vs-DTL pair, advanced one interval at a
+    time: the baseline leg runs to completion first (matching the serial
+    order of :meth:`ComparisonSimulator.run`), then the DTL leg."""
+
+    baseline_sim: PowerDownSimulator
+    baseline_state: PowerDownRunState
+    dtl_sim: PowerDownSimulator
+    dtl_state: PowerDownRunState
+    baseline_done: bool = False
+
+
 class ComparisonSimulator:
     """Baseline-vs-DTL pair on one VM trace — the fleet's unit of work.
 
@@ -357,16 +415,40 @@ class ComparisonSimulator:
     def __init__(self, config: PowerDownSimConfig | None = None):
         self.config = config or PowerDownSimConfig()
 
-    def run(self) -> PowerDownComparisonResult:
-        """Run both configurations on the same generated VM trace."""
+    def begin(self) -> ComparisonRunState:
+        """Generate the shared VM trace and open both legs."""
         config = self.config
         specs = generate_vm_trace(config.azure, seed=config.seed)
         baseline_config = dataclasses.replace(config,
                                               enable_power_down=False)
-        baseline = PowerDownSimulator(baseline_config).run(specs)
-        dtl = PowerDownSimulator(config).run(specs)
-        return PowerDownComparisonResult(config=config, baseline=baseline,
-                                         dtl=dtl)
+        baseline_sim = PowerDownSimulator(baseline_config)
+        dtl_sim = PowerDownSimulator(config)
+        return ComparisonRunState(
+            baseline_sim=baseline_sim,
+            baseline_state=baseline_sim.begin(specs),
+            dtl_sim=dtl_sim, dtl_state=dtl_sim.begin(specs))
+
+    def advance(self, state: ComparisonRunState) -> bool:
+        """One interval of whichever leg is currently running."""
+        if not state.baseline_done:
+            if not state.baseline_sim.advance(state.baseline_state):
+                state.baseline_done = True
+            return True  # the DTL leg still has work
+        return state.dtl_sim.advance(state.dtl_state)
+
+    def finish(self, state: ComparisonRunState) -> PowerDownComparisonResult:
+        """Pair both fully-advanced legs into the comparison result."""
+        return PowerDownComparisonResult(
+            config=self.config,
+            baseline=state.baseline_sim.finish(state.baseline_state),
+            dtl=state.dtl_sim.finish(state.dtl_state))
+
+    def run(self) -> PowerDownComparisonResult:
+        """Run both configurations on the same generated VM trace."""
+        state = self.begin()
+        while self.advance(state):
+            pass
+        return self.finish(state)
 
 
 __all__ = [
@@ -374,7 +456,9 @@ __all__ = [
     "IntervalRecord",
     "PowerDownResult",
     "PowerDownComparisonResult",
+    "PowerDownRunState",
     "PowerDownSimulator",
+    "ComparisonRunState",
     "ComparisonSimulator",
     "energy_savings",
     "power_savings",

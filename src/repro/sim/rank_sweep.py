@@ -143,14 +143,7 @@ class TraceRankSweep:
         deterministic pure function of the trace, so serial and parallel
         sweeps are bit-identical.
         """
-        needed: set[int] = set()
-        for ranks in rank_counts:
-            if ranks & (ranks - 1):
-                needed.add(1 << (ranks.bit_length() - 1))
-                needed.add(1 << ranks.bit_length())
-            else:
-                needed.add(ranks)
-        ordered = sorted(needed)
+        ordered = _needed_power_of_two(rank_counts)
         outcomes = run_tasks(
             [TaskSpec(fn=_measure_task, args=(self, ranks),
                       label=f"rank-sweep-{ranks}", cpu_bound=True)
@@ -158,15 +151,7 @@ class TraceRankSweep:
             config=exec_config)
         measured = {ranks: outcome.unwrap()
                     for ranks, outcome in zip(ordered, outcomes)}
-        points = {}
-        for ranks in rank_counts:
-            if ranks & (ranks - 1):
-                low = measured[1 << (ranks.bit_length() - 1)]
-                high = measured[1 << ranks.bit_length()]
-                points[ranks] = _interpolate(ranks, low, high)
-            else:
-                points[ranks] = measured[ranks]
-        return points
+        return _resolve_points(rank_counts, measured)
 
     def slowdowns(self, rank_counts: tuple[int, ...] = (8, 6, 4, 2),
                   baseline_ranks: int = 8,
@@ -183,6 +168,37 @@ class TraceRankSweep:
 def _measure_task(sweep: TraceRankSweep, ranks: int) -> RankSweepPoint:
     """One rank-count measurement (module-level: picklable)."""
     return sweep.measure(ranks)
+
+
+def _needed_power_of_two(rank_counts: tuple[int, ...]) -> list[int]:
+    """Deduplicated power-of-two counts that must actually be measured.
+
+    Odd counts interpolate between their power-of-two neighbours, so the
+    neighbours are what runs.
+    """
+    needed: set[int] = set()
+    for ranks in rank_counts:
+        if ranks & (ranks - 1):
+            needed.add(1 << (ranks.bit_length() - 1))
+            needed.add(1 << ranks.bit_length())
+        else:
+            needed.add(ranks)
+    return sorted(needed)
+
+
+def _resolve_points(rank_counts: tuple[int, ...],
+                    measured: dict[int, RankSweepPoint],
+                    ) -> dict[int, RankSweepPoint]:
+    """Requested counts from measured power-of-two points."""
+    points = {}
+    for ranks in rank_counts:
+        if ranks & (ranks - 1):
+            low = measured[1 << (ranks.bit_length() - 1)]
+            high = measured[1 << ranks.bit_length()]
+            points[ranks] = _interpolate(ranks, low, high)
+        else:
+            points[ranks] = measured[ranks]
+    return points
 
 
 def _interpolate(ranks: int, low: RankSweepPoint,
@@ -266,6 +282,48 @@ class RankSweepExperiment:
         points = sweep.sweep(counts, exec_config=self.exec_config)
         return TraceRankSweepResult(config=config, points=points)
 
+    # -- stepped execution -----------------------------------------------------
+    # One power-of-two measurement per advance.  ``measure`` is a pure
+    # function of the trace, so the serial stepped path is bit-identical
+    # to the run_tasks fan-out in :meth:`run`.
+
+    def begin(self) -> "RankSweepRunState":
+        """Generate the trace and plan the measurements."""
+        config = self.config
+        sweep = TraceRankSweep(PROFILES[config.workload], config.machine,
+                               num_accesses=config.num_accesses,
+                               seed=config.seed)
+        counts = tuple(sorted(set(config.rank_counts)
+                              | {config.baseline_ranks}))
+        return RankSweepRunState(sweep=sweep, counts=counts,
+                                 ordered=_needed_power_of_two(counts),
+                                 measured={})
+
+    def advance(self, state: "RankSweepRunState") -> bool:
+        """Measure one pending rank count; True while more remain after."""
+        if state.index >= len(state.ordered):
+            return False
+        ranks = state.ordered[state.index]
+        state.measured[ranks] = state.sweep.measure(ranks)
+        state.index += 1
+        return state.index < len(state.ordered)
+
+    def finish(self, state: "RankSweepRunState") -> TraceRankSweepResult:
+        """Interpolate odd counts and assemble the sweep result."""
+        points = _resolve_points(state.counts, state.measured)
+        return TraceRankSweepResult(config=self.config, points=points)
+
+
+@dataclass
+class RankSweepRunState:
+    """Measurement progress of one stepped rank sweep."""
+
+    sweep: TraceRankSweep
+    counts: tuple[int, ...]
+    ordered: list[int]
+    measured: dict[int, RankSweepPoint]
+    index: int = 0
+
 
 def interleaving_comparison(profile: WorkloadProfile,
                             config: RankSweepConfig | None = None,
@@ -337,5 +395,6 @@ __all__ = [
     "TraceRankSweepConfig",
     "TraceRankSweepResult",
     "RankSweepExperiment",
+    "RankSweepRunState",
     "mean_trace_driven_slowdown",
 ]

@@ -132,6 +132,37 @@ class SelfRefreshResult:
         return ExperimentRecord("selfrefresh", flatten_selfrefresh(self))
 
 
+@dataclass
+class SelfRefreshRunState:
+    """Everything the step loop carries between steps.
+
+    Picklable as one graph: the RNG is shared between the state and the
+    drifters, and the controller graph keeps its internal sharing, so a
+    ``pickle`` round-trip of the whole state resumes bit-identically.
+    ``num_steps`` lives here (not on the config) so a warm-start fork can
+    retarget a prefix snapshot at a longer duration.
+    """
+
+    rng: np.random.Generator
+    controller: DtlController
+    handles: list[VmHandle]
+    hsns: np.ndarray
+    generators: list[TraceGenerator]
+    rates_hz: np.ndarray
+    drifters: list[DriftingWorkload]
+    dsns: np.ndarray
+    step_s: float
+    p_touch: np.ndarray
+    p_bit: np.ndarray
+    active_per_channel: int
+    baseline_power: float
+    active_power: float
+    steps: list[StepRecord]
+    num_steps: int
+    migrated_before: int = 0
+    step: int = 0
+
+
 class SelfRefreshSimulator:
     """Windowed trace-driven driver for the hotness-aware SR policy."""
 
@@ -267,16 +298,14 @@ class SelfRefreshSimulator:
 
     # -- run -------------------------------------------------------------------
 
-    def run(self) -> SelfRefreshResult:
-        """Simulate ``duration_s`` of replay; returns savings trajectories."""
+    def begin(self) -> SelfRefreshRunState:
+        """Build the controller, workloads, and rate vectors; step 0 state."""
         config = self.config
         rng = np.random.default_rng(config.seed)
         controller, handles = self._build_controller()
-        policy = controller.self_refresh
-        assert policy is not None
+        assert controller.self_refresh is not None
         device = controller.device
         power_model = device.power_model
-        geometry = config.geometry
 
         hsns, generators = self._build_workloads(controller, handles, rng)
         rates_hz = self._rates_hz(generators)
@@ -295,53 +324,80 @@ class SelfRefreshSimulator:
                           + power_model.active_power(
                               config.aggregate_bandwidth_gbs))
         active_power = power_model.active_power(config.aggregate_bandwidth_gbs)
+        return SelfRefreshRunState(
+            rng=rng, controller=controller, handles=handles, hsns=hsns,
+            generators=generators, rates_hz=rates_hz, drifters=drifters,
+            dsns=dsns, step_s=step_s, p_touch=p_touch, p_bit=p_bit,
+            active_per_channel=active_per_channel,
+            baseline_power=baseline_power, active_power=active_power,
+            steps=[], num_steps=int(config.duration_s / step_s))
 
-        steps: list[StepRecord] = []
-        num_steps = int(config.duration_s / step_s)
-        migrated_before = 0
-        remap_pending = False
-        for step in range(num_steps):
-            now_ns = (step + 1) * config.step_ns
-            if drifters:
-                drifted = sum(d.advance_to(now_ns / NS_PER_S)
-                              for d in drifters)
-                if drifted:
-                    rates_hz = self._rates_hz(generators)
-                    p_touch = 1.0 - np.exp(-rates_hz * step_s)
-                    p_bit = 1.0 - np.exp(
-                        -rates_hz * (config.window_ns / NS_PER_S))
-            touched_mask = rng.random(len(dsns)) < p_touch
-            bit_mask = touched_mask & (rng.random(len(dsns)) < (
-                p_bit / np.maximum(p_touch, 1e-12)))
-            policy.on_batch(dsns[touched_mask], now_ns,
-                            bit_dsns=dsns[bit_mask])
-            policy.end_window()
-            events = policy.tick(now_ns)
-            if events or remap_pending:
-                dsns = self._dsn_of(controller, hsns)
-                remap_pending = False
-            # A wake mid-batch can also remap at the *next* SR entry; track
-            # migrations via the policy's byte counter instead.
-            migrated_now = policy.migrated_bytes_total
-            step_migrated = migrated_now - migrated_before
-            migrated_before = migrated_now
-            if step_migrated:
-                remap_pending = True
-                dsns = self._dsn_of(controller, hsns)
-                remap_pending = False
-            counts = device.state_counts()
-            background = power_model.background_power(counts)
-            migration_energy = (power_model.active_power_per_gbs
-                                * step_migrated / 1e9)
-            migration_power = migration_energy / step_s
-            steps.append(StepRecord(
-                time_s=step * step_s,
-                sr_ranks=counts[PowerState.SELF_REFRESH],
-                background_power=background + active_power,
-                migration_power=migration_power))
+    def advance(self, state: SelfRefreshRunState) -> bool:
+        """Simulate one step if any remain; True while more remain after."""
+        if state.step >= state.num_steps:
+            return False
+        config = self.config
+        controller = state.controller
+        policy = controller.self_refresh
+        assert policy is not None
+        device = controller.device
+        power_model = device.power_model
 
-        return self._summarise(controller, steps, baseline_power,
-                               active_per_channel)
+        step = state.step
+        now_ns = (step + 1) * config.step_ns
+        if state.drifters:
+            drifted = sum(d.advance_to(now_ns / NS_PER_S)
+                          for d in state.drifters)
+            if drifted:
+                state.rates_hz = self._rates_hz(state.generators)
+                state.p_touch = 1.0 - np.exp(-state.rates_hz * state.step_s)
+                state.p_bit = 1.0 - np.exp(
+                    -state.rates_hz * (config.window_ns / NS_PER_S))
+        touched_mask = state.rng.random(len(state.dsns)) < state.p_touch
+        bit_mask = touched_mask & (state.rng.random(len(state.dsns)) < (
+            state.p_bit / np.maximum(state.p_touch, 1e-12)))
+        policy.on_batch(state.dsns[touched_mask], now_ns,
+                        bit_dsns=state.dsns[bit_mask])
+        policy.end_window()
+        events = policy.tick(now_ns)
+        if events:
+            state.dsns = self._dsn_of(controller, state.hsns)
+        # A wake mid-batch can also remap at the *next* SR entry; track
+        # migrations via the policy's byte counter instead.
+        migrated_now = policy.migrated_bytes_total
+        step_migrated = migrated_now - state.migrated_before
+        state.migrated_before = migrated_now
+        if step_migrated:
+            state.dsns = self._dsn_of(controller, state.hsns)
+        counts = device.state_counts()
+        background = power_model.background_power(counts)
+        migration_energy = (power_model.active_power_per_gbs
+                            * step_migrated / 1e9)
+        migration_power = migration_energy / state.step_s
+        state.steps.append(StepRecord(
+            time_s=step * state.step_s,
+            sr_ranks=counts[PowerState.SELF_REFRESH],
+            background_power=background + state.active_power,
+            migration_power=migration_power))
+        state.step += 1
+        return state.step < state.num_steps
+
+    def finish(self, state: SelfRefreshRunState) -> SelfRefreshResult:
+        """Summarise a fully-advanced state into the experiment result."""
+        return self._summarise(state.controller, state.steps,
+                               state.baseline_power, state.active_per_channel)
+
+    def run(self) -> SelfRefreshResult:
+        """Simulate ``duration_s`` of replay; returns savings trajectories.
+
+        Implemented as ``finish(drive(begin()))`` so the stepped path
+        and the one-shot path are the same code — a run resumed from a
+        mid-flight checkpoint is bit-identical by construction.
+        """
+        state = self.begin()
+        while self.advance(state):
+            pass
+        return self.finish(state)
 
     def _summarise(self, controller: DtlController, steps: list[StepRecord],
                    baseline_power: float,
@@ -411,6 +467,7 @@ __all__ = [
     "SelfRefreshSimConfig",
     "StepRecord",
     "SelfRefreshResult",
+    "SelfRefreshRunState",
     "SelfRefreshSimulator",
     "PAPER_CAPACITY_POINTS",
     "config_for_point",

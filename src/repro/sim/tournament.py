@@ -186,11 +186,54 @@ class PolicyTournament:
         return TournamentResult(config=self.config, cells=cells,
                                 failures=failures)
 
+    # -- stepped execution -----------------------------------------------------
+    # One grid cell per advance, through the same ``run_experiments``
+    # entry point (serially) so failed cells produce the exact error
+    # strings the fan-out would record.
+
+    def begin(self) -> "TournamentRunState":
+        """Materialise the grid; no cells have run yet."""
+        return TournamentRunState(grid=self.cell_configs())
+
+    def advance(self, state: "TournamentRunState") -> bool:
+        """Run one pending cell; True while more remain after."""
+        if state.index >= len(state.grid):
+            return False
+        from repro.exec import ExecConfig
+        from repro.sim.experiments import run_experiments
+
+        policy, label, sim = state.grid[state.index]
+        outcome = run_experiments([("selfrefresh", sim)],
+                                  exec_config=ExecConfig(workers=1))[0]
+        if outcome.error is not None:
+            state.failures.append((policy, label, outcome.error))
+        else:
+            state.cells.append(
+                cell_from_result(policy, label, outcome.value))
+        state.index += 1
+        return state.index < len(state.grid)
+
+    def finish(self, state: "TournamentRunState") -> TournamentResult:
+        """Assemble the Pareto-ranked result from the completed cells."""
+        return TournamentResult(config=self.config, cells=state.cells,
+                                failures=state.failures)
+
+
+@dataclass
+class TournamentRunState:
+    """Cell progress of one stepped tournament."""
+
+    grid: list[tuple[str, str, SelfRefreshSimConfig]]
+    cells: list[TournamentCell] = field(default_factory=list)
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+    index: int = 0
+
 
 __all__ = [
     "TournamentConfig",
     "TournamentCell",
     "TournamentResult",
+    "TournamentRunState",
     "PolicyTournament",
     "cell_from_result",
     "quick_tournament_config",

@@ -1,0 +1,100 @@
+"""Warm-start planning for self-refresh sweeps.
+
+The self-refresh replay is the repo's sweep workhorse (the tournament
+grid, duration ladders, drift studies), and its step loop depends only
+on the step index and the carried state — never on ``duration_s`` except
+through the step count.  Two cells that differ *only* in ``duration_s``
+therefore share their entire common prefix: the shorter run *is* the
+first K steps of the longer one.
+
+:func:`plan_selfrefresh_grid` exploits that: it groups a grid of
+:class:`~repro.sim.selfrefresh_sim.SelfRefreshSimConfig` cells by their
+duration-normalised config hash, picks each group's shortest duration as
+the shared prefix, and emits a
+:class:`~repro.exec.warmstart.WarmStartPlan` whose tasks simulate each
+distinct prefix once per worker, snapshot it, and fork every cell of
+the class from the snapshot (see ``repro.exec.warmstart``).
+
+The equivalence claim is deliberately narrow — cells must be identical
+in every field but ``duration_s`` (same policy, seed, workloads, drift,
+geometry...).  Anything else changes the controller build or the replay
+stream from step 0 and gets its own class (a singleton class still
+works; its "fork" is just a restore of its own full run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import partial
+from typing import Iterable
+
+from repro.exec.hashing import stable_hash
+from repro.exec.warmstart import PrefixSpec, WarmStartPlan
+from repro.sim.selfrefresh_sim import (SelfRefreshRunState,
+                                       SelfRefreshSimConfig,
+                                       SelfRefreshSimulator)
+from repro.units import NS_PER_S
+
+
+def _steps_of(config: SelfRefreshSimConfig) -> int:
+    """The step count ``SelfRefreshSimulator.begin`` derives."""
+    return int(config.duration_s / (config.step_ns / NS_PER_S))
+
+
+def prefix_class_key(config: SelfRefreshSimConfig) -> str:
+    """Equivalence-class key: the config with its duration normalised out."""
+    return stable_hash(dataclasses.replace(config, duration_s=0.0))
+
+
+def retarget_selfrefresh(stepper: SelfRefreshSimulator,
+                         state: SelfRefreshRunState) -> None:
+    """Point a restored prefix state at the full cell's duration.
+
+    ``num_steps`` is the only place ``duration_s`` enters the run state;
+    everything else in the prefix (RNG position, controller state, step
+    records) is the cell's own first K steps verbatim.
+    """
+    state.num_steps = _steps_of(stepper.config)
+
+
+def plan_selfrefresh_grid(configs: Iterable[SelfRefreshSimConfig],
+                          ) -> WarmStartPlan:
+    """Split a grid of self-refresh cells into shared-prefix tasks.
+
+    Cells keep their input order in the returned plan (outcome order is
+    the caller's submission order, as with any ``run_tasks`` batch).
+    """
+    cells = list(configs)
+    classes: dict[str, list[int]] = {}
+    for index, config in enumerate(cells):
+        classes.setdefault(prefix_class_key(config), []).append(index)
+
+    plan = WarmStartPlan()
+    specs: dict[int, PrefixSpec] = {}
+    for class_key, members in classes.items():
+        prefix_duration = min(cells[index].duration_s for index in members)
+        prefix_config = dataclasses.replace(cells[members[0]],
+                                            duration_s=prefix_duration)
+        prefix_steps = _steps_of(prefix_config)
+        # The snapshot memo keys off this string alone, so the step
+        # count folds in explicitly (the class key normalises it out).
+        prefix_key = f"{class_key}-{prefix_steps}"
+        for index in members:
+            specs[index] = PrefixSpec(
+                experiment="selfrefresh",
+                prefix_key=prefix_key,
+                prefix_steps=prefix_steps,
+                make_prefix_stepper=partial(SelfRefreshSimulator,
+                                            prefix_config),
+                make_stepper=partial(SelfRefreshSimulator, cells[index]),
+                retarget=retarget_selfrefresh)
+    for index, config in enumerate(cells):
+        plan.add(specs[index], config)
+    return plan
+
+
+__all__ = [
+    "plan_selfrefresh_grid",
+    "prefix_class_key",
+    "retarget_selfrefresh",
+]

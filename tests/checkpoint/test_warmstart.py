@@ -1,0 +1,142 @@
+"""Warm-start executor: forked cells equal cold cells, caching is sound."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exec import (ExecConfig, ResultCache, clear_prefix_memo,
+                        prefix_memo_size, run_tasks, run_warm_task, task_key,
+                        warm_task_key)
+from repro.exec.hashing import stable_hash
+from repro.exec.runner import EXEC_METRICS
+from repro.sim.experiments import EXPERIMENTS
+from repro.sim.selfrefresh_sim import SelfRefreshSimulator
+from repro.sim.warm import plan_selfrefresh_grid, prefix_class_key
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_prefix_memo()
+    yield
+    clear_prefix_memo()
+
+
+def tiny():
+    return EXPERIMENTS["selfrefresh"].tiny_config()
+
+
+def duration_ladder(base, durations):
+    return [dataclasses.replace(base, duration_s=d) for d in durations]
+
+
+def test_grouping_by_duration_normalised_config():
+    base = tiny()
+    cells = duration_ladder(base, (1.0, 2.0, 3.0))
+    cells += duration_ladder(dataclasses.replace(base, seed=base.seed + 1),
+                             (1.0, 2.0))
+    plan = plan_selfrefresh_grid(cells)
+    assert len(plan.specs) == 5
+    assert plan.num_classes == 2
+    # Same class -> same prefix key; different seed -> different class.
+    assert plan.specs[0].prefix_key == plan.specs[2].prefix_key
+    assert plan.specs[0].prefix_key != plan.specs[3].prefix_key
+    assert (prefix_class_key(cells[0]) == prefix_class_key(cells[1])
+            != prefix_class_key(cells[3]))
+
+
+def test_warm_equals_cold_per_cell():
+    base = tiny()
+    cells = duration_ladder(base, (1.0, 2.0, 3.0))
+    plan = plan_selfrefresh_grid(cells)
+    cold = [SelfRefreshSimulator(config).run() for config in cells]
+    warm = [run_warm_task(spec) for spec in plan.specs]
+    for c, w in zip(cold, warm):
+        assert c.to_record().metrics == w.to_record().metrics
+        assert stable_hash(c.to_record().metrics) == \
+            stable_hash(w.to_record().metrics)
+
+
+def test_warm_equals_cold_through_pool():
+    base = tiny()
+    cells = duration_ladder(base, (1.0, 2.0))
+    plan = plan_selfrefresh_grid(cells)
+    cold = [SelfRefreshSimulator(config).run() for config in cells]
+    outcomes = run_tasks(plan.tasks(),
+                         ExecConfig(workers=2, force_pool=True))
+    assert all(outcome.ok for outcome in outcomes)
+    for c, outcome in zip(cold, outcomes):
+        assert c.to_record().metrics == outcome.value.to_record().metrics
+
+
+def test_prefix_computed_once_then_memoised():
+    base = tiny()
+    plan = plan_selfrefresh_grid(duration_ladder(base, (1.0, 2.0, 3.0)))
+    before = EXEC_METRICS.counter("exec.warm.prefix_runs").value
+    for spec in plan.specs:
+        run_warm_task(spec)
+    after = EXEC_METRICS.counter("exec.warm.prefix_runs").value
+    assert after - before == 1  # one class -> one prefix simulation
+    assert prefix_memo_size() == 1
+
+
+def test_prefix_spills_to_cache_and_reloads(tmp_path):
+    base = tiny()
+    plan = plan_selfrefresh_grid(duration_ladder(base, (1.0, 2.0)))
+    cache = ResultCache(tmp_path)
+    run_warm_task(plan.specs[0], cache)
+    assert any(path.name.startswith("warmstart-prefix")
+               for path in tmp_path.iterdir())
+    # A fresh process (modelled by clearing the memo) reloads the
+    # spilled snapshot instead of recomputing the prefix.
+    clear_prefix_memo()
+    before = EXEC_METRICS.counter("exec.warm.prefix_runs").value
+    spills = EXEC_METRICS.counter("exec.warm.spill_hits").value
+    result = run_warm_task(plan.specs[1], ResultCache(tmp_path))
+    assert EXEC_METRICS.counter("exec.warm.prefix_runs").value == before
+    assert EXEC_METRICS.counter("exec.warm.spill_hits").value == spills + 1
+    cold = SelfRefreshSimulator(plan.configs[1]).run()
+    assert cold.to_record().metrics == result.to_record().metrics
+
+
+def test_warm_task_key_folds_prefix_identity():
+    base = tiny()
+    plan = plan_selfrefresh_grid(duration_ladder(base, (1.0, 2.0)))
+    spec = plan.specs[1]
+    config = plan.configs[1]
+    # Warm and cold runs of the same config must never share a key.
+    assert warm_task_key(spec, config) != task_key("selfrefresh", config)
+    # A different prefix (key or length) changes the task key.
+    other = dataclasses.replace(spec, prefix_key="other")
+    assert warm_task_key(other, config) != warm_task_key(spec, config)
+    longer = dataclasses.replace(spec, prefix_steps=spec.prefix_steps + 1)
+    assert warm_task_key(longer, config) != warm_task_key(spec, config)
+    # Deterministic across calls, sensitive to ambient context.
+    assert warm_task_key(spec, config) == warm_task_key(spec, config)
+    assert warm_task_key(spec, config, context={"faults": "x"}) != \
+        warm_task_key(spec, config)
+
+
+def test_warm_results_cache_and_replay(tmp_path):
+    base = tiny()
+    plan = plan_selfrefresh_grid(duration_ladder(base, (1.0, 2.0)))
+    cache = ResultCache(tmp_path)
+    first = run_tasks(plan.tasks(cache=cache), ExecConfig(workers=1),
+                      cache=cache)
+    assert not any(outcome.from_cache for outcome in first)
+    clear_prefix_memo()
+    second = run_tasks(plan.tasks(cache=cache), ExecConfig(workers=1),
+                       cache=cache)
+    assert all(outcome.from_cache for outcome in second)
+    for a, b in zip(first, second):
+        assert a.value.to_record().metrics == b.value.to_record().metrics
+
+
+def test_singleton_class_is_just_a_restore():
+    base = tiny()
+    plan = plan_selfrefresh_grid([base])
+    assert plan.num_classes == 1
+    cold = SelfRefreshSimulator(base).run()
+    warm = run_warm_task(plan.specs[0])
+    assert cold.to_record().metrics == warm.to_record().metrics

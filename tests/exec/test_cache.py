@@ -58,3 +58,72 @@ def test_no_tmp_droppings(tmp_path):
     for index in range(5):
         cache.put(f"k{index}", index)
     assert not list(tmp_path.glob("*.tmp"))
+
+
+def _age(tmp_path, key, seconds_ago):
+    import os
+    import time
+    path = tmp_path / f"{key}.pkl"
+    stamp = time.time() - seconds_ago
+    os.utime(path, (stamp, stamp))
+
+
+def test_total_bytes(tmp_path):
+    assert ResultCache().total_bytes() == 0  # memory-only
+    cache = ResultCache(tmp_path)
+    assert cache.total_bytes() == 0
+    cache.put("a", b"x" * 1000)
+    cache.put("b", b"y" * 1000)
+    total = cache.total_bytes()
+    assert total == sum(path.stat().st_size
+                        for path in tmp_path.glob("*.pkl"))
+    assert total > 2000
+
+
+def test_prune_evicts_least_recently_used(tmp_path):
+    cache = ResultCache(tmp_path)
+    for key, age_s in (("old", 300), ("mid", 200), ("new", 100)):
+        cache.put(key, b"z" * 4096)
+        _age(tmp_path, key, age_s)
+    entry = (tmp_path / "new.pkl").stat().st_size
+    evicted = cache.prune(2 * entry)
+    assert evicted == 1
+    assert not (tmp_path / "old.pkl").exists()
+    assert (tmp_path / "mid.pkl").exists()
+    assert (tmp_path / "new.pkl").exists()
+    assert cache.total_bytes() <= 2 * entry
+
+
+def test_prune_drops_memory_layer_too(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("gone", 1)
+    assert cache.prune(0) == 1
+    # The pruned entry must not resurrect from this process's dict.
+    assert cache.get("gone") == (False, None)
+
+
+def test_get_touches_mtime_refreshing_recency(tmp_path):
+    cache = ResultCache(tmp_path)
+    for key, age_s in (("hotter", 300), ("colder", 200)):
+        cache.put(key, b"z" * 4096)
+        _age(tmp_path, key, age_s)
+    # A disk hit refreshes the older entry, flipping the LRU order.
+    assert ResultCache(tmp_path).get("hotter")[0]
+    entry = (tmp_path / "colder.pkl").stat().st_size
+    assert cache.prune(entry) == 1
+    assert (tmp_path / "hotter.pkl").exists()
+    assert not (tmp_path / "colder.pkl").exists()
+
+
+def test_prune_memory_only_is_noop():
+    cache = ResultCache()
+    cache.put("k", 1)
+    assert cache.prune(0) == 0
+    assert cache.get("k") == (True, 1)
+
+
+def test_prune_under_cap_evicts_nothing(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("keep", b"z" * 100)
+    assert cache.prune(10 * 1024 * 1024) == 0
+    assert cache.get("keep") == (True, b"z" * 100)

@@ -114,3 +114,55 @@ class TestPlotFlag:
         out = capsys.readouterr().out
         assert "Workload calibration" in out
         assert "within calibration tolerances" in out
+
+
+class TestCheckpointCli:
+    def test_exp_checkpoint_then_resume(self, capsys, tmp_path):
+        path = tmp_path / "run.ckpt"
+        assert main(["exp", "--name", "rank_sweep",
+                     "--checkpoint", str(path),
+                     "--checkpoint-every", "1"]) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        assert "checkpoints at" in first
+        assert main(["exp", "--name", "rank_sweep",
+                     "--checkpoint", str(path), "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "Resuming rank_sweep" in second
+        # The resumed run reports the same metrics table.
+        metrics = [line for line in first.splitlines() if "savings" in line]
+        for line in metrics:
+            assert line in second
+
+    def test_resume_without_file_starts_fresh(self, capsys, tmp_path):
+        path = tmp_path / "absent.ckpt"
+        assert main(["exp", "--name", "rank_sweep",
+                     "--checkpoint", str(path), "--resume"]) == 0
+        assert "Running rank_sweep" in capsys.readouterr().out
+        assert path.exists()
+
+
+class TestCacheCli:
+    def test_memory_only_notice(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_CACHE_DIR", raising=False)
+        assert main(["cache"]) == 0
+        assert "memory-only" in capsys.readouterr().out
+
+    def test_stats_and_prune(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CACHE_DIR", str(tmp_path))
+        from repro.exec import ResultCache
+        seeded = ResultCache()
+        seeded.put("entry-a", b"x" * 8192)
+        seeded.put("entry-b", b"y" * 8192)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and " 2" in out
+        assert main(["cache", "prune", "--max-mb", "0.000001"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_unknown_action_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_CACHE_DIR", str(tmp_path))
+        with pytest.raises(SystemExit):
+            main(["cache", "flush"])
