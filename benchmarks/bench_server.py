@@ -1,0 +1,154 @@
+"""Multi-tenant service throughput/latency benchmark.
+
+Writes ``BENCH_server.json`` at the repository root: request and access
+throughput plus p50/p95/p99 request wall latency at 1, 8, and 64
+concurrent tenants, driven by the load generator against an in-process
+:class:`~repro.server.server.DtlServer` (no TCP — socket jitter would
+pollute the latency numbers; the CI ``server-smoke`` job covers the
+socket path).  The server runs its production shape: chaos armed,
+periodic audits, admission control on.
+
+The interesting number is how throughput holds as tenants multiply:
+every request still funnels through one event loop and per-shard
+single-writer apply tasks, so aggregate req/s should stay roughly flat
+while per-request latency grows with the queue depth — this benchmark
+records exactly that curve.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+
+Optional floor gate (kept loose; wall-clock on shared runners)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --check-rps 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+from repro.server import (DtlServer, LoadgenConfig, LoadgenReport,
+                          ServerConfig, run_loadgen)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+TENANT_POINTS = (1, 8, 64)
+REQUESTS_PER_TENANT = 12
+BATCH = 128
+#: One 1 MiB VM per tenant keeps 64 tenants inside the small default
+#: geometry (128 MiB), so the 64-tenant point measures queueing, not
+#: capacity rejections.
+VM_BYTES = 1 << 20
+NUM_SHARDS = 2
+SEED = 0
+
+
+def _loadgen_config(tenants: int) -> LoadgenConfig:
+    return LoadgenConfig(tenants=tenants,
+                         requests_per_tenant=REQUESTS_PER_TENANT,
+                         batch=BATCH, vms_per_tenant=1,
+                         vm_bytes=VM_BYTES, churn_every=8,
+                         seed=SEED)
+
+
+def _server_config(tenants: int) -> ServerConfig:
+    config = ServerConfig(num_shards=NUM_SHARDS, seed=SEED)
+    # Each shard's controller caps its host table; give every tenant a
+    # slot so the 64-tenant point admits all of them.
+    dtl = dataclasses.replace(config.dtl, max_hosts=max(16, tenants))
+    return config.replace(dtl=dtl, admission=config.admission.replace(
+        max_tenants=max(64, tenants)))
+
+
+async def _drive(tenants: int) -> tuple[LoadgenReport, int, int]:
+    server = DtlServer(_server_config(tenants))
+    await server.start(serve_tcp=False)
+    report = await run_loadgen(_loadgen_config(tenants),
+                               request_fn=server.handle_request)
+    await server.drain()
+    faults = sum(shard.injector.report().injected_total
+                 for shard in server.shards
+                 if shard.injector is not None)
+    violations = len(server.audit_violations())
+    return report, faults, violations
+
+
+def run_point(tenants: int) -> dict:
+    report, faults, violations = asyncio.run(_drive(tenants))
+    print(f"{tenants:>3} tenants: {report.requests} requests "
+          f"{report.requests_per_s:,.0f} req/s  "
+          f"{report.accesses_per_s:,.0f} acc/s  "
+          f"p50 {report.percentile(50.0) / 1000:.2f}ms  "
+          f"p99 {report.percentile(99.0) / 1000:.2f}ms  "
+          f"faults {faults}")
+    return {
+        "tenants": tenants,
+        "requests": report.requests,
+        "accesses": report.accesses,
+        "rejected": dict(sorted(report.rejected.items())),
+        "elapsed_s": round(report.elapsed_s, 3),
+        "requests_per_s": round(report.requests_per_s, 1),
+        "accesses_per_s": round(report.accesses_per_s),
+        "latency_us": {
+            "p50": round(report.percentile(50.0), 1),
+            "p95": round(report.percentile(95.0), 1),
+            "p99": round(report.percentile(99.0), 1),
+        },
+        "faults_injected": faults,
+        "audit_violations": violations,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check-rps", type=float, default=None,
+                        metavar="X",
+                        help="exit non-zero unless the 8-tenant point "
+                             "sustains >= X requests/s")
+    args = parser.parse_args(argv)
+
+    points = [run_point(tenants) for tenants in TENANT_POINTS]
+    document = {
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "campaign": {
+            "requests_per_tenant": REQUESTS_PER_TENANT,
+            "batch": BATCH,
+            "vm_bytes": VM_BYTES,
+            "num_shards": NUM_SHARDS,
+            "chaos": True,
+            "seed": SEED,
+        },
+        "points": points,
+    }
+    OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    for point in points:
+        if point["audit_violations"]:
+            print(f"FAIL: {point['tenants']}-tenant point recorded "
+                  f"{point['audit_violations']} audit violations",
+                  file=sys.stderr)
+            return 1
+    if args.check_rps is not None:
+        gated = next(p for p in points if p["tenants"] == 8)
+        if gated["requests_per_s"] < args.check_rps:
+            print(f"FAIL: 8-tenant throughput "
+                  f"{gated['requests_per_s']:.0f} req/s is below the "
+                  f"{args.check_rps:.0f} req/s gate", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

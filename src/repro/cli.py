@@ -17,6 +17,10 @@ Usage::
     python -m repro cache prune --max-mb 256   # cap the on-disk cache
     python -m repro tables              # Tables 5 and 6 + Section 6.1
     python -m repro stats [--json]      # telemetry snapshot of a short run
+    python -m repro stats --watch 2 --telemetry srv.json  # tail a server
+    python -m repro serve --port 7123 --telemetry srv.json \
+        --checkpoint srv.ckpt [--resume]       # online multi-tenant DTL
+    python -m repro loadgen --tenants 8 --port 7123  # drive a server
     python -m repro all [--quick]       # everything, JSON to --output
 
 Each subcommand prints a paper-vs-measured table; ``--output results.json``
@@ -316,8 +320,8 @@ def cmd_fleet_soak(args: argparse.Namespace) -> list[ExperimentRecord]:
     return [result.to_record()]
 
 
-def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
-    """Run the quickstart scenario and dump the telemetry snapshot."""
+def _quickstart_snapshot():
+    """The quickstart scenario's telemetry snapshot (stats command)."""
     from repro.core.config import DtlConfig
     from repro.core.controller import DtlController
     from repro.dram.geometry import DramGeometry
@@ -339,7 +343,46 @@ def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
             controller.access(1, hpa)
     controller.deallocate_vm(vm_a, now_s=100.0)
     controller.end_window()
-    snapshot = controller.telemetry_snapshot(now_s=200.0)
+    return controller.telemetry_snapshot(now_s=200.0)
+
+
+def _watch_stats(args: argparse.Namespace) -> None:
+    """Re-print a telemetry snapshot every ``--watch`` seconds.
+
+    With ``--telemetry PATH`` the watch tails a live server's exporter
+    file (already in :func:`~repro.server.protocol.render_snapshot`
+    form); otherwise it re-renders the quickstart scenario.  Bounded by
+    ``--iterations`` when given (CI/smoke), else runs until Ctrl-C.
+    """
+    import itertools
+    import time as time_module
+
+    from repro.server.protocol import render_snapshot
+    iterations = (range(args.iterations) if args.iterations
+                  else itertools.count())
+    try:
+        for index in iterations:
+            if index:
+                time_module.sleep(args.watch)
+            if args.telemetry:
+                try:
+                    with open(args.telemetry) as handle:
+                        document = handle.read().rstrip()
+                except OSError as exc:
+                    document = f"(telemetry not readable yet: {exc})"
+            else:
+                document = render_snapshot(_quickstart_snapshot())
+            print(document, flush=True)
+    except KeyboardInterrupt:
+        pass
+
+
+def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Dump (or ``--watch``: keep re-printing) a telemetry snapshot."""
+    if args.watch:
+        _watch_stats(args)
+        return []
+    snapshot = _quickstart_snapshot()
     if args.json:
         print(snapshot.to_json(indent=2))
     else:
@@ -363,6 +406,54 @@ def cmd_stats(args: argparse.Namespace) -> list[ExperimentRecord]:
         _print("Trace events", events, header=("event", "count"))
     return [ExperimentRecord("stats", flatten_telemetry(
         snapshot.to_dict()))]
+
+
+def cmd_serve(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Run the online multi-tenant DTL service until SIGTERM/SIGINT."""
+    from repro.server import ServerConfig, serve_forever
+    config = ServerConfig(
+        host=args.host, port=args.port, num_shards=args.shards,
+        chaos=not args.no_chaos, chaos_seed=args.seed,
+        telemetry_path=args.telemetry,
+        telemetry_interval_s=args.telemetry_interval,
+        checkpoint_path=args.checkpoint, seed=args.seed)
+    code = serve_forever(config, resume=args.resume)
+    if code:
+        raise SystemExit(code)
+    return []
+
+
+def cmd_loadgen(args: argparse.Namespace) -> list[ExperimentRecord]:
+    """Drive a running server with N concurrent tenant streams."""
+    from repro.server import LoadgenConfig, run_loadgen_sync
+    config = LoadgenConfig(tenants=args.tenants,
+                           requests_per_tenant=args.requests,
+                           batch=args.batch, seed=args.seed)
+    # Banner to stderr so `--json` output stays machine-parseable.
+    print(f"loadgen: {config.tenants} tenant(s) x "
+          f"{config.requests_per_tenant} batches of {config.batch} "
+          f"against {args.host}:{args.port}...", file=sys.stderr)
+    report = run_loadgen_sync(config, args.host, args.port)
+    if args.json:
+        print(report.to_json())
+    else:
+        _print("Load generator", [
+            ("requests", str(report.requests),
+             f"{report.requests_per_s:,.0f}/s"),
+            ("accesses", str(report.accesses),
+             f"{report.accesses_per_s:,.0f}/s"),
+            ("ok / rejected", f"{report.ok} / "
+             f"{report.requests - report.ok}",
+             ", ".join(f"{code}={count}" for code, count
+                       in sorted(report.rejected.items())) or "-"),
+            ("latency p50/p95/p99",
+             f"{report.percentile(50):,.0f} / "
+             f"{report.percentile(95):,.0f} / "
+             f"{report.percentile(99):,.0f} us", ""),
+        ], header=("metric", "value", "note"))
+    summary = report.to_dict()
+    summary.pop("latency_us", None)
+    return [ExperimentRecord("loadgen", summary)]
 
 
 def cmd_tables(args: argparse.Namespace) -> list[ExperimentRecord]:
@@ -598,6 +689,8 @@ COMMANDS: dict[str, Callable[[argparse.Namespace],
     "chaos": cmd_chaos,
     "tournament": cmd_tournament,
     "exp": cmd_exp,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "cache": cmd_cache,
     "validate": cmd_validate,
     "tables": cmd_tables,
@@ -634,13 +727,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list", action="store_true",
                         help="list the experiment registry with 'exp'")
     parser.add_argument("--json", action="store_true",
-                        help="emit the stats snapshot as raw JSON")
+                        help="emit the stats snapshot / loadgen report "
+                             "as raw JSON")
+    parser.add_argument("--watch", type=float, default=0.0, metavar="N",
+                        help="'stats': re-print the snapshot every N "
+                             "seconds (with --telemetry PATH, tail a "
+                             "server's exporter file)")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="bound --watch to this many prints "
+                             "(default: until Ctrl-C)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve/loadgen TCP host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7123,
+                        help="serve/loadgen TCP port (default 7123)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="'serve': controller shards (default 2)")
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="'serve': disarm the always-on fault "
+                             "injector")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="'serve': exporter output file; "
+                             "'stats --watch': file to tail")
+    parser.add_argument("--telemetry-interval", type=float, default=5.0,
+                        help="'serve': exporter period in seconds "
+                             "(default 5)")
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="'loadgen': concurrent tenants (default 8)")
+    parser.add_argument("--requests", type=int, default=50,
+                        help="'loadgen': access batches per tenant "
+                             "(default 50)")
+    parser.add_argument("--batch", type=int, default=256,
+                        help="'loadgen': accesses per batch (default 256)")
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
-                        help="run 'exp' through the stepping protocol, "
-                             "persisting run state to PATH")
+                        help="'exp': persist stepped run state to PATH; "
+                             "'serve': drain checkpoint path")
     parser.add_argument("--resume", action="store_true",
-                        help="resume 'exp' from the --checkpoint file "
-                             "when it exists")
+                        help="resume 'exp'/'serve' from the --checkpoint "
+                             "file when it exists")
     parser.add_argument("--checkpoint-every", type=int, default=0,
                         metavar="N",
                         help="save every N units of work "

@@ -294,6 +294,13 @@ class DtlController:
         """Currently allocated VMs."""
         return list(self._vms.values())
 
+    def vm_handle(self, vm_id: int) -> VmHandle:
+        """Look up a live VM by ID (raises ``AllocationError`` if gone)."""
+        try:
+            return self._vms[vm_id]
+        except KeyError:
+            raise AllocationError(f"VM {vm_id} is not allocated") from None
+
     def reserved_bytes(self) -> int:
         """Total memory reserved by live VMs."""
         return self.allocator.allocated_count() * self.geometry.segment_bytes

@@ -39,14 +39,9 @@ from repro.policies import (
     Policy,
     PolicyConfig,
     RankStats,
-    legacy_policy_config,
     make_policy,
 )
 from repro.telemetry import EventTrace, MetricsRegistry
-
-#: Loose keywords the constructor accepted before PolicyConfig existed.
-_LEGACY_KWARGS = ("group_granularity", "min_active_groups",
-                  "background_migration")
 
 
 @dataclass
@@ -85,10 +80,9 @@ class RankPowerDownPolicy:
                  config: PolicyConfig | None = None, *,
                  policy: Policy | None = None,
                  registry: MetricsRegistry | None = None,
-                 trace: EventTrace | None = None,
-                 **legacy):
-        config = legacy_policy_config(
-            config, legacy, _LEGACY_KWARGS, type(self).__name__)
+                 trace: EventTrace | None = None):
+        if config is None:
+            config = PolicyConfig()
         geometry = device.geometry
         if geometry.ranks_per_channel % config.group_granularity:
             raise ValueError("group_granularity must divide ranks_per_channel")

@@ -58,15 +58,9 @@ from repro.policies import (
     Policy,
     PolicyConfig,
     RankStats,
-    legacy_policy_config,
     make_policy,
 )
 from repro.telemetry import EventKind, EventTrace, MetricsRegistry
-
-#: Loose keywords the constructor accepted before PolicyConfig existed.
-_LEGACY_KWARGS = ("window_ns", "profiling_threshold_ns", "tsp_scan_limit",
-                  "revisit_delay_ns", "victim_granularity",
-                  "enable_planning")
 
 
 class ChannelPhase(enum.Enum):
@@ -146,10 +140,9 @@ class HotnessSelfRefreshPolicy:
                  config: PolicyConfig | None = None, *,
                  policy: Policy | None = None,
                  registry: MetricsRegistry | None = None,
-                 trace: EventTrace | None = None,
-                 **legacy):
-        config = legacy_policy_config(
-            config, legacy, _LEGACY_KWARGS, type(self).__name__)
+                 trace: EventTrace | None = None):
+        if config is None:
+            config = PolicyConfig()
         self.device = device
         self.geometry = device.geometry
         self.layout = DeviceAddressLayout(self.geometry)

@@ -34,7 +34,6 @@ from repro.policies.protocol import (
     PolicyConfig,
     RankStats,
     available_policies,
-    legacy_policy_config,
     make_policy,
     register_policy,
 )
@@ -52,7 +51,6 @@ __all__ = [
     "RankStats",
     "POLICIES",
     "available_policies",
-    "legacy_policy_config",
     "make_policy",
     "register_policy",
     "PaperPolicy",

@@ -37,7 +37,6 @@ from __future__ import annotations
 import copy
 import dataclasses
 import enum
-import warnings
 from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -354,29 +353,6 @@ def make_policy(config: PolicyConfig | str | None = None) -> Policy:
     return cls(config)
 
 
-def legacy_policy_config(config: PolicyConfig | None, legacy: dict,
-                         allowed: tuple[str, ...],
-                         owner: str) -> PolicyConfig:
-    """Fold deprecated loose constructor kwargs into a PolicyConfig.
-
-    The controllers accepted per-knob keywords for several releases;
-    they now take a :class:`PolicyConfig`.  This shim keeps the old
-    spelling working for one release with a :class:`DeprecationWarning`.
-    """
-    if not legacy:
-        return config if config is not None else PolicyConfig()
-    unknown = sorted(set(legacy) - set(allowed))
-    if unknown:
-        raise TypeError(
-            f"{owner}() got unexpected keyword argument(s) {unknown}")
-    warnings.warn(
-        f"passing {sorted(legacy)} to {owner}() as loose keywords is "
-        "deprecated; pass a repro.policies.PolicyConfig instead",
-        DeprecationWarning, stacklevel=3)
-    base = config if config is not None else PolicyConfig()
-    return base.replace(**legacy)
-
-
 __all__ = [
     "DEFAULT_WINDOW_NS",
     "DEFAULT_PROFILING_THRESHOLD_NS",
@@ -391,5 +367,4 @@ __all__ = [
     "register_policy",
     "available_policies",
     "make_policy",
-    "legacy_policy_config",
 ]

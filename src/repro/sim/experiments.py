@@ -28,6 +28,8 @@ from repro.exec import (ExecConfig, ResultCache, TaskOutcome, TaskSpec,
 from repro.faults.arming import hashing_context
 from repro.faults.chaos import ChaosSoakConfig, ChaosSoakExperiment
 from repro.host.scheduler import SchedulerConfig
+from repro.server.soak import (ServerSoakConfig, ServerSoakExperiment,
+                               quick_server_soak_config)
 from repro.sim.base import Experiment, ExperimentResult
 from repro.sim.comparison import PolicyComparisonExperiment
 from repro.sim.fleet import FleetConfig, FleetSimulator
@@ -205,6 +207,13 @@ register(ExperimentSpec(
     tiny_config=lambda: ChaosSoakConfig(levels=2, batches_per_phase=4,
                                         batch_size=32),
     summary="escalating fault-injection soak with consistency audits"))
+
+register(ExperimentSpec(
+    name="server-soak",
+    config_type=ServerSoakConfig,
+    factory=ServerSoakExperiment,
+    tiny_config=quick_server_soak_config,
+    summary="multi-tenant service soak: chaos, drain/restore, isolation"))
 
 
 __all__ = [

@@ -80,42 +80,37 @@ class TestPolicyConfig:
             make_policy("no-such-policy")
 
 
-class TestLegacyKwargShims:
-    """Satellite contract: old loose-kwarg constructors keep working
-    through a thin shim that warns exactly once per construction."""
+class TestConfigOnlyConstructors:
+    """The one-release loose-kwarg shim is gone: hosts take a
+    :class:`PolicyConfig` and nothing else, and any loose keyword is a
+    plain ``TypeError`` from the constructor signature itself."""
 
-    def test_powerdown_legacy_kwargs_warn_and_apply(self):
-        with pytest.warns(DeprecationWarning, match="PolicyConfig"):
-            host = powerdown_stack(group_granularity=2,
-                                   min_active_groups=2)
-        assert host.config.group_granularity == 2
-        assert host.config.min_active_groups == 2
+    def test_powerdown_legacy_kwargs_are_gone(self):
+        with pytest.raises(TypeError, match="group_granularity"):
+            powerdown_stack(group_granularity=2, min_active_groups=2)
 
-    def test_selfrefresh_legacy_kwargs_warn_and_apply(self):
-        with pytest.warns(DeprecationWarning, match="PolicyConfig"):
-            host = selfrefresh_stack(window_ns=1000.0, tsp_scan_limit=7)
-        assert host.config.window_ns == 1000.0
-        assert host.tsp_scan_limit == 7
+    def test_selfrefresh_legacy_kwargs_are_gone(self):
+        with pytest.raises(TypeError, match="window_ns"):
+            selfrefresh_stack(window_ns=1000.0, tsp_scan_limit=7)
 
-    def test_unknown_kwarg_is_a_typeerror_not_a_warning(self):
+    def test_unknown_kwarg_is_a_typeerror(self):
         with pytest.raises(TypeError, match="bogus"):
             powerdown_stack(bogus=1)
         with pytest.raises(TypeError, match="bogus"):
             selfrefresh_stack(bogus=1)
+
+    def test_shim_is_not_exported(self):
+        import repro.policies as policies
+        assert not hasattr(policies, "legacy_policy_config")
 
     def test_config_construction_stays_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             host = powerdown_stack(config=PolicyConfig(group_granularity=2))
             assert host.config.group_granularity == 2
-            selfrefresh_stack(config=PolicyConfig(tsp_scan_limit=7))
-
-    def test_config_and_legacy_kwargs_compose(self):
-        base = PolicyConfig(min_active_groups=2)
-        with pytest.warns(DeprecationWarning):
-            host = powerdown_stack(config=base, group_granularity=2)
-        assert host.config.group_granularity == 2
-        assert host.config.min_active_groups == 2
+            assert host.config.min_active_groups == 1
+            sr_host = selfrefresh_stack(config=PolicyConfig(tsp_scan_limit=7))
+            assert sr_host.tsp_scan_limit == 7
 
 
 class TestPaperPolicy:

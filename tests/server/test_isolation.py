@@ -1,0 +1,150 @@
+"""Tenant isolation under an armed fault plan.
+
+Two tenants forced onto the same shard must never observe each other's
+allocations, and a tenant whose request is rejected by admission
+control must leave the victim shard's controller state bit-identical
+(proved by fingerprint equality and a consistency audit) — all with
+the always-on chaos injector armed.
+"""
+
+import asyncio
+
+from repro.server import DtlServer, ServerConfig, shard_of
+from repro.server.admission import AdmissionConfig
+
+
+def colliding_names(num_shards: int) -> tuple[str, str, int]:
+    """Two tenant names that hash to the same shard, plus the shard."""
+    first = "iso-0"
+    target = shard_of(first, num_shards)
+    second = next(f"iso-{index}" for index in range(1, 1000)
+                  if shard_of(f"iso-{index}", num_shards) == target)
+    return first, second, target
+
+
+async def populated_server(config: ServerConfig,
+                           names: tuple[str, str]) -> DtlServer:
+    server = DtlServer(config)
+    await server.start(serve_tcp=False)
+    t = 1.0
+    for name in names:
+        await server.handle_request(
+            {"op": "open_tenant", "tenant": name, "t": t})
+        alloc = await server.handle_request(
+            {"op": "allocate", "tenant": name, "bytes": 2 << 20, "t": t})
+        await server.handle_request(
+            {"op": "access_batch", "tenant": name, "vm": alloc["vm"],
+             "segments": list(range(8)), "writes": [True] * 8, "t": t})
+        t += 0.1
+    return server
+
+
+class TestSameShardIsolation:
+    def test_chaos_is_armed(self):
+        async def scenario():
+            server = DtlServer(ServerConfig())
+            await server.start(serve_tcp=False)
+            assert all(shard.injector is not None
+                       for shard in server.shards)
+            await server.drain()
+        asyncio.run(scenario())
+
+    def test_same_shard_tenants_have_disjoint_dsns(self):
+        first, second, target = colliding_names(2)
+
+        async def scenario():
+            server = await populated_server(ServerConfig(),
+                                            (first, second))
+            assert server.tenants[first].shard == target
+            assert server.tenants[second].shard == target
+            shard = server.shards[target]
+            dsns_first = shard.dsns_of_host(server.tenants[first].host_id)
+            dsns_second = shard.dsns_of_host(
+                server.tenants[second].host_id)
+            assert dsns_first and dsns_second
+            assert not dsns_first & dsns_second
+            assert not server.leak_report()
+            shard.audit()
+            await server.drain()
+            assert not server.audit_violations()
+        asyncio.run(scenario())
+
+    def test_cross_tenant_vm_access_is_not_owner(self):
+        first, second, _ = colliding_names(2)
+
+        async def scenario():
+            server = await populated_server(ServerConfig(),
+                                            (first, second))
+            foreign_vm = sorted(server.tenants[second].vm_ids)[0]
+            stolen = await server.handle_request(
+                {"op": "access_batch", "tenant": first, "vm": foreign_vm,
+                 "segments": [0], "t": 2.0})
+            assert stolen["error"] == "not_owner"
+            freed = await server.handle_request(
+                {"op": "free", "tenant": first, "vm": foreign_vm,
+                 "t": 2.1})
+            assert freed["error"] == "not_owner"
+            # The victim's VM is still alive and serving.
+            mine = await server.handle_request(
+                {"op": "access_batch", "tenant": second, "vm": foreign_vm,
+                 "segments": [0], "t": 2.2})
+            assert mine["ok"]
+            await server.drain()
+        asyncio.run(scenario())
+
+
+class TestRejectionPurity:
+    """Admission rejections must bounce before touching controller
+    state — checked by shard fingerprint equality and an audit, with
+    the chaos injector armed the whole time."""
+
+    def rejection_battery(self, admission: AdmissionConfig):
+        first, second, target = colliding_names(2)
+
+        async def scenario():
+            server = await populated_server(
+                ServerConfig(admission=admission), (first, second))
+            shard = server.shards[target]
+            before = shard.fingerprint()
+
+            quota = await server.handle_request(
+                {"op": "allocate", "tenant": first,
+                 "bytes": admission.quota_bytes * 2, "t": 3.0})
+            foreign_vm = sorted(server.tenants[second].vm_ids)[0]
+            owner = await server.handle_request(
+                {"op": "access_batch", "tenant": first, "vm": foreign_vm,
+                 "segments": [0], "t": 3.1})
+            own_vm = sorted(server.tenants[first].vm_ids)[0]
+            ranged = await server.handle_request(
+                {"op": "access_batch", "tenant": first, "vm": own_vm,
+                 "segments": [1 << 40], "t": 3.2})
+
+            codes = [quota.get("error"), owner.get("error"),
+                     ranged.get("error")]
+            assert codes == ["quota_exceeded", "not_owner",
+                             "out_of_range"]
+            assert shard.fingerprint() == before
+            shard.audit()
+            assert not shard.violations
+            await server.drain()
+            assert not server.audit_violations()
+            assert not server.leak_report()
+        asyncio.run(scenario())
+
+    def test_rejections_leave_fingerprint_untouched(self):
+        self.rejection_battery(AdmissionConfig(quota_bytes=4 << 20))
+
+    def test_rejected_tenant_counters_are_typed(self):
+        async def scenario():
+            server = DtlServer(ServerConfig(admission=AdmissionConfig(
+                max_tenants=1)))
+            await server.start(serve_tcp=False)
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            refused = await server.handle_request(
+                {"op": "open_tenant", "tenant": "b", "t": 0.1})
+            assert refused["error"] == "tenant_limit"
+            counters = server.metrics.counter_values()
+            assert counters["server.rejected.tenant_limit"] == 1
+            await server.drain()
+        asyncio.run(scenario())

@@ -1,0 +1,89 @@
+"""The load generator: request accounting, percentiles, determinism."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import (DtlServer, LoadgenConfig, LoadgenReport,
+                          ServerConfig, run_loadgen)
+
+
+def inproc_report(config: LoadgenConfig) -> LoadgenReport:
+    async def scenario() -> LoadgenReport:
+        server = DtlServer(ServerConfig())
+        await server.start(serve_tcp=False)
+        report = await run_loadgen(config,
+                                   request_fn=server.handle_request)
+        await server.drain()
+        return report
+    return asyncio.run(scenario())
+
+
+class TestLoadgenCampaign:
+    def test_request_accounting(self):
+        config = LoadgenConfig(tenants=3, requests_per_tenant=4, batch=16,
+                               vms_per_tenant=2, churn_every=0)
+        report = inproc_report(config)
+        # open + N allocs + M accesses + close, per tenant.
+        assert report.requests == 3 * (1 + 2 + 4 + 1)
+        assert report.accesses == 3 * 4 * 16
+        assert report.ok == report.requests
+        assert report.rejected == {}
+        # Every request's wall latency is measured.
+        assert len(report.latency_us) == report.requests
+
+    def test_churn_adds_free_and_realloc(self):
+        churned = inproc_report(LoadgenConfig(
+            tenants=1, requests_per_tenant=4, batch=8, vms_per_tenant=2,
+            churn_every=2))
+        flat = inproc_report(LoadgenConfig(
+            tenants=1, requests_per_tenant=4, batch=8, vms_per_tenant=2,
+            churn_every=0))
+        assert churned.requests == flat.requests + 2 * 2
+
+    def test_exactly_one_target_required(self):
+        with pytest.raises(ValueError, match="request_fn or host"):
+            asyncio.run(run_loadgen(LoadgenConfig(tenants=1)))
+
+        async def sink(request):
+            return {"ok": True}
+        with pytest.raises(ValueError, match="request_fn or host"):
+            asyncio.run(run_loadgen(LoadgenConfig(tenants=1),
+                                    request_fn=sink, host="127.0.0.1",
+                                    port=1))
+
+
+class TestLoadgenReport:
+    def test_rates_and_percentiles(self):
+        report = LoadgenReport(tenants=1, requests=100, accesses=1000,
+                               ok=100, elapsed_s=2.0,
+                               latency_us=[1.0, 2.0, 3.0])
+        assert report.requests_per_s == 50.0
+        assert report.accesses_per_s == 500.0
+        assert report.percentile(50.0) == 2.0
+        counts = report.histogram()
+        assert sum(counts.values()) == 3
+        assert counts["<=10us"] == 3
+
+    def test_histogram_overflow_bucket(self):
+        report = LoadgenReport(tenants=1,
+                               latency_us=[5.0, 1e9])
+        counts = report.histogram()
+        assert counts["<=10us"] == 1
+        assert counts["inf"] == 1
+
+    def test_empty_report_is_safe(self):
+        report = LoadgenReport(tenants=0)
+        assert report.requests_per_s == 0.0
+        assert report.percentile(99.0) == 0.0
+        assert sum(report.histogram().values()) == 0
+
+    def test_to_json_round_trips(self):
+        report = inproc_report(LoadgenConfig(
+            tenants=1, requests_per_tenant=1, batch=4, vms_per_tenant=1,
+            churn_every=0))
+        document = json.loads(report.to_json())
+        assert document["requests"] == report.requests
+        assert document["accesses"] == report.accesses
+        assert document["latency_us"]["p50"] >= 0.0

@@ -1,0 +1,73 @@
+"""Wire-protocol framing: encode/decode, typed responses, limits."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (MAX_LINE_BYTES, ErrorCode, ProtocolError,
+                                   decode_line, encode, error_response,
+                                   ok_response, render_snapshot)
+from repro.telemetry import MetricsRegistry
+
+
+class TestFraming:
+    def test_encode_is_one_compact_sorted_line(self):
+        frame = encode({"op": "stats", "a": 1})
+        assert frame == b'{"a":1,"op":"stats"}\n'
+        assert frame.count(b"\n") == 1
+
+    def test_round_trip(self):
+        message = {"op": "access_batch", "tenant": "t0",
+                   "segments": [0, 1, 2], "t": 1.5}
+        assert decode_line(encode(message).rstrip(b"\n")) == message
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode_line('{"op":"stats"}') == {"op": "stats"}
+        assert decode_line(b'{"op":"stats"}') == {"op": "stats"}
+
+    def test_junk_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_line(b"not json at all")
+
+    def test_non_object_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_line(b"[1, 2, 3]")
+
+    def test_oversize_frame_is_a_protocol_error(self):
+        huge = b'"' + b"x" * MAX_LINE_BYTES + b'"'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_line(huge)
+
+
+class TestResponses:
+    def test_ok_echoes_request_id(self):
+        response = ok_response("allocate", {"op": "allocate", "id": 7},
+                               vm=3)
+        assert response == {"ok": True, "op": "allocate", "id": 7, "vm": 3}
+
+    def test_ok_without_id(self):
+        assert "id" not in ok_response("stats", {"op": "stats"})
+
+    def test_error_carries_typed_code(self):
+        response = error_response(ErrorCode.RATE_LIMITED, "slow down",
+                                  {"op": "allocate", "id": 1},
+                                  retry_after_s=0.25)
+        assert response["ok"] is False
+        assert response["error"] == "rate_limited"
+        assert response["retry_after_s"] == 0.25
+        assert response["id"] == 1
+
+    def test_every_error_code_is_snake_case(self):
+        for code in ErrorCode:
+            assert code.value == code.value.lower()
+            assert " " not in code.value
+
+
+class TestRenderSnapshot:
+    def test_render_is_snapshot_json(self):
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(3)
+        snapshot = registry.snapshot()
+        document = render_snapshot(snapshot)
+        assert json.loads(document)["counters"]["server.requests"] == 3
+        assert document == snapshot.to_json(indent=2)

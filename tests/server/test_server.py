@@ -1,0 +1,218 @@
+"""The DtlServer request surface, TCP layer, and lifecycle."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import (DtlServer, LoadgenConfig, ServerConfig,
+                          run_loadgen)
+from repro.server.protocol import MAX_LINE_BYTES, decode_line, encode
+
+
+def quiet_config(**changes) -> ServerConfig:
+    """A small chaos-armed server config for tests."""
+    return ServerConfig(**changes)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def started_server(config: ServerConfig | None = None,
+                         tcp: bool = False) -> DtlServer:
+    server = DtlServer(config if config is not None else quiet_config())
+    await server.start(serve_tcp=tcp)
+    return server
+
+
+class TestRequestSurface:
+    def test_open_allocate_access_free_close(self):
+        async def scenario():
+            server = await started_server()
+            opened = await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 1.0})
+            assert opened["ok"] and opened["shard"] in (0, 1)
+            alloc = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": 1 << 20,
+                 "t": 1.1})
+            assert alloc["ok"] and alloc["segments"] > 0
+            access = await server.handle_request(
+                {"op": "access_batch", "tenant": "a", "vm": alloc["vm"],
+                 "segments": [0, 1, 2, 1], "writes": [True, False, False,
+                                                      True], "t": 1.2})
+            assert access["ok"] and access["n"] == 4
+            assert access["total_latency_ns"] > 0.0
+            freed = await server.handle_request(
+                {"op": "free", "tenant": "a", "vm": alloc["vm"],
+                 "t": 1.3})
+            assert freed["ok"] and freed["freed"] == alloc["bytes"]
+            closed = await server.handle_request(
+                {"op": "close", "tenant": "a", "t": 1.4})
+            assert closed["ok"]
+            assert not server.tenants
+            await server.drain()
+        run(scenario())
+
+    def test_typed_errors(self):
+        async def scenario():
+            server = await started_server()
+            no_op = await server.handle_request({"tenant": "a"})
+            assert no_op["error"] == "bad_request"
+            unknown = await server.handle_request({"op": "explode"})
+            assert unknown["error"] == "unknown_op"
+            ghost = await server.handle_request(
+                {"op": "allocate", "tenant": "ghost", "bytes": 1,
+                 "t": 0.0})
+            assert ghost["error"] == "unknown_tenant"
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            bad_bytes = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": -5, "t": 0.1})
+            assert bad_bytes["error"] == "bad_request"
+            await server.drain()
+        run(scenario())
+
+    def test_capacity_rejection_is_typed(self):
+        async def scenario():
+            server = await started_server(quiet_config(
+                admission=ServerConfig().admission.replace(
+                    quota_bytes=1 << 40)))
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            # The small default geometry holds 2ch * 4 ranks * 16 MiB.
+            huge = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": 1 << 32,
+                 "t": 0.1})
+            assert huge["error"] == "capacity"
+            await server.drain()
+        run(scenario())
+
+    def test_draining_rejects_everything_but_stats(self):
+        async def scenario():
+            server = await started_server()
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            await server.drain()
+            rejected = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": 1, "t": 0.1})
+            assert rejected["error"] == "draining"
+            stats = await server.handle_request({"op": "stats"})
+            assert stats["ok"]
+            assert stats["snapshot"]["gauges"]["server.draining"] == 1.0
+        run(scenario())
+
+    def test_rate_limit_end_to_end(self):
+        async def scenario():
+            server = await started_server(quiet_config(
+                admission=ServerConfig().admission.replace(
+                    rate_per_s=1.0, burst=1.0)))
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            first = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": 1 << 20,
+                 "t": 0.0})
+            assert first["ok"]
+            second = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": 1 << 20,
+                 "t": 0.0})
+            assert second["error"] == "rate_limited"
+            assert second["retry_after_s"] > 0.0
+            await server.drain()
+        run(scenario())
+
+    def test_stats_snapshot_has_shard_detail(self):
+        async def scenario():
+            server = await started_server()
+            stats = await server.handle_request({"op": "stats"})
+            shards = stats["snapshot"]["detail"]["shards"]
+            assert sorted(shards) == ["0", "1"]
+            await server.drain()
+        run(scenario())
+
+
+class TestTcpLayer:
+    def test_ndjson_round_trip_over_tcp(self):
+        async def scenario():
+            server = await started_server(tcp=True)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port, limit=MAX_LINE_BYTES)
+            writer.write(encode({"op": "open_tenant", "tenant": "a",
+                                 "id": 1, "t": 0.0}))
+            writer.write(encode({"op": "allocate", "tenant": "a",
+                                 "bytes": 1 << 20, "id": 2, "t": 0.1}))
+            await writer.drain()
+            first = decode_line(await reader.readline())
+            second = decode_line(await reader.readline())
+            assert first["ok"] and first["id"] == 1
+            assert second["ok"] and second["id"] == 2
+            # Junk gets a typed response, not a dropped connection.
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            junk = decode_line(await reader.readline())
+            assert junk["error"] == "bad_request"
+            writer.close()
+            await writer.wait_closed()
+            await server.drain()
+        run(scenario())
+
+    def test_loadgen_over_tcp(self):
+        async def scenario():
+            server = await started_server(tcp=True)
+            report = await run_loadgen(
+                LoadgenConfig(tenants=2, requests_per_tenant=2, batch=16,
+                              vms_per_tenant=1, churn_every=0),
+                host="127.0.0.1", port=server.port)
+            assert report.requests == 2 * (1 + 1 + 2 + 1)
+            assert report.ok == report.requests
+            assert not report.rejected
+            await server.drain()
+        run(scenario())
+
+
+class TestTelemetryExporter:
+    def test_exporter_writes_render_snapshot_document(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+
+        async def scenario():
+            server = await started_server(quiet_config(
+                telemetry_path=str(path), telemetry_interval_s=60.0))
+            assert path.exists()  # written immediately at start
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            await server.drain()  # final write on drain
+        run(scenario())
+        document = json.loads(path.read_text())
+        assert document["counters"]["server.requests"] == 1
+        assert document["counters"]["server.telemetry_writes"] >= 1
+        assert "shards" in document["detail"]
+
+    def test_stats_op_shares_exporter_shape(self):
+        async def scenario():
+            server = await started_server()
+            stats = await server.handle_request({"op": "stats"})
+            assert set(stats["snapshot"]) == {
+                "counters", "gauges", "histograms", "events", "detail"}
+            await server.drain()
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_full_shard_queue_blocks_until_drained(self):
+        async def scenario():
+            server = await started_server(quiet_config(
+                admission=ServerConfig().admission.replace(
+                    queue_depth=1)))
+            await server.handle_request(
+                {"op": "open_tenant", "tenant": "a", "t": 0.0})
+            alloc = await server.handle_request(
+                {"op": "allocate", "tenant": "a", "bytes": 1 << 20,
+                 "t": 0.1})
+            requests = [server.handle_request(
+                {"op": "access_batch", "tenant": "a", "vm": alloc["vm"],
+                 "segments": [index], "t": 0.2 + index * 0.01})
+                for index in range(8)]
+            responses = await asyncio.gather(*requests)
+            assert all(response["ok"] for response in responses)
+            await server.drain()
+        run(scenario())

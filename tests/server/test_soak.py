@@ -1,0 +1,86 @@
+"""The server-soak experiment: phases, stepping, and the record."""
+
+from repro.server.soak import (PHASES, ServerSoakConfig,
+                               ServerSoakExperiment, ServerSoakState,
+                               quick_server_soak_config)
+from repro.sim.experiments import EXPERIMENTS
+
+
+def tiny_config(**changes) -> ServerSoakConfig:
+    """The quick soak shrunk further for unit-test latency."""
+    config = quick_server_soak_config(
+        tenants=16, requests_per_tenant=2, batch=16, monitor_scans=2,
+        script_tenants=2, script_requests=6, script_batch=12)
+    return config.replace(**changes) if changes else config
+
+
+class TestRegistration:
+    def test_registered_with_quick_config(self):
+        spec = EXPERIMENTS["server-soak"]
+        assert spec.factory is ServerSoakExperiment
+        assert spec.config_type is ServerSoakConfig
+        quick = spec.tiny_config()
+        assert quick.tenants >= 16  # the acceptance bar stays
+
+    def test_config_protocol(self):
+        config = ServerSoakConfig()
+        assert config.with_seed(9).seed == 9
+        assert config.replace(tenants=32).tenants == 32
+        assert config.tenants == 16  # frozen original untouched
+
+
+class TestSteppedSoak:
+    def test_phases_advance_one_at_a_time(self):
+        experiment = ServerSoakExperiment(tiny_config())
+        state = experiment.begin()
+        assert state.phase == 0
+        assert experiment.advance(state)  # concurrent
+        assert state.phase == 1 and state.concurrent
+        assert not state.drain_restore
+        assert experiment.advance(state)  # drain_restore
+        assert state.phase == 2 and state.drain_restore
+        assert not experiment.advance(state)  # isolation: last phase
+        assert state.phase == len(PHASES) and state.isolation
+        assert not experiment.advance(state)  # past the end is safe
+        result = experiment.finish(state)
+        assert result.ok
+
+    def test_state_is_plain_data(self):
+        state = ServerSoakState(phase=1, concurrent={"ok": True})
+        assert isinstance(state.concurrent, dict)
+        assert state.drain_restore == {} and state.isolation == {}
+
+
+class TestSoakVerdict:
+    def test_full_run_holds_every_invariant(self):
+        result = ServerSoakExperiment(tiny_config()).run()
+        concurrent = result.concurrent
+        assert concurrent["violations"] == 0
+        assert concurrent["leaks"] == 0
+        assert concurrent["faults_injected"] > 0  # chaos really armed
+        assert concurrent["requests"] > 0
+        replay = result.drain_restore
+        assert replay["tail_mismatches"] == 0
+        assert replay["restore_match"] and replay["final_match"]
+        assert replay["counters_match"]
+        isolation = result.isolation
+        assert isolation["disjoint"] and isolation["rejections_pure"]
+        assert result.ok
+
+    def test_record_shape(self):
+        result = ServerSoakExperiment(tiny_config()).run()
+        record = result.to_record()
+        assert record.experiment == "server-soak"
+        assert record.metrics["ok"] is True
+        assert record.metrics["violations"] == 0
+        assert record.paper == {"violations": 0, "leaks": 0,
+                                "tail_mismatches": 0}
+
+    def test_same_seed_same_summary(self):
+        first = ServerSoakExperiment(tiny_config()).run()
+        second = ServerSoakExperiment(tiny_config()).run()
+        assert first.concurrent["fingerprints"] \
+            == second.concurrent["fingerprints"]
+        assert first.concurrent["requests"] \
+            == second.concurrent["requests"]
+        assert first.drain_restore == second.drain_restore
